@@ -1,0 +1,306 @@
+//! Byzantine adversary implementations.
+//!
+//! A Byzantine process in the model can deviate arbitrarily — *except* that
+//! it cannot forge signatures (it holds only its own [`sigsim::Signer`]) and
+//! cannot bypass memory permissions (the memory checks every operation).
+//! Each adversary here exercises one of the attack surfaces the paper's
+//! mechanisms close:
+//!
+//! * [`SilentActor`] — omission/crash behaviour, the residual power a
+//!   Byzantine process has once non-equivocation and history checking
+//!   confine it.
+//! * [`NebEquivocator`] — attempts classic equivocation through the
+//!   *replicated* broadcast slots: different (validly signed!) values for
+//!   the same sequence number on different memory replicas. Non-equivocating
+//!   broadcast must never let two correct processes deliver different
+//!   values (Lemma 4.1, property 2).
+//! * [`BadHistoryActor`] — speaks the trusted-channel protocol but sends a
+//!   Paxos message its history cannot justify (an `Accept` with no promise
+//!   quorum). The conformance checker must reject it everywhere.
+//! * [`CqEquivocatingLeader`] — a Byzantine Cheap Quorum leader that writes
+//!   *different signed values* to different replicas of the leader region,
+//!   trying to make followers decide differently. Unanimity (all `n`
+//!   matching copies + `n` proofs) must prevent any split decision.
+
+use rdma_sim::{MemWire, MemoryClient, OpId};
+use sigsim::Signer;
+use simnet::{Actor, ActorId, Context, EventKind};
+
+use crate::cheap_quorum;
+use crate::nebcast::{self, NebSlot};
+use crate::paxos::{Dest, PaxosMsg};
+use crate::trusted::{HistEntry, RbPayload, TWire};
+use crate::types::{sigtags, Ballot, CqSigned, Msg, Pid, RegVal, Value};
+
+/// A Byzantine process that never takes a step (pure omission).
+#[derive(Debug)]
+pub struct SilentActor;
+
+impl Actor<Msg> for SilentActor {
+    fn on_event(&mut self, _ctx: &mut Context<'_, Msg>, _ev: EventKind<Msg>) {}
+}
+
+/// Tries to equivocate at the broadcast layer: writes signed value `a` to
+/// the first `split` memories and signed value `b` to the rest, all in its
+/// own slot `slots[me, 1, me]`.
+pub struct NebEquivocator {
+    me: Pid,
+    mems: Vec<ActorId>,
+    split: usize,
+    a: Value,
+    b: Value,
+    signer: Signer,
+    client: MemoryClient<RegVal, Msg>,
+}
+
+impl NebEquivocator {
+    /// Creates the adversary.
+    pub fn new(
+        me: Pid,
+        mems: Vec<ActorId>,
+        split: usize,
+        a: Value,
+        b: Value,
+        signer: Signer,
+    ) -> NebEquivocator {
+        NebEquivocator { me, mems, split, a, b, signer, client: MemoryClient::new() }
+    }
+
+    fn slot_for(&self, v: Value) -> RegVal {
+        let wire = TWire {
+            dest: Dest::All,
+            payload: RbPayload::Setup { value: v, evidence: Default::default() },
+            history: Vec::new(),
+        };
+        let sig = self.signer.sign(&wire.sign_view(1));
+        RegVal::Neb(NebSlot { k: 1, wire, sig })
+    }
+}
+
+impl Actor<Msg> for NebEquivocator {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                let reg = nebcast::slot_reg(self.me, 1, self.me);
+                let region = nebcast::row_region(self.me);
+                let (a, b) = (self.slot_for(self.a), self.slot_for(self.b));
+                for (i, mem) in self.mems.clone().into_iter().enumerate() {
+                    let val = if i < self.split { a.clone() } else { b.clone() };
+                    self.client.write(ctx, mem, region, reg, val);
+                }
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for NebEquivocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NebEquivocator({})", self.me)
+    }
+}
+
+/// Broadcasts a protocol-illegal Paxos `Accept` (no promise quorum in its
+/// history) through a *correctly formatted* trusted wire. Every correct
+/// receiver's conformance check must reject and distrust it.
+pub struct BadHistoryActor {
+    me: Pid,
+    mems: Vec<ActorId>,
+    v: Value,
+    signer: Signer,
+    client: MemoryClient<RegVal, Msg>,
+}
+
+impl BadHistoryActor {
+    /// Creates the adversary.
+    pub fn new(me: Pid, mems: Vec<ActorId>, v: Value, signer: Signer) -> BadHistoryActor {
+        BadHistoryActor { me, mems, v, signer, client: MemoryClient::new() }
+    }
+}
+
+impl Actor<Msg> for BadHistoryActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                // An Accept for our own ballot with an empty history: no
+                // Setup, no promises — flagrantly non-conformant, but
+                // correctly signed and sequenced.
+                let wire = TWire {
+                    dest: Dest::All,
+                    payload: RbPayload::Paxos(PaxosMsg::Accept {
+                        b: Ballot { round: 1, pid: self.me },
+                        v: self.v,
+                    }),
+                    history: Vec::<HistEntry>::new(),
+                };
+                let sig = self.signer.sign(&wire.sign_view(1));
+                let slot = RegVal::Neb(NebSlot { k: 1, wire, sig });
+                let reg = nebcast::slot_reg(self.me, 1, self.me);
+                let region = nebcast::row_region(self.me);
+                for mem in self.mems.clone() {
+                    self.client.write(ctx, mem, region, reg, slot.clone());
+                }
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for BadHistoryActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BadHistoryActor({})", self.me)
+    }
+}
+
+/// A Byzantine Cheap Quorum leader: writes signed value `a` to the leader
+/// region on the first `split` memories and signed value `b` to the rest,
+/// hoping different followers adopt different values.
+pub struct CqEquivocatingLeader {
+    me: Pid,
+    mems: Vec<ActorId>,
+    split: usize,
+    a: Value,
+    b: Value,
+    signer: Signer,
+    client: MemoryClient<RegVal, Msg>,
+    ops: Vec<OpId>,
+}
+
+impl CqEquivocatingLeader {
+    /// Creates the adversary (it must be the configured leader to hold the
+    /// write permission).
+    pub fn new(
+        me: Pid,
+        mems: Vec<ActorId>,
+        split: usize,
+        a: Value,
+        b: Value,
+        signer: Signer,
+    ) -> CqEquivocatingLeader {
+        CqEquivocatingLeader { me, mems, split, a, b, signer, client: MemoryClient::new(), ops: Vec::new() }
+    }
+
+    fn signed(&self, v: Value) -> RegVal {
+        let sig = self.signer.sign(&(sigtags::CQ_VALUE, v));
+        RegVal::CqValue(CqSigned { value: v, leader_sig: sig, own_sig: sig })
+    }
+}
+
+impl Actor<Msg> for CqEquivocatingLeader {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                let (a, b) = (self.signed(self.a), self.signed(self.b));
+                for (i, mem) in self.mems.clone().into_iter().enumerate() {
+                    let val = if i < self.split { a.clone() } else { b.clone() };
+                    let op = self.client.write(
+                        ctx,
+                        mem,
+                        cheap_quorum::LEADER_REGION,
+                        cheap_quorum::VALUE_L,
+                        val,
+                    );
+                    self.ops.push(op);
+                }
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for CqEquivocatingLeader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CqEquivocatingLeader({})", self.me)
+    }
+}
+
+/// Broadcasts a legal first message, then a second message whose attached
+/// history **misrepresents the first** (claims it sent a different value).
+/// The trusted layer's actual-broadcast cross-check must reject message 2
+/// at every correct receiver, while message 1 stays usable.
+pub struct HistoryRewriter {
+    me: Pid,
+    mems: Vec<ActorId>,
+    /// The value actually broadcast at k=1.
+    pub real: Value,
+    /// The value the k=2 history pretends was sent at k=1.
+    pub fake: Value,
+    signer: Signer,
+    client: MemoryClient<RegVal, Msg>,
+}
+
+impl HistoryRewriter {
+    /// Creates the adversary.
+    pub fn new(
+        me: Pid,
+        mems: Vec<ActorId>,
+        real: Value,
+        fake: Value,
+        signer: Signer,
+    ) -> HistoryRewriter {
+        HistoryRewriter { me, mems, real, fake, signer, client: MemoryClient::new() }
+    }
+
+    fn broadcast(&mut self, ctx: &mut Context<'_, Msg>, k: u64, wire: TWire) {
+        let sig = self.signer.sign(&wire.sign_view(k));
+        let slot = RegVal::Neb(NebSlot { k, wire, sig });
+        let reg = nebcast::slot_reg(self.me, k, self.me);
+        let region = nebcast::row_region(self.me);
+        for mem in self.mems.clone() {
+            self.client.write(ctx, mem, region, reg, slot.clone());
+        }
+    }
+}
+
+impl Actor<Msg> for HistoryRewriter {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                // k=1: a perfectly legal Setup broadcast of `real`.
+                let first = TWire {
+                    dest: Dest::All,
+                    payload: RbPayload::Setup { value: self.real, evidence: Default::default() },
+                    history: Vec::new(),
+                };
+                self.broadcast(ctx, 1, first);
+                // k=2: a Paxos Prepare whose history claims the k=1 send
+                // carried `fake` instead of `real`.
+                let lying_history = vec![HistEntry::Sent {
+                    k: 1,
+                    dest: Dest::All,
+                    payload: RbPayload::Setup { value: self.fake, evidence: Default::default() },
+                }];
+                let second = TWire {
+                    dest: Dest::All,
+                    payload: RbPayload::Paxos(PaxosMsg::Prepare {
+                        b: Ballot { round: 1, pid: self.me },
+                    }),
+                    history: lying_history,
+                };
+                self.broadcast(ctx, 2, second);
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for HistoryRewriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HistoryRewriter({})", self.me)
+    }
+}
+
+/// Re-export used by tests that only need a type name.
+pub type Wire = MemWire<RegVal>;

@@ -1,0 +1,277 @@
+//! Non-equivocating broadcast (Algorithm 2 of the paper).
+//!
+//! The primitive that lets RDMA beat the `3·f_P + 1` Byzantine bound: a
+//! Byzantine process cannot deliver *different* values for the same sequence
+//! number to different correct processes.
+//!
+//! Layout: a 3-dimensional array of SWMR registers, `slots[p, k, q]`, all
+//! replicated over the `m` memories (see `swmr`). Per §7, each memory
+//! registers the whole array read-only for everyone (region [`ALL_REGION`])
+//! plus each process's row write-exclusive for that process (overlapping
+//! regions, exactly as RDMA protection domains allow).
+//!
+//! * `broadcast(k, m)`: `p` writes `sign((k, m))` into `slots[p, k, p]`.
+//! * `try_deliver(q)`: `p` (1) reads `slots[q, k, q]` — retrying later if
+//!   ⊥, badly signed, or mis-keyed; (2) copies the signed value into its own
+//!   audit slot `slots[p, k, q]`; (3) reads the whole `(k, q)` column (one
+//!   strided range read). If any *validly signed, same-key, different-value*
+//!   copy exists, `q` equivocated and delivery is withheld forever;
+//!   otherwise `p` delivers and advances `Last[q]`.
+//!
+//! Cost: the broadcast write is 2 delays; a delivery is read + copy + audit
+//! = **6 delays** — the footnote-2 figure that explains why Robust Backup
+//! alone cannot be 2-deciding, and why Cheap Quorum exists.
+//!
+//! The engine below is a sub-state-machine (like [`swmr::RepEngine`]):
+//! actors call [`NebEngine::poll`] periodically, feed every replication
+//! event through [`NebEngine::on_rep_event`], and drain deliveries.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rdma_sim::{MemoryClient, Permission, RegId, RegionId, RegionSpec};
+use sigsim::{SigVerifier, Signature, Signer};
+use simnet::Context;
+use swmr::{RepEngine, RepEvent, RepId, RepResult};
+
+use crate::trusted::TWire;
+use crate::types::{spaces, Msg, Pid, RegVal};
+
+/// Region id of process `p`'s writable row on each memory.
+pub fn row_region(p: Pid) -> RegionId {
+    RegionId(0x1000 + p.0)
+}
+
+/// Region id of the read-only whole-array region on each memory.
+pub const ALL_REGION: RegionId = RegionId(0x1FFF);
+
+/// The register `slots[i, k, q]`.
+pub fn slot_reg(i: Pid, k: u64, q: Pid) -> RegId {
+    RegId::new(spaces::NEB, i.0 as u64, k, q.0 as u64)
+}
+
+/// Declares the broadcast regions on a memory actor (row regions overlap
+/// the all-region, as §7's protection-domain construction does).
+pub fn configure_memory(mem: &mut rdma_sim::MemoryActor<RegVal, Msg>, procs: &[Pid]) {
+    for &p in procs {
+        mem.add_region(
+            row_region(p),
+            RegionSpec::row(spaces::NEB, p.0 as u64),
+            Permission::exclusive_writer(p),
+        );
+    }
+    mem.add_region(ALL_REGION, RegionSpec::Space(spaces::NEB), Permission::read_only());
+}
+
+/// A slot value: the signed `(k, wire)` pair written by a broadcaster (and
+/// copied verbatim by auditors).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NebSlot {
+    /// The sequence number.
+    pub k: u64,
+    /// The broadcast content.
+    pub wire: TWire,
+    /// The broadcaster's signature over [`TWire::sign_view`] at `k`.
+    pub sig: Signature,
+}
+
+/// A delivered broadcast.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// The broadcaster.
+    pub from: Pid,
+    /// Its sequence number.
+    pub k: u64,
+    /// The content.
+    pub wire: TWire,
+    /// The broadcaster's signature (evidence for trusted histories).
+    pub sig: Signature,
+}
+
+enum Attempt {
+    ReadSlot(RepId),
+    Copy { slot: NebSlot, rep: RepId },
+    Audit { slot: NebSlot, rep: RepId },
+}
+
+/// The non-equivocating broadcast state machine for one process.
+pub struct NebEngine {
+    me: Pid,
+    procs: Vec<Pid>,
+    signer: Signer,
+    verifier: SigVerifier,
+    rep: RepEngine<RegVal, Msg>,
+    next_k: u64,
+    last: BTreeMap<Pid, u64>,
+    attempts: BTreeMap<Pid, Attempt>,
+    /// Senders caught equivocating; no further deliveries are attempted.
+    blocked: BTreeMap<Pid, u64>,
+    deliveries: VecDeque<Delivery>,
+}
+
+impl std::fmt::Debug for NebEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NebEngine")
+            .field("me", &self.me)
+            .field("next_k", &self.next_k)
+            .field("last", &self.last)
+            .field("blocked", &self.blocked)
+            .finish()
+    }
+}
+
+impl NebEngine {
+    /// Creates the engine for process `me` over the given memories.
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        memories: Vec<simnet::ActorId>,
+        signer: Signer,
+        verifier: SigVerifier,
+    ) -> NebEngine {
+        let last = procs.iter().map(|&q| (q, 1)).collect();
+        NebEngine {
+            me,
+            procs,
+            signer,
+            verifier,
+            rep: RepEngine::new(memories),
+            next_k: 1,
+            last,
+            attempts: BTreeMap::new(),
+            blocked: BTreeMap::new(),
+            deliveries: VecDeque::new(),
+        }
+    }
+
+    /// The next sequence number this process will broadcast with.
+    pub fn next_k(&self) -> u64 {
+        self.next_k
+    }
+
+    /// Broadcasts `wire`, returning the sequence number used.
+    pub fn broadcast(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        wire: TWire,
+    ) -> u64 {
+        let k = self.next_k;
+        self.next_k += 1;
+        let sig = self.signer.sign(&wire.sign_view(k));
+        let slot = NebSlot { k, wire, sig };
+        self.rep.write(
+            ctx,
+            client,
+            row_region(self.me),
+            slot_reg(self.me, k, self.me),
+            RegVal::Neb(slot),
+        );
+        k
+    }
+
+    /// Starts a delivery attempt for every sender without one in flight.
+    /// Call periodically (this is Algorithm 2's outer `while true` loop,
+    /// paced by the caller's timer).
+    pub fn poll(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        for q in self.procs.clone() {
+            if self.attempts.contains_key(&q) || self.blocked.contains_key(&q) {
+                continue;
+            }
+            let k = self.last[&q];
+            let rep = self.rep.read(ctx, client, ALL_REGION, slot_reg(q, k, q));
+            self.attempts.insert(q, Attempt::ReadSlot(rep));
+        }
+    }
+
+    /// Whether `q` has been caught equivocating (at which sequence number).
+    pub fn blocked_at(&self, q: Pid) -> Option<u64> {
+        self.blocked.get(&q).copied()
+    }
+
+    /// Feeds a memory completion through the replication layer. Returns
+    /// true if the completion belonged to this engine (deliveries, if any,
+    /// are queued — drain with [`NebEngine::take_deliveries`]).
+    pub fn on_completion(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        completion: rdma_sim::Completion<RegVal>,
+    ) -> bool {
+        let Some(ev) = self.rep.on_completion(completion) else { return false };
+        self.on_rep_event(ctx, client, ev);
+        true
+    }
+
+    fn on_rep_event(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        ev: RepEvent<RegVal>,
+    ) {
+        // Find which sender's attempt this event advances.
+        let Some((&q, _)) = self.attempts.iter().find(|(_, a)| match a {
+            Attempt::ReadSlot(r) | Attempt::Copy { rep: r, .. } | Attempt::Audit { rep: r, .. } => {
+                *r == ev.id
+            }
+        }) else {
+            return;
+        };
+        let attempt = self.attempts.remove(&q).expect("found above");
+        let k = self.last[&q];
+        match (attempt, ev.result) {
+            (Attempt::ReadSlot(_), RepResult::ReadOk(Some(RegVal::Neb(slot)))) => {
+                // Step 1 checks: signed by q, keyed k.
+                if slot.k != k || !self.verifier.valid(q, &slot.wire.sign_view(slot.k), &slot.sig)
+                {
+                    return; // pretend we saw nothing; retry next poll
+                }
+                let rep = self.rep.write(
+                    ctx,
+                    client,
+                    row_region(self.me),
+                    slot_reg(self.me, k, q),
+                    RegVal::Neb(slot.clone()),
+                );
+                self.attempts.insert(q, Attempt::Copy { slot, rep });
+            }
+            (Attempt::ReadSlot(_), _) => {} // ⊥ / junk / failed: retry later
+            (Attempt::Copy { slot, .. }, RepResult::WriteOk) => {
+                let rep = self.rep.read_range(
+                    ctx,
+                    client,
+                    ALL_REGION,
+                    Some(RegionSpec::Pattern {
+                        space: spaces::NEB,
+                        a: None,
+                        b: Some(k),
+                        c: Some(q.0 as u64),
+                    }),
+                );
+                self.attempts.insert(q, Attempt::Audit { slot, rep });
+            }
+            (Attempt::Copy { .. }, _) => {} // copy failed: retry later
+            (Attempt::Audit { slot, .. }, RepResult::RangeOk(column)) => {
+                for (_, other) in column {
+                    let RegVal::Neb(other) = other else { continue };
+                    if other.k == k
+                        && other.wire != slot.wire
+                        && self.verifier.valid(q, &other.wire.sign_view(other.k), &other.sig)
+                    {
+                        // q signed two different messages for k: equivocation.
+                        ctx.note(format!("nebcast: {q} equivocated at k={k}"));
+                        self.blocked.insert(q, k);
+                        return;
+                    }
+                }
+                self.deliveries.push_back(Delivery { from: q, k, wire: slot.wire, sig: slot.sig });
+                *self.last.get_mut(&q).expect("known sender") += 1;
+            }
+            (Attempt::Audit { .. }, _) => {} // audit failed: retry later
+        }
+    }
+
+    /// Drains queued deliveries (in per-sender sequence order).
+    pub fn take_deliveries(&mut self) -> Vec<Delivery> {
+        self.deliveries.drain(..).collect()
+    }
+}

@@ -1,0 +1,455 @@
+//! Preferential Paxos (Algorithm 8, Lemma 4.7).
+//!
+//! The wrapper that makes Robust Backup composable with Cheap Quorum: a
+//! set-up phase in which every process T-sends its prioritized input, waits
+//! for `n − f` set-up messages, **adopts the highest-priority value seen**,
+//! and only then proposes to `RobustBackup(Paxos)`.
+//!
+//! Priorities follow Definition 3 and are *computed from evidence*, never
+//! trusted: a unanimity proof puts a value in class T, the Cheap Quorum
+//! leader's signature in class M, anything else in class B. Because at most
+//! `f` of the `n − f` collected set-ups can come from Byzantine processes,
+//! every correct process adopts one of the `f + 1` highest-priority inputs
+//! — which is exactly what the composition lemma (Lemma 4.8) needs.
+
+use rdma_sim::{Completion, MemoryClient};
+use sigsim::SigVerifier;
+use simnet::{Actor, ActorId, Context, Duration, EventKind, Time};
+
+use crate::cheap_quorum::AbortOutcome;
+use crate::robust_backup::RobustCore;
+use crate::trusted::SetupEvidence;
+use crate::types::{Msg, Pid, PriorityClass, RegVal, Value};
+
+/// The embeddable Preferential Paxos machinery.
+pub struct PrefCore {
+    rb: RobustCore,
+    procs: Vec<Pid>,
+    /// The Cheap Quorum leader (whose signature certifies class M).
+    cq_leader: Pid,
+    verifier: SigVerifier,
+    /// `n − f` — how many set-ups to await before adopting.
+    needed: usize,
+    sent_setup: bool,
+    proposed: bool,
+}
+
+impl std::fmt::Debug for PrefCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefCore")
+            .field("sent_setup", &self.sent_setup)
+            .field("proposed", &self.proposed)
+            .field("decision", &self.rb.decision())
+            .finish()
+    }
+}
+
+impl PrefCore {
+    /// Creates the machinery for process `me`. `backup_leader` seeds Ω for
+    /// the inner Paxos; `cq_leader` anchors class-M verification.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        memories: Vec<ActorId>,
+        backup_leader: Option<Pid>,
+        cq_leader: Pid,
+        signer: sigsim::Signer,
+        verifier: SigVerifier,
+    ) -> PrefCore {
+        let n = procs.len();
+        let f = (n - 1) / 2;
+        PrefCore {
+            rb: RobustCore::new(me, procs.clone(), memories, backup_leader, signer, verifier.clone()),
+            procs,
+            cq_leader,
+            verifier,
+            needed: n - f,
+            sent_setup: false,
+            proposed: false,
+        }
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<Value> {
+        self.rb.decision()
+    }
+
+    /// Whether the set-up value has been sent.
+    pub fn started(&self) -> bool {
+        self.sent_setup
+    }
+
+    /// Enters the protocol with a prioritized input (Algorithm 8 line 2).
+    pub fn start(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        value: Value,
+        evidence: SetupEvidence,
+    ) {
+        if self.sent_setup {
+            return;
+        }
+        self.sent_setup = true;
+        self.rb.send_setup(ctx, client, value, evidence);
+    }
+
+    /// Ω announcement for the inner Paxos.
+    pub fn set_leader(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        leader: Pid,
+    ) {
+        self.rb.set_leader(ctx, client, leader);
+    }
+
+    /// Retry hook for the inner Paxos.
+    pub fn poke(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        self.rb.poke(ctx, client);
+    }
+
+    /// Drives broadcast deliveries; adopts and proposes once `n − f`
+    /// set-ups are in.
+    pub fn poll(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        self.rb.poll(ctx, client);
+        self.maybe_adopt(ctx, client);
+    }
+
+    /// Routes a memory completion. Returns true if consumed.
+    pub fn on_completion(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        completion: Completion<RegVal>,
+    ) -> bool {
+        let consumed = self.rb.on_completion(ctx, client, completion);
+        if consumed {
+            self.maybe_adopt(ctx, client);
+        }
+        consumed
+    }
+
+    /// Algorithm 8 lines 3–5: wait for `n − f` set-ups, adopt the best.
+    fn maybe_adopt(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        if self.proposed || !self.sent_setup || self.rb.setups().len() < self.needed {
+            return;
+        }
+        let mut best: Option<(PriorityClass, Value)> = None;
+        for s in self.rb.setups() {
+            let outcome = AbortOutcome { value: s.value, evidence: s.evidence.clone() };
+            let class = outcome.class(&self.procs, self.cq_leader, &self.verifier);
+            let key = (class, s.value);
+            if best.map_or(true, |b| key > b) {
+                best = Some(key);
+            }
+        }
+        let (_, adopted) = best.expect("needed >= 1 setups collected");
+        self.proposed = true;
+        self.rb.propose(ctx, client, adopted);
+    }
+}
+
+const POLL_TAG: u64 = 30;
+const RETRY_TAG: u64 = 31;
+
+/// Standalone Preferential Paxos actor (used by the Lemma 4.7 tests; the
+/// Fast & Robust composition embeds [`PrefCore`] instead).
+#[derive(Debug)]
+pub struct PrefPaxosActor {
+    core: PrefCore,
+    input: Value,
+    evidence: SetupEvidence,
+    backup_leader: Option<Pid>,
+    client: MemoryClient<RegVal, Msg>,
+    poll_every: Duration,
+    retry_every: Duration,
+    /// When this process decided, if it has.
+    pub decided_at: Option<Time>,
+}
+
+impl PrefPaxosActor {
+    /// Creates the actor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        memories: Vec<ActorId>,
+        input: Value,
+        evidence: SetupEvidence,
+        backup_leader: Option<Pid>,
+        cq_leader: Pid,
+        signer: sigsim::Signer,
+        verifier: SigVerifier,
+        poll_every: Duration,
+        retry_every: Duration,
+    ) -> PrefPaxosActor {
+        PrefPaxosActor {
+            core: PrefCore::new(me, procs, memories, backup_leader, cq_leader, signer, verifier),
+            input,
+            evidence,
+            backup_leader,
+            client: MemoryClient::new(),
+            poll_every,
+            retry_every,
+            decided_at: None,
+        }
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<Value> {
+        self.core.decision()
+    }
+
+    fn check_decided(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.core.decision().is_some() && self.decided_at.is_none() {
+            self.decided_at = Some(ctx.now());
+            ctx.mark_decided();
+        }
+    }
+}
+
+impl Actor<Msg> for PrefPaxosActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                if let Some(l) = self.backup_leader {
+                    self.core.set_leader(ctx, &mut self.client, l);
+                }
+                let (input, evidence) = (self.input, self.evidence.clone());
+                self.core.start(ctx, &mut self.client, input, evidence);
+                self.core.poll(ctx, &mut self.client);
+                ctx.set_timer(self.poll_every, POLL_TAG);
+                ctx.set_timer(self.retry_every, RETRY_TAG);
+            }
+            EventKind::Timer { tag: POLL_TAG, .. } => {
+                if self.decided_at.is_none() {
+                    self.core.poll(ctx, &mut self.client);
+                    self.check_decided(ctx);
+                    ctx.set_timer(self.poll_every, POLL_TAG);
+                }
+            }
+            EventKind::Timer { tag: RETRY_TAG, .. } => {
+                if self.decided_at.is_none() {
+                    self.core.poke(ctx, &mut self.client);
+                    ctx.set_timer(self.retry_every, RETRY_TAG);
+                }
+            }
+            EventKind::Timer { .. } => {}
+            EventKind::LeaderChange { leader } => {
+                self.core.set_leader(ctx, &mut self.client, leader);
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                if let Some(c) = self.client.on_wire(ctx, from, wire) {
+                    self.core.on_completion(ctx, &mut self.client, c);
+                    self.check_decided(ctx);
+                }
+            }
+            EventKind::Msg { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheap_quorum::verify_unanimity;
+    use crate::nebcast;
+    use crate::types::{sigtags, UnanimityProof};
+    use rdma_sim::{LegalChange, MemoryActor};
+    use sigsim::SigAuthority;
+    use simnet::Simulation;
+
+    /// Builds PP with per-process (value, evidence) inputs.
+    fn build(
+        seed: u64,
+        inputs: Vec<(Value, SetupEvidence)>,
+        m: u32,
+    ) -> (Simulation<Msg>, Vec<Pid>) {
+        let n = inputs.len() as u32;
+        let mut sim = Simulation::new(seed);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let mut auth = SigAuthority::new(seed ^ 0x1234);
+        let signers: Vec<_> = procs.iter().map(|&p| auth.register(p)).collect();
+        for (i, (v, e)) in inputs.into_iter().enumerate() {
+            sim.add(PrefPaxosActor::new(
+                ActorId(i as u32),
+                procs.clone(),
+                mems.clone(),
+                v,
+                e,
+                Some(ActorId(0)),
+                ActorId(0),
+                signers[i].clone(),
+                auth.verifier(),
+                Duration::from_delays(1),
+                Duration::from_delays(80),
+            ));
+        }
+        for _ in 0..m {
+            let mut mem = MemoryActor::new(LegalChange::Static);
+            nebcast::configure_memory(&mut mem, &procs);
+            sim.add(mem);
+        }
+        (sim, procs)
+    }
+
+    fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
+        procs.iter().map(|&p| sim.actor_as::<PrefPaxosActor>(p).unwrap().decision()).collect()
+    }
+
+    #[test]
+    fn all_bare_inputs_agree_on_some_input() {
+        let inputs: Vec<_> =
+            (0..3).map(|i| (Value(100 + i), SetupEvidence::default())).collect();
+        let (mut sim, procs) = build(1, inputs, 3);
+        sim.run_until(Time::from_delays(600), |s| {
+            decisions(s, &procs).iter().all(|d| d.is_some())
+        });
+        let ds = decisions(&sim, &procs);
+        let v = ds[0].expect("decided");
+        assert!(ds.iter().all(|d| *d == Some(v)), "{ds:?}");
+        assert!((100..103).contains(&v.0));
+    }
+
+    #[test]
+    fn leader_signed_value_beats_bare_values() {
+        // Process 1 carries the (genuine) CQ leader's signature on its
+        // value; with f = 1, Lemma 4.7 says the decision must come from the
+        // top f+1 = 2 priority inputs — and only one input is class M, the
+        // other candidates are class B. Run several seeds: the decision is
+        // never a bare value when the signed one is in every quorum... the
+        // lemma's guarantee is membership in the top-2 set.
+        for seed in 0..5 {
+            let mut auth = SigAuthority::new(99);
+            let s0 = auth.register(ActorId(0)); // CQ leader signer
+            let _s1 = auth.register(ActorId(1));
+            let _s2 = auth.register(ActorId(2));
+            let signed = Value(7);
+            let evidence = SetupEvidence {
+                proof: None,
+                leader_sig: Some(s0.sign(&(sigtags::CQ_VALUE, signed))),
+            };
+            // Rebuild the same authority inside build(): instead, pass the
+            // evidence through a custom build that reuses this authority.
+            let mut sim = Simulation::new(seed);
+            let procs: Vec<Pid> = (0..3).map(ActorId).collect();
+            let mems: Vec<ActorId> = (3..6).map(ActorId).collect();
+            let signers = [s0.clone(), _s1.clone(), _s2.clone()];
+            for i in 0..3u32 {
+                let (v, e) = if i == 1 {
+                    (signed, evidence.clone())
+                } else {
+                    (Value(100 + i as u64), SetupEvidence::default())
+                };
+                sim.add(PrefPaxosActor::new(
+                    ActorId(i),
+                    procs.clone(),
+                    mems.clone(),
+                    v,
+                    e,
+                    Some(ActorId(0)),
+                    ActorId(0),
+                    signers[i as usize].clone(),
+                    auth.verifier(),
+                    Duration::from_delays(1),
+                    Duration::from_delays(80),
+                ));
+            }
+            for _ in 0..3 {
+                let mut mem = MemoryActor::new(LegalChange::Static);
+                nebcast::configure_memory(&mut mem, &procs);
+                sim.add(mem);
+            }
+            sim.run_until(Time::from_delays(800), |s| {
+                procs.iter().all(|&p| {
+                    s.actor_as::<PrefPaxosActor>(p).unwrap().decision().is_some()
+                })
+            });
+            let ds: Vec<_> = procs
+                .iter()
+                .map(|&p| sim.actor_as::<PrefPaxosActor>(p).unwrap().decision())
+                .collect();
+            let v = ds[0].expect("decided");
+            assert!(ds.iter().all(|d| *d == Some(v)), "seed {seed}: {ds:?}");
+            // Top-2 priority set = {signed (M), max bare}: the bare values
+            // are 100 and 102; top bare by (class,value) order is 102.
+            assert!(
+                v == signed || v == Value(102),
+                "seed {seed}: decided {v:?}, outside the top-(f+1) priority set"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_class_claims_are_downgraded() {
+        // A (Byzantine-ish) process attaches a *forged* unanimity proof to
+        // a junk value. Receivers must compute class B for it, so it cannot
+        // displace honestly-signed values from the top of the order...
+        let mut auth = SigAuthority::new(50);
+        let s0 = auth.register(ActorId(0));
+        let s1 = auth.register(ActorId(1));
+        let s2 = auth.register(ActorId(2));
+        let junk = Value(666);
+        let fake_proof = UnanimityProof {
+            value: junk,
+            shares: vec![
+                (ActorId(0), sigsim::Signature::forged(ActorId(0), 1)),
+                (ActorId(1), sigsim::Signature::forged(ActorId(1), 2)),
+                (ActorId(2), s2.sign(&(sigtags::CQ_VALUE, junk))),
+            ],
+            assembler: ActorId(2),
+            outer_sig: sigsim::Signature::forged(ActorId(2), 3),
+        };
+        assert!(!verify_unanimity(&fake_proof, &[ActorId(0), ActorId(1), ActorId(2)], &auth.verifier()));
+
+        let real = Value(7);
+        let m_evidence = SetupEvidence {
+            proof: None,
+            leader_sig: Some(s0.sign(&(sigtags::CQ_VALUE, real))),
+        };
+        let mut sim = Simulation::new(3);
+        let procs: Vec<Pid> = (0..3).map(ActorId).collect();
+        let mems: Vec<ActorId> = (3..6).map(ActorId).collect();
+        let signers = [s0, s1, s2];
+        for i in 0..3u32 {
+            let (v, e) = match i {
+                2 => (junk, SetupEvidence { proof: Some(fake_proof.clone()), leader_sig: None }),
+                _ => (real, m_evidence.clone()),
+            };
+            sim.add(PrefPaxosActor::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                v,
+                e,
+                Some(ActorId(0)),
+                ActorId(0),
+                signers[i as usize].clone(),
+                auth.verifier(),
+                Duration::from_delays(1),
+                Duration::from_delays(80),
+            ));
+        }
+        for _ in 0..3 {
+            let mut mem = MemoryActor::new(LegalChange::Static);
+            nebcast::configure_memory(&mut mem, &procs);
+            sim.add(mem);
+        }
+        sim.run_until(Time::from_delays(800), |s| {
+            procs.iter().all(|&p| s.actor_as::<PrefPaxosActor>(p).unwrap().decision().is_some())
+        });
+        let ds: Vec<_> = procs
+            .iter()
+            .map(|&p| sim.actor_as::<PrefPaxosActor>(p).unwrap().decision())
+            .collect();
+        // The forged proof is class B; the genuine class-M value must win
+        // any (class, value) comparison it appears in. Decision ∈ top-2 =
+        // {real (M, from two processes), junk (B)}: with two M entries, at
+        // least one M entry is in every n−f = 2 subset... the decision must
+        // be the real value.
+        assert!(ds.iter().all(|d| *d == Some(real)), "{ds:?}");
+    }
+}

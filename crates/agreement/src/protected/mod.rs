@@ -1,0 +1,481 @@
+//! Protected Memory Paxos (Algorithm 7, Theorem 5.1).
+//!
+//! The paper's headline crash-failure result: consensus with `n ≥ f_P + 1`
+//! processes and `m ≥ 2·f_M + 1` memories that decides in **two delays** in
+//! the common case — resilience of Disk Paxos at half its latency.
+//!
+//! The trick is the *uncontended instantaneous guarantee* from dynamic
+//! permissions: each memory has a single region writable by exactly one
+//! process at a time; a leader taking over first acquires exclusive write
+//! permission (revoking its predecessor's). A successful write therefore
+//! proves no other leader has taken over — the verification read that costs
+//! Disk Paxos two extra delays becomes unnecessary. The initial leader owns
+//! the permission from the start, so in the common case its single slot
+//! write (one parallel round trip to the memories) decides.
+//!
+//! The `legalChange` policy admits only the acquire-exclusive shape, and
+//! each memory grants write access to the *most recent* acquirer (Lemma
+//! D.3's premise).
+
+use std::collections::BTreeMap;
+
+use rdma_sim::{
+    LegalChange, MemResponse, MemoryActor, MemoryClient, Permission, RegId, RegionId, RegionSpec,
+};
+use simnet::{Actor, ActorId, Context, Duration, EventKind, Time};
+
+use crate::types::{spaces, Ballot, Instance, Msg, PaxSlot, Pid, RegVal, Value};
+
+/// The single per-memory region of Protected Memory Paxos.
+pub const REGION: RegionId = RegionId(0x5000);
+
+/// The slot of process `p` in `instance`.
+pub fn slot_reg(instance: Instance, p: Pid) -> RegId {
+    RegId::two(spaces::PMP, instance.0, p.0 as u64)
+}
+
+/// The `legalChange` policy: any process may acquire exclusive write
+/// permission (becoming the unique writer); nothing else is legal.
+pub fn legal_change(
+    requester: ActorId,
+    _region: RegionId,
+    _old: &Permission,
+    new: &Permission,
+) -> bool {
+    *new == Permission::exclusive_writer(requester)
+}
+
+/// Builds one Protected Memory Paxos memory with `initial_leader` owning
+/// the write permission.
+pub fn memory_actor(initial_leader: Pid) -> MemoryActor<RegVal, Msg> {
+    MemoryActor::new(LegalChange::Policy(legal_change)).with_region(
+        REGION,
+        RegionSpec::Space(spaces::PMP),
+        Permission::exclusive_writer(initial_leader),
+    )
+}
+
+const RETRY_TAG: u64 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StepKind {
+    Perm,
+    Write1,
+    Scan,
+    Write2,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemIter {
+    perm_ok: bool,
+    write1: Option<bool>,
+    slots: Option<Vec<PaxSlot>>,
+    write2: Option<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Idle,
+    One,
+    Two,
+}
+
+/// A Protected Memory Paxos process.
+#[derive(Debug)]
+pub struct ProtectedPaxosActor {
+    me: Pid,
+    procs: Vec<Pid>,
+    mems: Vec<ActorId>,
+    instance: Instance,
+    input: Value,
+    initial_leader: Pid,
+    /// Tolerated memory crashes (quorum is `m - f_M` completed iterations).
+    f_m: usize,
+    retry_every: Duration,
+    client: MemoryClient<RegVal, Msg>,
+    is_leader: bool,
+    used_initial: bool,
+    attempt: u64,
+    round: u64,
+    max_round_seen: u64,
+    ballot: Option<Ballot>,
+    phase: Phase,
+    value: Option<Value>,
+    iters: BTreeMap<ActorId, MemIter>,
+    op_map: BTreeMap<rdma_sim::OpId, (u64, ActorId, StepKind)>,
+    decided: Option<Value>,
+    /// When this process decided, if it has.
+    pub decided_at: Option<Time>,
+}
+
+impl ProtectedPaxosActor {
+    /// Creates a process. `f_m` is the assumed bound on memory crashes
+    /// (`mems.len() ≥ 2·f_m + 1` must hold).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        mems: Vec<ActorId>,
+        instance: Instance,
+        input: Value,
+        initial_leader: Pid,
+        f_m: usize,
+        retry_every: Duration,
+    ) -> ProtectedPaxosActor {
+        assert!(mems.len() >= 2 * f_m + 1, "m >= 2 f_M + 1 required");
+        ProtectedPaxosActor {
+            me,
+            procs,
+            mems,
+            instance,
+            input,
+            initial_leader,
+            f_m,
+            retry_every,
+            client: MemoryClient::new(),
+            is_leader: false,
+            used_initial: false,
+            attempt: 0,
+            round: 0,
+            max_round_seen: 0,
+            ballot: None,
+            phase: Phase::Idle,
+            value: None,
+            iters: BTreeMap::new(),
+            op_map: BTreeMap::new(),
+            decided: None,
+            decided_at: None,
+        }
+    }
+
+    /// This process's decision, if reached.
+    pub fn decision(&self) -> Option<Value> {
+        self.decided
+    }
+
+    fn quorum(&self) -> usize {
+        self.mems.len() - self.f_m
+    }
+
+    fn start_attempt(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.is_leader || self.decided.is_some() {
+            return;
+        }
+        self.attempt += 1;
+        self.iters.clear();
+        if self.me == self.initial_leader && !self.used_initial {
+            // Fast path: permission is pre-owned and ballot (0, me) is the
+            // lowest possible, so phase 1 is unnecessary — write and decide.
+            self.used_initial = true;
+            self.ballot = Some(Ballot::initial(self.me));
+            self.value = Some(self.input);
+            self.phase = Phase::Two;
+            self.send_phase2(ctx);
+            return;
+        }
+        self.round = self.round.max(self.max_round_seen) + 1;
+        let b = Ballot { round: self.round, pid: self.me };
+        self.ballot = Some(b);
+        self.phase = Phase::One;
+        let reg = slot_reg(self.instance, self.me);
+        for &mem in &self.mems.clone() {
+            self.iters.insert(mem, MemIter::default());
+            let p = self.client.change_perm(
+                ctx,
+                mem,
+                REGION,
+                Permission::exclusive_writer(self.me),
+            );
+            self.op_map.insert(p, (self.attempt, mem, StepKind::Perm));
+            let w =
+                self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase1(b)));
+            self.op_map.insert(w, (self.attempt, mem, StepKind::Write1));
+            let r = self.client.read_range(
+                ctx,
+                mem,
+                REGION,
+                Some(RegionSpec::Pattern {
+                    space: spaces::PMP,
+                    a: Some(self.instance.0),
+                    b: None,
+                    c: None,
+                }),
+            );
+            self.op_map.insert(r, (self.attempt, mem, StepKind::Scan));
+        }
+    }
+
+    fn send_phase2(&mut self, ctx: &mut Context<'_, Msg>) {
+        let b = self.ballot.expect("phase 2 without ballot");
+        let v = self.value.expect("phase 2 without value");
+        let reg = slot_reg(self.instance, self.me);
+        self.iters.clear();
+        for &mem in &self.mems.clone() {
+            self.iters.insert(mem, MemIter::default());
+            let w = self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase2(b, v)));
+            self.op_map.insert(w, (self.attempt, mem, StepKind::Write2));
+        }
+    }
+
+    fn abandon(&mut self) {
+        // Retry (with a higher ballot) happens on the next retry timer,
+        // provided Ω still nominates us.
+        self.phase = Phase::Idle;
+    }
+
+    fn phase1_step(&mut self, ctx: &mut Context<'_, Msg>) {
+        let complete: Vec<&MemIter> = self
+            .iters
+            .values()
+            .filter(|i| i.write1.is_some() && i.slots.is_some())
+            .collect();
+        if complete.len() < self.quorum() {
+            return;
+        }
+        let ballot = self.ballot.expect("phase 1 without ballot");
+        // "if (!write1Success[i] for some i) then continue"
+        if complete.iter().any(|i| i.write1 == Some(false)) {
+            self.abandon();
+            return;
+        }
+        let mut slots: Vec<PaxSlot> = Vec::new();
+        for it in &complete {
+            slots.extend(it.slots.as_ref().expect("filtered above").iter().copied());
+        }
+        for s in &slots {
+            self.max_round_seen = self.max_round_seen.max(s.min_prop.round);
+        }
+        // "if (localInfo[i,q].minProp > propNr for some i,q) continue"
+        if slots.iter().any(|s| s.min_prop > ballot) {
+            self.abandon();
+            return;
+        }
+        // Adopt the accepted value of the highest accProp, else our input.
+        let adopted = slots
+            .iter()
+            .filter_map(|s| s.acc_prop.map(|ap| (ap, s.value)))
+            .max_by_key(|(ap, _)| *ap)
+            .and_then(|(_, v)| v)
+            .unwrap_or(self.input);
+        self.value = Some(adopted);
+        self.phase = Phase::Two;
+        self.attempt += 1;
+        self.send_phase2(ctx);
+    }
+
+    fn phase2_step(&mut self, ctx: &mut Context<'_, Msg>) {
+        let complete: Vec<&MemIter> = self.iters.values().filter(|i| i.write2.is_some()).collect();
+        if complete.len() < self.quorum() {
+            return;
+        }
+        // "if !write2Success[j] for some j then continue"
+        if complete.iter().any(|i| i.write2 == Some(false)) {
+            self.abandon();
+            return;
+        }
+        let v = self.value.expect("phase 2 without value");
+        self.decided = Some(v);
+        self.decided_at = Some(ctx.now());
+        self.phase = Phase::Idle;
+        ctx.mark_decided();
+        for &q in &self.procs.clone() {
+            if q != self.me {
+                ctx.send(q, Msg::Decided { instance: self.instance, value: v });
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for ProtectedPaxosActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                self.is_leader = self.initial_leader == self.me;
+                if self.is_leader {
+                    self.start_attempt(ctx);
+                }
+                ctx.set_timer(self.retry_every, RETRY_TAG);
+            }
+            EventKind::Timer { tag: RETRY_TAG, .. } => {
+                if self.decided.is_none() {
+                    if self.is_leader && self.phase == Phase::Idle {
+                        self.start_attempt(ctx);
+                    }
+                    ctx.set_timer(self.retry_every, RETRY_TAG);
+                }
+            }
+            EventKind::Timer { .. } => {}
+            EventKind::LeaderChange { leader } => {
+                let was = self.is_leader;
+                self.is_leader = leader == self.me;
+                if self.is_leader && !was && self.phase == Phase::Idle {
+                    self.start_attempt(ctx);
+                }
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
+                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else { return };
+                if attempt != self.attempt || self.phase == Phase::Idle {
+                    return; // stale: belongs to an abandoned attempt
+                }
+                let Some(iter) = self.iters.get_mut(&mem) else { return };
+                match (step, c.resp) {
+                    (StepKind::Perm, MemResponse::PermAck) => iter.perm_ok = true,
+                    (StepKind::Perm, _) => iter.perm_ok = false,
+                    (StepKind::Write1, MemResponse::Ack) => iter.write1 = Some(true),
+                    (StepKind::Write1, _) => iter.write1 = Some(false),
+                    (StepKind::Scan, MemResponse::Range(rows)) => {
+                        iter.slots = Some(
+                            rows.into_iter()
+                                .filter_map(|(_, v)| match v {
+                                    RegVal::Slot(s) => Some(s),
+                                    _ => None,
+                                })
+                                .collect(),
+                        );
+                    }
+                    (StepKind::Scan, _) => iter.slots = Some(Vec::new()),
+                    (StepKind::Write2, MemResponse::Ack) => iter.write2 = Some(true),
+                    (StepKind::Write2, _) => iter.write2 = Some(false),
+                }
+                match self.phase {
+                    Phase::One => self.phase1_step(ctx),
+                    Phase::Two => self.phase2_step(ctx),
+                    Phase::Idle => {}
+                }
+            }
+            EventKind::Msg { msg: Msg::Decided { instance, value }, .. } => {
+                if instance == self.instance && self.decided.is_none() {
+                    self.decided = Some(value);
+                    self.decided_at = Some(ctx.now());
+                    ctx.mark_decided();
+                }
+            }
+            EventKind::Msg { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Simulation;
+
+    fn build(n: u32, m: u32, seed: u64) -> (Simulation<Msg>, Vec<Pid>, Vec<ActorId>) {
+        let mut sim = Simulation::new(seed);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        for i in 0..n {
+            sim.add(ProtectedPaxosActor::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                Instance(0),
+                Value(100 + i as u64),
+                ActorId(0),
+                (m as usize - 1) / 2,
+                Duration::from_delays(25),
+            ));
+        }
+        let added: Vec<ActorId> = (0..m).map(|_| sim.add(memory_actor(ActorId(0)))).collect();
+        assert_eq!(added, mems);
+        (sim, procs, mems)
+    }
+
+    fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<ProtectedPaxosActor>(p).unwrap().decision())
+            .collect()
+    }
+
+    #[test]
+    fn common_case_decides_in_two_delays() {
+        let (mut sim, procs, _) = build(3, 3, 1);
+        sim.run_to_quiescence(Time::from_delays(30));
+        let ds = decisions(&sim, &procs);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+        // One parallel slot write: 2 delays — the Theorem 5.1 headline.
+        assert_eq!(sim.metrics().first_decision_delays(), Some(2.0));
+    }
+
+    #[test]
+    fn single_survivor_decides_n_equals_f_plus_one() {
+        let (mut sim, procs, _) = build(3, 3, 2);
+        sim.crash_at(ActorId(1), Time::ZERO);
+        sim.crash_at(ActorId(2), Time::ZERO);
+        sim.run_to_quiescence(Time::from_delays(100));
+        assert_eq!(decisions(&sim, &procs)[0], Some(Value(100)));
+    }
+
+    #[test]
+    fn tolerates_minority_memory_crashes() {
+        let (mut sim, procs, mems) = build(2, 5, 3);
+        sim.crash_at(mems[0], Time::ZERO);
+        sim.crash_at(mems[2], Time::ZERO);
+        sim.run_to_quiescence(Time::from_delays(100));
+        let ds = decisions(&sim, &procs);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+    }
+
+    #[test]
+    fn majority_memory_crash_blocks_safely() {
+        let (mut sim, procs, mems) = build(2, 3, 4);
+        sim.crash_at(mems[0], Time::ZERO);
+        sim.crash_at(mems[1], Time::ZERO);
+        sim.run_to_quiescence(Time::from_delays(500));
+        assert_eq!(decisions(&sim, &procs), vec![None, None]);
+    }
+
+    #[test]
+    fn takeover_revokes_old_leader_and_preserves_value() {
+        // p0 decides at 2 delays; p1 takes over and must adopt p0's value.
+        let (mut sim, procs, _) = build(3, 3, 5);
+        sim.crash_at(ActorId(0), Time::from_delays(3));
+        sim.announce_leader(Time::from_delays(10), &procs, ActorId(1));
+        sim.run_to_quiescence(Time::from_delays(300));
+        let ds = decisions(&sim, &procs);
+        assert_eq!(ds[1], Some(Value(100)), "{ds:?}");
+        assert_eq!(ds[2], Some(Value(100)), "{ds:?}");
+    }
+
+    #[test]
+    fn takeover_before_initial_leader_writes_blocks_its_write() {
+        // p1 grabs permissions before p0 (the initial leader) gets its
+        // write out: p0's write naks and p0 must not decide its own value
+        // unless it re-runs and adopts.
+        let (mut sim, procs, _) = build(2, 3, 6);
+        // Delay p0's phase-2 writes by 50 delays.
+        sim.set_delay_hook(Box::new(|_, from, _, m| {
+            if from == ActorId(0) {
+                if let Msg::Mem(rdma_sim::MemWire::Req {
+                    req: rdma_sim::MemRequest::Write { .. },
+                    ..
+                }) = m
+                {
+                    return Some(Duration::from_delays(50));
+                }
+            }
+            None
+        }));
+        sim.announce_leader(Time::from_delays(5), &procs, ActorId(1));
+        sim.run_to_quiescence(Time::from_delays(1000));
+        let ds = decisions(&sim, &procs);
+        // Everyone agrees (p1's value wins; p0's blocked write naks).
+        assert!(ds.iter().all(|d| *d == Some(Value(101))), "{ds:?}");
+    }
+
+    #[test]
+    fn contending_leaders_stay_safe_many_seeds() {
+        for seed in 0..15 {
+            let (mut sim, procs, _) = build(3, 3, seed);
+            sim.announce_leader(Time::from_delays(1), &procs[1..2], ActorId(1));
+            sim.announce_leader(Time::from_delays(2), &procs[2..3], ActorId(2));
+            sim.announce_leader(Time::from_delays(80), &procs, ActorId(2));
+            sim.run_to_quiescence(Time::from_delays(2000));
+            let got: Vec<Value> = decisions(&sim, &procs).into_iter().flatten().collect();
+            assert!(!got.is_empty(), "seed {seed}: nobody decided");
+            assert!(got.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {got:?}");
+        }
+    }
+}

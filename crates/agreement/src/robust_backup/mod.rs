@@ -1,0 +1,399 @@
+//! Robust Backup (Definition 2, Theorems 4.2 / 4.4).
+//!
+//! `RobustBackup(A)`: take a message-passing consensus algorithm `A` that
+//! tolerates crash failures (here: single-decree Paxos), and replace every
+//! send/receive with T-send/T-receive over non-equivocating broadcast. The
+//! result solves **weak Byzantine agreement** with `n ≥ 2·f_P + 1`
+//! processes and `m ≥ 2·f_M + 1` memories — impossible for pure message
+//! passing, where even with signatures asynchronous Byzantine agreement
+//! needs `n ≥ 3·f_P + 1` [15].
+//!
+//! Everything here rides on the `trusted` layer; the Paxos engine runs with
+//! `trust_decide = false` (decisions only from self-observed `Accepted`
+//! quorums) and `broadcast_accepted = true` (everyone is a learner).
+//!
+//! [`RobustCore`] is embeddable (Fast & Robust drives it after a Cheap
+//! Quorum abort); [`RobustPaxosActor`] is the standalone actor used by the
+//! resilience experiments.
+
+use rdma_sim::{Completion, MemoryClient};
+use simnet::{Actor, ActorId, Context, Duration, EventKind, Time};
+
+use crate::nebcast::NebEngine;
+use crate::paxos::{Dest, PaxosConfig, PaxosEngine, PaxosMsg};
+use crate::trusted::{PaxosChecker, RbPayload, SetupEvidence, TrustedPeer};
+use crate::types::{Msg, Pid, RegVal, Value};
+
+/// A received set-up value (Preferential Paxos phase), with evidence.
+#[derive(Clone, Debug)]
+pub struct SetupMsg {
+    /// Who sent it.
+    pub from: Pid,
+    /// The value.
+    pub value: Value,
+    /// The attached evidence (validated by the consumer).
+    pub evidence: SetupEvidence,
+}
+
+/// The embeddable Robust Backup machinery: a Paxos engine speaking through
+/// a [`TrustedPeer`].
+pub struct RobustCore {
+    engine: PaxosEngine,
+    peer: TrustedPeer,
+    setups: Vec<SetupMsg>,
+}
+
+impl std::fmt::Debug for RobustCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobustCore")
+            .field("decision", &self.engine.decision())
+            .field("setups", &self.setups.len())
+            .finish()
+    }
+}
+
+impl RobustCore {
+    /// Creates the core for process `me`.
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        memories: Vec<ActorId>,
+        initial_leader: Option<Pid>,
+        signer: sigsim::Signer,
+        verifier: sigsim::SigVerifier,
+    ) -> RobustCore {
+        let engine = PaxosEngine::new(PaxosConfig {
+            me,
+            procs: procs.clone(),
+            initial_leader,
+            // A Byzantine process must not be able to announce a decision.
+            trust_decide: false,
+            // Everyone observes phase-2 quorums directly.
+            broadcast_accepted: true,
+        });
+        let neb = NebEngine::new(me, procs.clone(), memories, signer, verifier.clone());
+        let checker = PaxosChecker { procs, initial_leader };
+        let peer = TrustedPeer::new(me, verifier, checker, neb);
+        RobustCore { engine, peer, setups: Vec::new() }
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<Value> {
+        self.engine.decision()
+    }
+
+    /// Set-up messages received so far (Preferential Paxos phase).
+    pub fn setups(&self) -> &[SetupMsg] {
+        &self.setups
+    }
+
+    /// Senders caught cheating by the trusted layer.
+    pub fn distrusted_len(&self) -> usize {
+        self.peer.distrusted().len()
+    }
+
+    /// T-sends this process's set-up value (Algorithm 8 line 2).
+    pub fn send_setup(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        value: Value,
+        evidence: SetupEvidence,
+    ) {
+        self.peer.t_send(ctx, client, Dest::All, RbPayload::Setup { value, evidence });
+    }
+
+    /// Proposes a value to the wrapped Paxos instance.
+    pub fn propose(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        v: Value,
+    ) {
+        let mut out = Vec::new();
+        self.engine.propose(v, &mut out);
+        self.pump(ctx, client, out);
+    }
+
+    /// Feeds an Ω announcement.
+    pub fn set_leader(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        leader: Pid,
+    ) {
+        let mut out = Vec::new();
+        self.engine.set_leader(leader, &mut out);
+        self.pump(ctx, client, out);
+    }
+
+    /// Retry hook (arm on a timer).
+    pub fn poke(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        let mut out = Vec::new();
+        self.engine.poke(&mut out);
+        self.pump(ctx, client, out);
+    }
+
+    /// Drives broadcast delivery attempts (arm on a poll timer).
+    pub fn poll(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        self.peer.poll(ctx, client);
+        self.process_deliveries(ctx, client);
+    }
+
+    /// Routes a memory completion. Returns true if consumed.
+    pub fn on_completion(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        completion: Completion<RegVal>,
+    ) -> bool {
+        if !self.peer.on_completion(ctx, client, completion) {
+            return false;
+        }
+        self.process_deliveries(ctx, client);
+        true
+    }
+
+    fn process_deliveries(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+    ) {
+        for d in self.peer.drain() {
+            match d.payload {
+                RbPayload::Setup { value, evidence } => {
+                    self.setups.push(SetupMsg { from: d.from, value, evidence });
+                }
+                RbPayload::Paxos(m) => {
+                    let mut out = Vec::new();
+                    self.engine.on_msg(d.from, m, &mut out);
+                    self.pump(ctx, client, out);
+                }
+            }
+        }
+    }
+
+    fn pump(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        out: Vec<(Dest, PaxosMsg)>,
+    ) {
+        for (dest, msg) in out {
+            self.peer.t_send(ctx, client, dest, RbPayload::Paxos(msg));
+        }
+    }
+}
+
+const POLL_TAG: u64 = 10;
+const RETRY_TAG: u64 = 11;
+
+/// Standalone Robust Backup consensus actor (weak Byzantine agreement with
+/// `n ≥ 2·f_P + 1`).
+#[derive(Debug)]
+pub struct RobustPaxosActor {
+    core: RobustCore,
+    input: Value,
+    initial_leader: Option<Pid>,
+    client: MemoryClient<RegVal, Msg>,
+    poll_every: Duration,
+    retry_every: Duration,
+    /// When this process decided, if it has.
+    pub decided_at: Option<Time>,
+}
+
+impl RobustPaxosActor {
+    /// Creates the actor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        memories: Vec<ActorId>,
+        input: Value,
+        initial_leader: Option<Pid>,
+        signer: sigsim::Signer,
+        verifier: sigsim::SigVerifier,
+        poll_every: Duration,
+        retry_every: Duration,
+    ) -> RobustPaxosActor {
+        RobustPaxosActor {
+            core: RobustCore::new(me, procs, memories, initial_leader, signer, verifier),
+            input,
+            initial_leader,
+            client: MemoryClient::new(),
+            poll_every,
+            retry_every,
+            decided_at: None,
+        }
+    }
+
+    /// This process's decision, if reached.
+    pub fn decision(&self) -> Option<Value> {
+        self.core.decision()
+    }
+
+    fn check_decided(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.core.decision().is_some() && self.decided_at.is_none() {
+            self.decided_at = Some(ctx.now());
+            ctx.mark_decided();
+        }
+    }
+}
+
+impl Actor<Msg> for RobustPaxosActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                if let Some(l) = self.initial_leader {
+                    self.core.set_leader(ctx, &mut self.client, l);
+                }
+                let input = self.input;
+                self.core.propose(ctx, &mut self.client, input);
+                self.core.poll(ctx, &mut self.client);
+                ctx.set_timer(self.poll_every, POLL_TAG);
+                ctx.set_timer(self.retry_every, RETRY_TAG);
+            }
+            EventKind::Timer { tag: POLL_TAG, .. } => {
+                if self.decided_at.is_none() {
+                    self.core.poll(ctx, &mut self.client);
+                    self.check_decided(ctx);
+                    ctx.set_timer(self.poll_every, POLL_TAG);
+                }
+            }
+            EventKind::Timer { tag: RETRY_TAG, .. } => {
+                if self.decided_at.is_none() {
+                    self.core.poke(ctx, &mut self.client);
+                    ctx.set_timer(self.retry_every, RETRY_TAG);
+                }
+            }
+            EventKind::Timer { .. } => {}
+            EventKind::LeaderChange { leader } => {
+                self.core.set_leader(ctx, &mut self.client, leader);
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                if let Some(c) = self.client.on_wire(ctx, from, wire) {
+                    self.core.on_completion(ctx, &mut self.client, c);
+                    self.check_decided(ctx);
+                }
+            }
+            EventKind::Msg { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nebcast;
+    use rdma_sim::{LegalChange, MemoryActor};
+    use sigsim::SigAuthority;
+    use simnet::Simulation;
+
+    /// Builds n processes + m memories; returns (sim, procs, mems, auth).
+    fn build(
+        n: u32,
+        m: u32,
+        seed: u64,
+        skip: &[u32],
+    ) -> (Simulation<Msg>, Vec<Pid>, Vec<ActorId>, SigAuthority) {
+        let mut sim = Simulation::new(seed);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let mut auth = SigAuthority::new(seed ^ 0xABCD);
+        let signers: Vec<_> = procs.iter().map(|&p| auth.register(p)).collect();
+        for i in 0..n {
+            if skip.contains(&i) {
+                // Placeholder slot for an adversary added by the caller:
+                // a silent process.
+                sim.add(crate::adversary::SilentActor);
+                continue;
+            }
+            sim.add(RobustPaxosActor::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                Value(100 + i as u64),
+                Some(ActorId(0)),
+                signers[i as usize].clone(),
+                auth.verifier(),
+                Duration::from_delays(1),
+                Duration::from_delays(80),
+            ));
+        }
+        for _ in 0..m {
+            let mut mem = MemoryActor::new(LegalChange::Static);
+            nebcast::configure_memory(&mut mem, &procs);
+            sim.add(mem);
+        }
+        (sim, procs, mems, auth)
+    }
+
+    fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<RobustPaxosActor>(p).map(|a| a.decision()).flatten())
+            .collect()
+    }
+
+    #[test]
+    fn all_correct_decide_leader_value() {
+        let (mut sim, procs, _, _) = build(3, 3, 1, &[]);
+        let done = |s: &Simulation<Msg>| decisions(s, &procs).iter().all(|d| d.is_some());
+        sim.run_until(Time::from_delays(400), done);
+        let ds = decisions(&sim, &procs);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+        // The trusted path is slow: strictly more than 2 delays (nebcast
+        // costs ≥ 6 per hop — footnote 2 of the paper).
+        assert!(sim.metrics().first_decision_delays().unwrap() > 6.0);
+    }
+
+    #[test]
+    fn decides_with_f_silent_byzantine() {
+        // n = 3 = 2f+1 with f = 1 silent Byzantine process.
+        let (mut sim, procs, _, _) = build(3, 3, 2, &[2]);
+        let correct = [procs[0], procs[1]];
+        sim.run_until(Time::from_delays(600), |s| {
+            decisions(s, &correct).iter().all(|d| d.is_some())
+        });
+        let ds = decisions(&sim, &correct);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+    }
+
+    #[test]
+    fn tolerates_memory_crashes() {
+        let (mut sim, procs, mems, _) = build(3, 5, 3, &[]);
+        sim.crash_at(mems[0], Time::ZERO);
+        sim.crash_at(mems[3], Time::ZERO);
+        sim.run_until(Time::from_delays(600), |s| {
+            decisions(s, &procs).iter().all(|d| d.is_some())
+        });
+        let ds = decisions(&sim, &procs);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+    }
+
+    #[test]
+    fn leader_crash_then_takeover() {
+        let (mut sim, procs, _, _) = build(3, 3, 4, &[]);
+        sim.crash_at(ActorId(0), Time::from_delays(3));
+        sim.announce_leader(Time::from_delays(150), &procs, ActorId(1));
+        let tail = [procs[1], procs[2]];
+        sim.run_until(Time::from_delays(2500), |s| {
+            decisions(s, &tail).iter().all(|d| d.is_some())
+        });
+        let ds = decisions(&sim, &tail);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        assert_eq!(ds[0], ds[1]);
+    }
+
+    #[test]
+    fn five_processes_two_silent_byzantine() {
+        // n = 5 = 2f+1 with f = 2.
+        let (mut sim, procs, _, _) = build(5, 3, 5, &[3, 4]);
+        let correct = [procs[0], procs[1], procs[2]];
+        sim.run_until(Time::from_delays(900), |s| {
+            decisions(s, &correct).iter().all(|d| d.is_some())
+        });
+        let ds = decisions(&sim, &correct);
+        assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Shared vocabulary of the agreement protocols: process ids, values,
+//! ballots, register layouts and the unified simulation message type.
+
+use std::fmt;
+
+use rdma_sim::{MemEmbed, MemWire};
+use sigsim::Signature;
+use simnet::ActorId;
+
+/// A process identity (an actor id that the harness designated a process).
+pub type Pid = ActorId;
+
+/// A proposable value.
+///
+/// Protocols are agnostic to payload semantics, so a compact numeric id
+/// keeps simulations deterministic and cheap; applications (see the
+/// `replicated_log` example) map ids to real commands out of band.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u64);
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A Paxos-style ballot (proposal number), totally ordered with the owning
+/// process id as tie-breaker so two processes never share a ballot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ballot {
+    /// Monotone per-proposer round counter.
+    pub round: u64,
+    /// The proposer owning this ballot.
+    pub pid: Pid,
+}
+
+impl Ballot {
+    /// The initial ballot owned by the default leader, letting it skip
+    /// phase 1 ("the leader terminates one instance and becomes the default
+    /// leader in the next").
+    pub fn initial(leader: Pid) -> Ballot {
+        Ballot { round: 0, pid: leader }
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.pid.0)
+    }
+}
+
+/// A consensus instance id, for running many instances (state machine
+/// replication) over the same memories.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instance(pub u64);
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// Register namespaces (the `space` coordinate of [`rdma_sim::RegId`]).
+pub mod spaces {
+    /// Non-equivocating broadcast slots `slots[p, k, q]`.
+    pub const NEB: u16 = 1;
+    /// Cheap Quorum per-process registers (`b` picks Value/Panic/Proof).
+    pub const CQ: u16 = 2;
+    /// Cheap Quorum leader proposal register.
+    pub const CQ_LEADER: u16 = 3;
+    /// Protected Memory Paxos slots `slot[instance, p]`.
+    pub const PMP: u16 = 4;
+    /// Disk Paxos blocks `block[instance, p]`.
+    pub const DISK: u16 = 5;
+    /// Aligned Paxos memory slots `slot[instance, p]`.
+    pub const ALN: u16 = 6;
+    /// Lower-bound strawman flags `flag[p]`.
+    pub const LB: u16 = 7;
+}
+
+/// The slot record of Protected Memory Paxos and Aligned Paxos
+/// (Algorithm 7: `(minProp, accProp, value)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct PaxSlot {
+    /// Highest proposal number written in phase 1.
+    pub min_prop: Ballot,
+    /// Proposal number of the accepted value, if any.
+    pub acc_prop: Option<Ballot>,
+    /// The accepted value, if any.
+    pub value: Option<Value>,
+}
+
+impl PaxSlot {
+    /// A phase-1 slot: `{propNr, ⊥, ⊥}`.
+    pub fn phase1(prop: Ballot) -> PaxSlot {
+        PaxSlot { min_prop: prop, acc_prop: None, value: None }
+    }
+
+    /// A phase-2 slot: `{propNr, propNr, value}`.
+    pub fn phase2(prop: Ballot, value: Value) -> PaxSlot {
+        PaxSlot { min_prop: prop, acc_prop: Some(prop), value: Some(value) }
+    }
+}
+
+/// The block record of Disk Paxos (Gafni–Lamport): `(mbal, bal, inp)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct DiskBlock {
+    /// The ballot the process is currently trying.
+    pub mbal: Ballot,
+    /// The ballot at which `inp` was committed to, if any.
+    pub bal: Option<Ballot>,
+    /// The value carried, if any.
+    pub inp: Option<Value>,
+}
+
+/// A value signed for Cheap Quorum: carries the leader's signature (class-M
+/// evidence for Definition 3) and the copying process's own signature (one
+/// share of a unanimity proof).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct CqSigned {
+    /// The proposed value.
+    pub value: Value,
+    /// The leader's signature over `(CQ_VALUE_TAG, value)`.
+    pub leader_sig: Signature,
+    /// The writing process's signature over `(CQ_VALUE_TAG, value)`.
+    pub own_sig: Signature,
+}
+
+/// Domain-separation tags for signatures.
+pub mod sigtags {
+    /// Cheap Quorum value signatures.
+    pub const CQ_VALUE: u64 = 0xC0_01;
+    /// Cheap Quorum unanimity proof (outer signature).
+    pub const CQ_PROOF: u64 = 0xC0_02;
+    /// Non-equivocating broadcast slot signatures.
+    pub const NEB: u64 = 0xC0_03;
+}
+
+/// Definition 3's priority classes for the inputs Preferential Paxos
+/// receives after a Cheap Quorum abort. Higher is stronger:
+/// `Proven` (contains a correct unanimity proof) > `LeaderSigned` (carries
+/// the leader's signature) > `Bare` (everything else).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PriorityClass {
+    /// Set `B`: no evidence.
+    Bare = 0,
+    /// Set `M`: signed by the Cheap Quorum leader.
+    LeaderSigned = 1,
+    /// Set `T`: accompanied by a correct unanimity proof.
+    Proven = 2,
+}
+
+/// A Cheap Quorum unanimity proof: the same value signed by all `n`
+/// processes, assembled and counter-signed by one process (§4.2).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct UnanimityProof {
+    /// The unanimous value.
+    pub value: Value,
+    /// `(process, signature over (CQ_VALUE, value))` for every process.
+    pub shares: Vec<(Pid, Signature)>,
+    /// Who assembled the proof.
+    pub assembler: Pid,
+    /// The assembler's signature over `(CQ_PROOF, value, shares)`.
+    pub outer_sig: Signature,
+}
+
+/// Everything a register can hold across all protocols in this crate.
+///
+/// A register holds whatever its writer put there; readers pattern-match and
+/// treat unexpected variants the way they treat garbage from a Byzantine
+/// writer (ignore / nak-equivalent).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegVal {
+    /// A non-equivocating broadcast slot (signed `(k, body)`).
+    Neb(crate::nebcast::NebSlot),
+    /// A Cheap Quorum Value register.
+    CqValue(CqSigned),
+    /// A Cheap Quorum Panic register.
+    CqPanic(bool),
+    /// A Cheap Quorum Proof register.
+    CqProof(UnanimityProof),
+    /// A Protected Memory Paxos / Aligned Paxos slot.
+    Slot(PaxSlot),
+    /// A Disk Paxos block.
+    Disk(DiskBlock),
+    /// A lower-bound strawman flag.
+    LbFlag(Value),
+}
+
+/// The unified simulation message type for every protocol in this crate.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Memory wire protocol (requests/responses to [`rdma_sim::MemoryActor`]).
+    Mem(MemWire<RegVal>),
+    /// Message-passing Paxos (baseline).
+    Paxos(crate::paxos::PaxosMsg),
+    /// Fast Paxos (baseline).
+    FastPaxos(crate::fast_paxos::FpMsg),
+    /// Aligned Paxos process-acceptor traffic.
+    Aligned(crate::aligned::AlMsg),
+    /// Cheap Quorum panic relay ("Panic messages can be relayed using RDMA
+    /// message sends", §7).
+    Panic {
+        /// The panicking process.
+        who: Pid,
+    },
+    /// Decision dissemination so every correct process decides.
+    Decided {
+        /// Consensus instance.
+        instance: Instance,
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl MemEmbed<RegVal> for Msg {
+    fn from_wire(wire: MemWire<RegVal>) -> Self {
+        Msg::Mem(wire)
+    }
+    fn into_wire(self) -> Result<MemWire<RegVal>, Self> {
+        match self {
+            Msg::Mem(w) => Ok(w),
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_ordering() {
+        let p0 = ActorId(0);
+        let p1 = ActorId(1);
+        assert!(Ballot { round: 1, pid: p0 } > Ballot { round: 0, pid: p1 });
+        assert!(Ballot { round: 1, pid: p1 } > Ballot { round: 1, pid: p0 });
+        assert_eq!(Ballot::initial(p0), Ballot { round: 0, pid: p0 });
+    }
+
+    #[test]
+    fn slot_constructors() {
+        let b = Ballot { round: 3, pid: ActorId(1) };
+        let s1 = PaxSlot::phase1(b);
+        assert_eq!(s1.acc_prop, None);
+        let s2 = PaxSlot::phase2(b, Value(9));
+        assert_eq!(s2.acc_prop, Some(b));
+        assert_eq!(s2.value, Some(Value(9)));
+    }
+
+    #[test]
+    fn msg_wire_embedding() {
+        let wire: MemWire<RegVal> = MemWire::Resp {
+            op: rdma_sim::OpId(1),
+            resp: rdma_sim::MemResponse::Ack,
+        };
+        let msg = Msg::from_wire(wire.clone());
+        match msg.into_wire() {
+            Ok(w) => assert_eq!(w, wire),
+            Err(_) => panic!("round trip failed"),
+        }
+        let non_wire = Msg::Panic { who: ActorId(0) };
+        assert!(non_wire.into_wire().is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment E4 — §5.2: Aligned Paxos is live iff a majority of the
+//! combined agent set (processes + memories) survives. Prints the full
+//! failure grid with the theoretical boundary marked.
+
+use bench::{section, tick};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agreement::aligned::MemoryMode;
+use agreement::harness::{run_aligned, Scenario};
+
+fn print_grid(n: usize, m: usize) {
+    let majority = (n + m) / 2 + 1;
+    section(&format!(
+        "E4: Aligned Paxos failure grid — n={n} procs + m={m} mems (majority {majority})"
+    ));
+    println!("rows: dead processes (leader kept alive); cols: dead memories");
+    print!("{:>8}", "");
+    for dm in 0..=m {
+        print!("{dm:>8}");
+    }
+    println!();
+    for dp in 0..n {
+        print!("{dp:>8}");
+        for dm in 0..=m {
+            let alive = n + m - dp - dm;
+            let mut s = Scenario::common_case(n, m, (dp * 13 + dm) as u64);
+            s.crash_procs = (1..=dp).map(|i| (i, 0)).collect();
+            s.crash_mems = (0..dm).map(|j| (j, 0)).collect();
+            s.max_delays = 2_000;
+            let r = run_aligned(&s, MemoryMode::DiskStyle);
+            let expect = alive >= majority;
+            let got = r.all_decided;
+            let cell = match (expect, got) {
+                (true, true) => "live",
+                (false, false) => "block",
+                _ => "?!",
+            };
+            assert!(r.agreement, "safety violated at dp={dp} dm={dm}");
+            assert_eq!(expect, got, "boundary mismatch at dp={dp} dm={dm}");
+            print!("{cell:>8}");
+        }
+        println!();
+    }
+    println!("expected boundary: alive agents >= {majority} ⇔ live — {}", tick(true));
+}
+
+fn bench(c: &mut Criterion) {
+    print_grid(3, 2);
+    print_grid(2, 5);
+    let mut g = c.benchmark_group("aligned");
+    g.sample_size(10);
+    g.bench_function("common_case_n3_m2", |b| {
+        b.iter(|| run_aligned(&Scenario::common_case(3, 2, 1), MemoryMode::DiskStyle))
+    });
+    g.bench_function("mixed_failures_n3_m2", |b| {
+        b.iter(|| {
+            let mut s = Scenario::common_case(3, 2, 2);
+            s.crash_procs = vec![(2, 0)];
+            s.crash_mems = vec![(1, 0)];
+            s.max_delays = 2_000;
+            run_aligned(&s, MemoryMode::DiskStyle)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment E3 — Theorem 5.1's resilience: Protected Memory Paxos keeps
+//! deciding in 2 delays with `n = f_P + 1` processes (kill all but one)
+//! and `m = 2·f_M + 1` memories (kill a minority), while the message-
+//! passing baseline needs a process majority.
+
+use bench::{fmt_delay, section, tick};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agreement::harness::{run_mp_paxos, run_protected, Scenario};
+
+fn print_table() {
+    section("E3: crash resilience sweep (n processes, dead = crashed at t=0)");
+    println!(
+        "{:<26} {:>4} {:>6} {:>6} {:>12} {:>8}",
+        "protocol", "n", "dead_p", "dead_m", "all decided", "delays"
+    );
+    for n in [2usize, 3, 5] {
+        for dead_p in 0..n {
+            let mut s = Scenario::common_case(n, 5, 5);
+            s.crash_procs = (1..=dead_p).map(|i| (i, 0)).collect();
+            s.crash_mems = vec![(0, 0), (2, 0)];
+            s.max_delays = 2_000;
+            let r = run_protected(&s);
+            println!(
+                "{:<26} {:>4} {:>6} {:>6} {:>12} {:>8}",
+                "Protected Memory Paxos",
+                n,
+                dead_p,
+                2,
+                tick(r.all_decided),
+                fmt_delay(r.first_decision_delays)
+            );
+        }
+    }
+    // The contrast: MP Paxos dies at a process minority.
+    for dead_p in [1usize, 2, 3] {
+        let mut s = Scenario::common_case(5, 0, 6);
+        s.crash_procs = (1..=dead_p).map(|i| (i, 0)).collect();
+        s.max_delays = 1_200;
+        let r = run_mp_paxos(&s);
+        println!(
+            "{:<26} {:>4} {:>6} {:>6} {:>12} {:>8}",
+            "Paxos (messages)",
+            5,
+            dead_p,
+            0,
+            tick(r.all_decided),
+            fmt_delay(r.first_decision_delays)
+        );
+    }
+    println!("\npaper: PMP lives with a single surviving process (n >= f_P + 1);");
+    println!("message passing needs n >= 2 f_P + 1.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("crash_recovery");
+    g.sample_size(10);
+    for crash_at in [0u64, 3] {
+        g.bench_with_input(
+            BenchmarkId::new("pmp_leader_crash_takeover", crash_at),
+            &crash_at,
+            |b, &t| {
+                b.iter(|| {
+                    let mut s = Scenario::common_case(3, 3, 7);
+                    s.crash_procs = vec![(0, t)];
+                    s.announce = vec![(15, 1)];
+                    s.max_delays = 4_000;
+                    run_protected(&s)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Experiment E2 — the headline figure: common-case decision latency (in
+//! the paper's network-delay metric) for every protocol, as a series over
+//! cluster size. The *shape* to reproduce: Protected Memory Paxos, Cheap
+//! Quorum / Fast & Robust, Fast Paxos and leader-Paxos sit at 2 delays;
+//! Disk Paxos at 4; Robust Backup pays ≥6 per broadcast hop and grows
+//! with n (history verification traffic).
+//!
+//! Criterion additionally records the wall-clock cost of simulating each
+//! protocol's common case (E10's companion metric).
+
+use bench::{fmt_delay, section};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agreement::aligned::MemoryMode;
+use agreement::harness::{
+    run_aligned, run_disk_paxos, run_fast_paxos, run_fast_robust, run_mp_paxos, run_protected,
+    run_robust_backup, Scenario,
+};
+
+fn print_table() {
+    section("E2: common-case decision delays (network-delay metric)");
+    println!(
+        "{:<26} {:>6} {:>6} {:>6} {:>6}",
+        "protocol", "n=3", "n=5", "n=7", "n=9"
+    );
+    let ns = [3usize, 5, 7, 9];
+    let cell = |f: &dyn Fn(usize) -> Option<f64>| {
+        ns.iter().map(|&n| format!("{:>6}", fmt_delay(f(n)))).collect::<Vec<_>>().join(" ")
+    };
+    println!(
+        "{:<26} {}",
+        "Paxos (leader)",
+        cell(&|n| run_mp_paxos(&Scenario::common_case(n, 3, 1)).first_decision_delays)
+    );
+    println!(
+        "{:<26} {}",
+        "Fast Paxos",
+        cell(&|n| run_fast_paxos(&Scenario::common_case(n, 3, 1), 1).first_decision_delays)
+    );
+    println!(
+        "{:<26} {}",
+        "Disk Paxos",
+        cell(&|n| run_disk_paxos(&Scenario::common_case(n, 3, 1)).first_decision_delays)
+    );
+    println!(
+        "{:<26} {}",
+        "Protected Memory Paxos",
+        cell(&|n| run_protected(&Scenario::common_case(n, 3, 1)).first_decision_delays)
+    );
+    println!(
+        "{:<26} {}",
+        "Aligned Paxos (disk mode)",
+        cell(&|n| {
+            run_aligned(&Scenario::common_case(n, 3, 1), MemoryMode::DiskStyle)
+                .first_decision_delays
+        })
+    );
+    println!(
+        "{:<26} {}",
+        "Aligned Paxos (perm mode)",
+        cell(&|n| {
+            run_aligned(&Scenario::common_case(n, 3, 1), MemoryMode::Protected)
+                .first_decision_delays
+        })
+    );
+    println!(
+        "{:<26} {}",
+        "Fast & Robust",
+        cell(&|n| run_fast_robust(&Scenario::common_case(n, 3, 1), 60).0.first_decision_delays)
+    );
+    println!(
+        "{:<26} {}",
+        "Robust Backup (slow path)",
+        cell(&|n| run_robust_backup(&Scenario::common_case(n, 3, 1)).0.first_decision_delays)
+    );
+    println!("\npaper: PMP/F&R/FastPaxos = 2; Disk Paxos >= 4; nebcast hop >= 6");
+
+    section("E2 ablation: dynamic permissions vs verification read (m sweep)");
+    println!("{:<10} {:>14} {:>12}", "memories", "PMP (delays)", "Disk (delays)");
+    for m in [3usize, 5, 7] {
+        let s = Scenario::common_case(3, m, 1);
+        println!(
+            "{:<10} {:>14} {:>12}",
+            m,
+            fmt_delay(run_protected(&s).first_decision_delays),
+            fmt_delay(run_disk_paxos(&s).first_decision_delays),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("common_case_sim");
+    g.sample_size(20);
+    for n in [3usize, 5, 7] {
+        g.bench_with_input(BenchmarkId::new("protected", n), &n, |b, &n| {
+            b.iter(|| run_protected(&Scenario::common_case(n, 3, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("disk_paxos", n), &n, |b, &n| {
+            b.iter(|| run_disk_paxos(&Scenario::common_case(n, 3, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("mp_paxos", n), &n, |b, &n| {
+            b.iter(|| run_mp_paxos(&Scenario::common_case(n, 3, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("fast_robust", n), &n, |b, &n| {
+            b.iter(|| run_fast_robust(&Scenario::common_case(n, 3, 1), 60))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

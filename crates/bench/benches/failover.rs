@@ -1,0 +1,65 @@
+//! Experiment E7 — the composition under fire (Figure 6): recovery latency
+//! of Fast & Robust as a function of when the leader crashes, and the
+//! share of runs that decide via the fast path vs the backup.
+
+use bench::{fmt_delay, section};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agreement::harness::{run_fast_robust, Scenario};
+
+fn run(crash_at: Option<u64>, timeout: u64, seed: u64) -> agreement::harness::RunReport {
+    let mut s = Scenario::common_case(3, 3, seed);
+    if let Some(t) = crash_at {
+        s.crash_procs = vec![(0, t)];
+        s.announce = vec![(60, 1)];
+    }
+    s.max_delays = 60_000;
+    run_fast_robust(&s, timeout).0
+}
+
+fn print_table() {
+    section("E7: Fast & Robust failover — decision latency vs leader crash time");
+    println!("timeout = 15 delays; Ω re-elects at t=60\n");
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "leader crash", "1st decision", "all decided", "agreement"
+    );
+    let r = run(None, 15, 1);
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "never",
+        fmt_delay(r.first_decision_delays),
+        r.all_decided,
+        r.agreement
+    );
+    for crash_at in [0u64, 1, 2, 3, 5, 8] {
+        let r = run(Some(crash_at), 15, 1);
+        println!(
+            "{:<14} {:>14} {:>12} {:>10}",
+            format!("t={crash_at}"),
+            fmt_delay(r.first_decision_delays),
+            r.all_decided,
+            r.agreement
+        );
+        assert!(r.agreement);
+    }
+    println!("\nshape: crash after the leader's write (t >= 2) leaves a 2-delay fast");
+    println!("decision in place; earlier crashes push everyone through panic +");
+    println!("Preferential Paxos, costing timeout + backup rounds.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10);
+    g.bench_function("no_failure", |b| b.iter(|| run(None, 15, 1)));
+    for crash_at in [0u64, 3] {
+        g.bench_with_input(BenchmarkId::new("leader_crash", crash_at), &crash_at, |b, &t| {
+            b.iter(|| run(Some(t), 15, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

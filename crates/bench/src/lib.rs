@@ -1,0 +1,28 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each bench target regenerates one of the paper's tables/figures (see
+//! DESIGN.md §4, experiments E1–E10): it *prints* the paper-style table
+//! (virtual-time delay metrics, resilience outcomes, signature counts) and
+//! registers Criterion wall-clock measurements for the simulation runs.
+
+/// Prints a section header in the bench output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats an `Option<f64>` delay for table cells.
+pub fn fmt_delay(d: Option<f64>) -> String {
+    match d {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a boolean for table cells.
+pub fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

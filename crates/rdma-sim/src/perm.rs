@@ -1,0 +1,192 @@
+//! Permissions: who may read, write, or read-write a memory region.
+//!
+//! Per §3 of the paper, each memory region `mr` carries three disjoint sets
+//! of processes `R_mr`, `W_mr`, `RW_mr`. A process has *read permission* if
+//! it is in `R ∪ RW` and *write permission* if it is in `W ∪ RW`. Permission
+//! changes go through `changePermission`, which the memory subjects to the
+//! algorithm's `legalChange` predicate — the small trusted component that
+//! lets the algorithms confine Byzantine processes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use simnet::ActorId;
+
+use crate::region::RegionId;
+
+/// A (possibly co-infinite) set of processes, used for permission sets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PermSet {
+    /// The empty set.
+    Nobody,
+    /// Every process.
+    Everybody,
+    /// Exactly these processes.
+    Only(BTreeSet<ActorId>),
+    /// Every process except these.
+    AllBut(BTreeSet<ActorId>),
+}
+
+impl PermSet {
+    /// Builds [`PermSet::Only`] from an iterator of ids.
+    pub fn only<I: IntoIterator<Item = ActorId>>(ids: I) -> PermSet {
+        PermSet::Only(ids.into_iter().collect())
+    }
+
+    /// Builds [`PermSet::AllBut`] from an iterator of ids.
+    pub fn all_but<I: IntoIterator<Item = ActorId>>(ids: I) -> PermSet {
+        PermSet::AllBut(ids.into_iter().collect())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: ActorId) -> bool {
+        match self {
+            PermSet::Nobody => false,
+            PermSet::Everybody => true,
+            PermSet::Only(s) => s.contains(&p),
+            PermSet::AllBut(s) => !s.contains(&p),
+        }
+    }
+}
+
+/// The permission triple of one memory region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Permission {
+    /// Processes allowed to read only.
+    pub read: PermSet,
+    /// Processes allowed to write only.
+    pub write: PermSet,
+    /// Processes allowed to both read and write.
+    pub rw: PermSet,
+}
+
+impl Permission {
+    /// `R = Π \ {writer}, W = ∅, RW = {writer}` — the paper's Single-Writer
+    /// Multi-Reader region shape (also the initial shape of Protected Memory
+    /// Paxos regions, with the writer being the initial leader).
+    pub fn exclusive_writer(writer: ActorId) -> Permission {
+        Permission {
+            read: PermSet::all_but([writer]),
+            write: PermSet::Nobody,
+            rw: PermSet::only([writer]),
+        }
+    }
+
+    /// Everyone may read, nobody may write.
+    pub fn read_only() -> Permission {
+        Permission { read: PermSet::Everybody, write: PermSet::Nobody, rw: PermSet::Nobody }
+    }
+
+    /// Everyone may read and write (the Disk Paxos disk model: "each memory
+    /// has a single region which always permits all processes to read and
+    /// write all registers").
+    pub fn open() -> Permission {
+        Permission { read: PermSet::Nobody, write: PermSet::Nobody, rw: PermSet::Everybody }
+    }
+
+    /// Whether `p` may read under this permission (`p ∈ R ∪ RW`).
+    pub fn allows_read(&self, p: ActorId) -> bool {
+        self.read.contains(p) || self.rw.contains(p)
+    }
+
+    /// Whether `p` may write under this permission (`p ∈ W ∪ RW`).
+    pub fn allows_write(&self, p: ActorId) -> bool {
+        self.write.contains(p) || self.rw.contains(p)
+    }
+}
+
+/// Signature of a `legalChange` predicate: may `requester` change `region`'s
+/// permission from `old` to `new`?
+pub type LegalChangeFn =
+    fn(requester: ActorId, region: RegionId, old: &Permission, new: &Permission) -> bool;
+
+/// The algorithm-supplied policy deciding which permission changes the
+/// memory accepts (§3, "Permission change").
+#[derive(Clone, Copy)]
+pub enum LegalChange {
+    /// `legalChange` always returns false: **static permissions**.
+    Static,
+    /// `legalChange` always returns true (crash-failure algorithms, where
+    /// permissions are a performance device rather than a defence).
+    AnyChange,
+    /// A custom predicate (e.g. Cheap Quorum permits only revoking the
+    /// leader's write permission on the leader region).
+    Policy(LegalChangeFn),
+}
+
+impl LegalChange {
+    /// Evaluates the policy.
+    pub fn allows(
+        &self,
+        requester: ActorId,
+        region: RegionId,
+        old: &Permission,
+        new: &Permission,
+    ) -> bool {
+        match self {
+            LegalChange::Static => false,
+            LegalChange::AnyChange => true,
+            LegalChange::Policy(f) => f(requester, region, old, new),
+        }
+    }
+}
+
+impl fmt::Debug for LegalChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalChange::Static => write!(f, "LegalChange::Static"),
+            LegalChange::AnyChange => write!(f, "LegalChange::AnyChange"),
+            LegalChange::Policy(_) => write!(f, "LegalChange::Policy(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ActorId = ActorId(0);
+    const P1: ActorId = ActorId(1);
+    const P2: ActorId = ActorId(2);
+
+    #[test]
+    fn permset_membership() {
+        assert!(!PermSet::Nobody.contains(P0));
+        assert!(PermSet::Everybody.contains(P0));
+        assert!(PermSet::only([P1]).contains(P1));
+        assert!(!PermSet::only([P1]).contains(P2));
+        assert!(PermSet::all_but([P1]).contains(P2));
+        assert!(!PermSet::all_but([P1]).contains(P1));
+    }
+
+    #[test]
+    fn exclusive_writer_shape() {
+        let p = Permission::exclusive_writer(P1);
+        assert!(p.allows_write(P1));
+        assert!(p.allows_read(P1));
+        assert!(!p.allows_write(P0));
+        assert!(p.allows_read(P0));
+    }
+
+    #[test]
+    fn read_only_and_open() {
+        let ro = Permission::read_only();
+        assert!(ro.allows_read(P0) && !ro.allows_write(P0));
+        let open = Permission::open();
+        assert!(open.allows_read(P2) && open.allows_write(P2));
+    }
+
+    #[test]
+    fn legal_change_policies() {
+        let old = Permission::exclusive_writer(P0);
+        let new = Permission::read_only();
+        assert!(!LegalChange::Static.allows(P1, RegionId(0), &old, &new));
+        assert!(LegalChange::AnyChange.allows(P1, RegionId(0), &old, &new));
+        fn only_p2(r: ActorId, _: RegionId, _: &Permission, _: &Permission) -> bool {
+            r == ActorId(2)
+        }
+        let pol = LegalChange::Policy(only_p2);
+        assert!(!pol.allows(P1, RegionId(0), &old, &new));
+        assert!(pol.allows(P2, RegionId(0), &old, &new));
+    }
+}

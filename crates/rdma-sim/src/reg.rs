@@ -1,0 +1,72 @@
+//! Register identifiers.
+//!
+//! The paper's memories hold *registers*, grouped into *memory regions*. The
+//! protocols index registers along up to three dimensions (e.g. the
+//! non-equivocating broadcast slots `slots[p, k, q]`), so a register id is a
+//! namespace plus three coordinates.
+
+use std::fmt;
+
+/// Identifies one register within a memory.
+///
+/// `space` is a protocol-chosen namespace constant; `a`, `b`, `c` are
+/// protocol-defined coordinates (unused ones are zero by convention).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId {
+    /// Protocol namespace (e.g. "non-equivocating broadcast slots").
+    pub space: u16,
+    /// First coordinate.
+    pub a: u64,
+    /// Second coordinate.
+    pub b: u64,
+    /// Third coordinate.
+    pub c: u64,
+}
+
+impl RegId {
+    /// A register addressed by namespace and three coordinates.
+    pub fn new(space: u16, a: u64, b: u64, c: u64) -> RegId {
+        RegId { space, a, b, c }
+    }
+
+    /// A singleton register in `space` (all coordinates zero).
+    pub fn scalar(space: u16) -> RegId {
+        RegId::new(space, 0, 0, 0)
+    }
+
+    /// A register addressed by one coordinate.
+    pub fn one(space: u16, a: u64) -> RegId {
+        RegId::new(space, a, 0, 0)
+    }
+
+    /// A register addressed by two coordinates.
+    pub fn two(space: u16, a: u64, b: u64) -> RegId {
+        RegId::new(space, a, b, 0)
+    }
+}
+
+impl fmt::Debug for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}[{},{},{}]", self.space, self.a, self.b, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RegId::scalar(3), RegId::new(3, 0, 0, 0));
+        assert_eq!(RegId::one(3, 7), RegId::new(3, 7, 0, 0));
+        assert_eq!(RegId::two(3, 7, 9), RegId::new(3, 7, 9, 0));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![RegId::one(1, 2), RegId::one(1, 1), RegId::scalar(0)];
+        v.sort();
+        assert_eq!(v[0], RegId::scalar(0));
+        assert_eq!(v[1], RegId::one(1, 1));
+    }
+}

@@ -1,0 +1,162 @@
+//! The wire protocol between processes and memories.
+//!
+//! A memory operation is a request/response round trip — two network delays,
+//! matching the paper's cost model ("a memory operation takes two delays
+//! because its hardware implementation requires a round trip"). Requests and
+//! responses travel as ordinary simulation messages; protocols embed them in
+//! their own message enums through [`MemEmbed`].
+
+use std::fmt;
+
+use crate::perm::Permission;
+use crate::reg::RegId;
+use crate::region::RegionId;
+
+/// Correlates a memory response with its request. Unique per client.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A memory operation request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemRequest<V> {
+    /// `read(mr, r)` — returns the register value if the caller has read
+    /// permission on `region` and `reg ∈ region`.
+    Read {
+        /// Region through which access is claimed.
+        region: RegionId,
+        /// Register to read.
+        reg: RegId,
+    },
+    /// `write(mr, r, v)`.
+    Write {
+        /// Region through which access is claimed.
+        region: RegionId,
+        /// Register to write.
+        reg: RegId,
+        /// Value to store.
+        value: V,
+    },
+    /// Reads every currently-written register of `region` in one round trip,
+    /// optionally restricted to a sub-pattern.
+    ///
+    /// This models an RDMA read of a registered buffer (one DMA fetch of a
+    /// whole slot array — or a strided column of it — as §7 describes: "the
+    /// process can register the two dimensional array of values in read-only
+    /// mode"). Registers never written (still ⊥) are absent from the
+    /// response.
+    ReadRange {
+        /// Region to scan (permission is checked against this region).
+        region: RegionId,
+        /// Optional extra filter: only registers also matching this pattern
+        /// are returned.
+        within: Option<crate::region::RegionSpec>,
+    },
+    /// `changePermission(mr, new_perm)`, subject to the memory's
+    /// `legalChange` policy.
+    ChangePerm {
+        /// Region whose permission should change.
+        region: RegionId,
+        /// Requested new permission triple.
+        new: Permission,
+    },
+}
+
+impl<V> MemRequest<V> {
+    /// Short tag for tracing.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MemRequest::Read { .. } => "read",
+            MemRequest::Write { .. } => "write",
+            MemRequest::ReadRange { .. } => "read_range",
+            MemRequest::ChangePerm { .. } => "change_perm",
+        }
+    }
+}
+
+/// A memory operation response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemResponse<V> {
+    /// Successful read; `None` is the initial value ⊥.
+    Value(Option<V>),
+    /// Successful range read: the written registers of the region.
+    Range(Vec<(RegId, V)>),
+    /// Successful write.
+    Ack,
+    /// Permission or region check failed (the paper's `nak`).
+    Nak,
+    /// Permission change applied.
+    PermAck,
+    /// Permission change rejected by `legalChange` (it "becomes a no-op";
+    /// we additionally tell the caller so protocols can observe it).
+    PermNak,
+}
+
+impl<V> MemResponse<V> {
+    /// Whether this response indicates the operation took effect.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, MemResponse::Nak | MemResponse::PermNak)
+    }
+}
+
+/// A memory-protocol message: either leg of the round trip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemWire<V> {
+    /// Process → memory.
+    Req {
+        /// Correlation id chosen by the client.
+        op: OpId,
+        /// The operation.
+        req: MemRequest<V>,
+    },
+    /// Memory → process.
+    Resp {
+        /// Correlation id echoed back.
+        op: OpId,
+        /// The outcome.
+        resp: MemResponse<V>,
+    },
+}
+
+/// Embedding of the memory wire protocol into a protocol's message type.
+///
+/// Protocol crates define one message enum per simulation and give it a
+/// variant wrapping [`MemWire`]; the [`MemoryActor`] then works for any such
+/// enum.
+///
+/// [`MemoryActor`]: crate::MemoryActor
+pub trait MemEmbed<V>: Sized + Clone + fmt::Debug + 'static {
+    /// Wraps a wire message.
+    fn from_wire(wire: MemWire<V>) -> Self;
+    /// Unwraps a wire message, or returns the original if this message is
+    /// not part of the memory protocol.
+    fn into_wire(self) -> Result<MemWire<V>, Self>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_ok_classification() {
+        assert!(MemResponse::<u8>::Value(None).is_ok());
+        assert!(MemResponse::<u8>::Range(vec![]).is_ok());
+        assert!(MemResponse::<u8>::Ack.is_ok());
+        assert!(MemResponse::<u8>::PermAck.is_ok());
+        assert!(!MemResponse::<u8>::Nak.is_ok());
+        assert!(!MemResponse::<u8>::PermNak.is_ok());
+    }
+
+    #[test]
+    fn request_kind_names() {
+        let r: MemRequest<u8> = MemRequest::Read { region: RegionId(0), reg: RegId::scalar(0) };
+        assert_eq!(r.kind_name(), "read");
+        let r: MemRequest<u8> = MemRequest::ReadRange { region: RegionId(0), within: None };
+        assert_eq!(r.kind_name(), "read_range");
+    }
+}

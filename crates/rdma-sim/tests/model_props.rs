@@ -1,0 +1,203 @@
+//! Property tests of the memory model: permission algebra, region
+//! membership, and the data-path invariant that unauthorized operations
+//! never change state.
+
+use proptest::prelude::*;
+use rdma_sim::{PermSet, Permission, RegId, RegionSpec};
+use simnet::ActorId;
+
+fn arb_pid() -> impl Strategy<Value = ActorId> {
+    (0u32..8).prop_map(ActorId)
+}
+
+fn arb_permset() -> impl Strategy<Value = PermSet> {
+    prop_oneof![
+        Just(PermSet::Nobody),
+        Just(PermSet::Everybody),
+        proptest::collection::btree_set(arb_pid(), 0..4).prop_map(PermSet::Only),
+        proptest::collection::btree_set(arb_pid(), 0..4).prop_map(PermSet::AllBut),
+    ]
+}
+
+fn arb_reg() -> impl Strategy<Value = RegId> {
+    (0u16..4, 0u64..4, 0u64..4, 0u64..4).prop_map(|(s, a, b, c)| RegId::new(s, a, b, c))
+}
+
+proptest! {
+    /// AllBut is the complement of Only over any probe set.
+    #[test]
+    fn permset_complement(ids in proptest::collection::btree_set(arb_pid(), 0..4), p in arb_pid()) {
+        let only = PermSet::Only(ids.clone());
+        let allbut = PermSet::AllBut(ids);
+        prop_assert_eq!(only.contains(p), !allbut.contains(p));
+    }
+
+    /// exclusive_writer: the writer can read and write; everyone else can
+    /// only read — for every probe identity.
+    #[test]
+    fn exclusive_writer_law(w in arb_pid(), p in arb_pid()) {
+        let perm = Permission::exclusive_writer(w);
+        prop_assert!(perm.allows_read(p));
+        prop_assert_eq!(perm.allows_write(p), p == w);
+    }
+
+    /// read_only and open are constant functions of the probe.
+    #[test]
+    fn constant_permissions(p in arb_pid()) {
+        let ro = Permission::read_only();
+        prop_assert!(ro.allows_read(p) && !ro.allows_write(p));
+        let open = Permission::open();
+        prop_assert!(open.allows_read(p) && open.allows_write(p));
+    }
+
+    /// Region membership laws: All ⊇ Space ⊇ row ⊇ Exact, for matching
+    /// registers.
+    #[test]
+    fn region_containment_chain(reg in arb_reg()) {
+        prop_assert!(RegionSpec::All.contains(reg));
+        prop_assert!(RegionSpec::Space(reg.space).contains(reg));
+        prop_assert!(RegionSpec::row(reg.space, reg.a).contains(reg));
+        prop_assert!(RegionSpec::Exact(reg).contains(reg));
+    }
+
+    /// A pattern with all coordinates pinned is equivalent to Exact.
+    #[test]
+    fn full_pattern_is_exact(reg in arb_reg(), probe in arb_reg()) {
+        let pat = RegionSpec::Pattern {
+            space: reg.space,
+            a: Some(reg.a),
+            b: Some(reg.b),
+            c: Some(reg.c),
+        };
+        prop_assert_eq!(pat.contains(probe), RegionSpec::Exact(reg).contains(probe));
+    }
+
+    /// Wildcards only widen: if a pattern with pinned coordinate matches,
+    /// the same pattern with that coordinate wild also matches.
+    #[test]
+    fn wildcard_monotone(reg in arb_reg(), probe in arb_reg()) {
+        let pinned = RegionSpec::Pattern {
+            space: reg.space, a: Some(reg.a), b: Some(reg.b), c: Some(reg.c),
+        };
+        let wild_b = RegionSpec::Pattern {
+            space: reg.space, a: Some(reg.a), b: None, c: Some(reg.c),
+        };
+        if pinned.contains(probe) {
+            prop_assert!(wild_b.contains(probe));
+        }
+    }
+}
+
+mod data_path {
+    use rdma_sim::{
+        LegalChange, MemEmbed, MemRequest, MemResponse, MemWire, MemoryActor, MemoryClient,
+        Permission, RegId, RegionId, RegionSpec,
+    };
+    use simnet::{Actor, ActorId, Context, EventKind, Simulation, Time};
+
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum TMsg {
+        Mem(MemWire<u64>),
+    }
+    impl MemEmbed<u64> for TMsg {
+        fn from_wire(wire: MemWire<u64>) -> Self {
+            TMsg::Mem(wire)
+        }
+        fn into_wire(self) -> Result<MemWire<u64>, Self> {
+            let TMsg::Mem(w) = self;
+            Ok(w)
+        }
+    }
+
+    const OWNED: RegionId = RegionId(0);
+    const FOREIGN: RegionId = RegionId(1);
+
+    /// Issues an arbitrary interleaving of reads/writes against an owned
+    /// and a foreign region; tracks the model's answer against a local
+    /// oracle of what the register must contain.
+    struct Fuzzer {
+        mem: ActorId,
+        script: Vec<(bool /*write*/, bool /*owned*/, u64)>,
+        client: MemoryClient<u64, TMsg>,
+        oracle: Option<u64>,
+        violations: usize,
+        pending: std::collections::BTreeMap<rdma_sim::OpId, (bool, bool, u64)>,
+    }
+
+    impl Actor<TMsg> for Fuzzer {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            match ev {
+                EventKind::Start => {
+                    for (w, owned, v) in self.script.clone() {
+                        let region = if owned { OWNED } else { FOREIGN };
+                        let reg = if owned { RegId::one(0, 0) } else { RegId::one(1, 0) };
+                        let op = if w {
+                            self.client.write(ctx, self.mem, region, reg, v)
+                        } else {
+                            self.client.read(ctx, self.mem, region, reg)
+                        };
+                        self.pending.insert(op, (w, owned, v));
+                    }
+                }
+                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                    let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
+                    let (w, owned, v) = self.pending.remove(&c.op).expect("tracked");
+                    match (w, owned, c.resp) {
+                        // Owned write must ack and becomes the oracle value
+                        // (ops are FIFO per memory, so order matches).
+                        (true, true, MemResponse::Ack) => self.oracle = Some(v),
+                        (true, true, _) => self.violations += 1,
+                        // Foreign write must nak.
+                        (true, false, MemResponse::Nak) => {}
+                        (true, false, _) => self.violations += 1,
+                        // Owned read must match the oracle exactly.
+                        (false, true, MemResponse::Value(got)) => {
+                            if got != self.oracle {
+                                self.violations += 1;
+                            }
+                        }
+                        (false, true, _) => self.violations += 1,
+                        // Foreign reads are allowed (read: everybody).
+                        (false, false, MemResponse::Value(_)) => {}
+                        (false, false, _) => self.violations += 1,
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Under any op interleaving: owned ops linearize FIFO, foreign
+        /// writes never take effect, reads reflect exactly the acked
+        /// writes.
+        #[test]
+        fn permission_and_fifo_invariants(
+            script in proptest::collection::vec((any::<bool>(), any::<bool>(), 0u64..100), 1..24),
+            seed in 0u64..1000,
+        ) {
+            let mut sim: Simulation<TMsg> = Simulation::new(seed);
+            let mem = sim.add(
+                MemoryActor::<u64, TMsg>::new(LegalChange::Static)
+                    .with_region(OWNED, RegionSpec::Space(0), Permission::exclusive_writer(ActorId(1)))
+                    .with_region(FOREIGN, RegionSpec::Space(1), Permission::exclusive_writer(ActorId(99))),
+            );
+            let f = sim.add(Fuzzer {
+                mem,
+                script,
+                client: MemoryClient::new(),
+                oracle: None,
+                violations: 0,
+                pending: Default::default(),
+            });
+            sim.run_to_quiescence(Time::from_delays(10_000));
+            let fz = sim.actor_as::<Fuzzer>(f).unwrap();
+            prop_assert!(fz.pending.is_empty(), "ops lost");
+            prop_assert_eq!(fz.violations, 0);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Link delay models.
+//!
+//! The system model is asynchronous: link delays are arbitrary, chosen by an
+//! adversary (here, a seeded random schedule or an explicit hook). The
+//! common-case analyses in the paper assume synchrony — every message takes
+//! exactly one delay — which is [`DelayModel::Constant`] with
+//! [`Duration::DELAY`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::time::{Duration, Time};
+
+/// How long a message spends in flight on a link.
+#[derive(Clone, Debug)]
+pub enum DelayModel {
+    /// Every message takes exactly this long (synchronous link).
+    Constant(Duration),
+    /// Each message independently takes a uniform duration in `[lo, hi]`.
+    Uniform {
+        /// Minimum latency (inclusive).
+        lo: Duration,
+        /// Maximum latency (inclusive).
+        hi: Duration,
+    },
+    /// Partial synchrony in the style of Dwork–Lynch–Stockmeyer: before the
+    /// global stabilization time `gst` delays are uniform in `[lo, hi]`;
+    /// from `gst` on, every message takes exactly `after` (a known bound
+    /// holds). This is the standard liveness assumption the paper invokes.
+    PartialSynchrony {
+        /// Minimum pre-GST latency.
+        lo: Duration,
+        /// Maximum pre-GST latency.
+        hi: Duration,
+        /// The global stabilization time.
+        gst: Time,
+        /// The post-GST latency bound.
+        after: Duration,
+    },
+}
+
+impl DelayModel {
+    /// The synchronous, failure-free common case: one network delay per hop.
+    pub fn synchronous() -> DelayModel {
+        DelayModel::Constant(Duration::DELAY)
+    }
+
+    /// Samples the in-flight duration for a message sent at `now`.
+    pub fn sample(&self, now: Time, rng: &mut StdRng) -> Duration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => sample_uniform(lo, hi, rng),
+            DelayModel::PartialSynchrony { lo, hi, gst, after } => {
+                if now >= gst {
+                    after
+                } else {
+                    // A pre-GST message may still be delayed past GST, but
+                    // no-loss requires eventual delivery; the sampled bound
+                    // already guarantees that.
+                    sample_uniform(lo, hi, rng)
+                }
+            }
+        }
+    }
+}
+
+fn sample_uniform(lo: Duration, hi: Duration, rng: &mut StdRng) -> Duration {
+    assert!(lo <= hi, "uniform delay bounds inverted: {lo:?} > {hi:?}");
+    if lo == hi {
+        lo
+    } else {
+        Duration(rng.gen_range(lo.0..=hi.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::synchronous();
+        for _ in 0..10 {
+            assert_eq!(m.sample(Time::ZERO, &mut rng), Duration::DELAY);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lo = Duration::from_delays(1);
+        let hi = Duration::from_delays(4);
+        let m = DelayModel::Uniform { lo, hi };
+        for _ in 0..100 {
+            let d = m.sample(Time::ZERO, &mut rng);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_stabilizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::PartialSynchrony {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(10),
+            gst: Time::from_delays(100),
+            after: Duration::DELAY,
+        };
+        let d = m.sample(Time::from_delays(100), &mut rng);
+        assert_eq!(d, Duration::DELAY);
+        let d = m.sample(Time::from_delays(500), &mut rng);
+        assert_eq!(d, Duration::DELAY);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DelayModel::Uniform {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(9),
+        };
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            assert_eq!(m.sample(Time::ZERO, &mut a), m.sample(Time::ZERO, &mut b));
+        }
+    }
+}

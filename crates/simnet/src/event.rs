@@ -1,0 +1,68 @@
+//! Events delivered to actors.
+
+use crate::ids::{ActorId, TimerId};
+
+/// An event delivered to an actor's [`Actor::on_event`] hook.
+///
+/// [`Actor::on_event`]: crate::Actor::on_event
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// The simulation has started. Delivered once to every actor at its
+    /// scheduled start time (time zero unless the harness staggered starts).
+    Start,
+    /// A message arrived over a link.
+    ///
+    /// Links satisfy the paper's *integrity* (a message is received at most
+    /// once and only if previously sent) and *no-loss* (every sent message is
+    /// eventually received) properties; the kernel never drops or duplicates.
+    Msg {
+        /// The sending actor.
+        from: ActorId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set by this actor expired.
+    Timer {
+        /// The id returned when the timer was set.
+        id: TimerId,
+        /// The caller-chosen tag distinguishing timer purposes.
+        tag: u64,
+    },
+    /// The leader oracle (the paper's Ω failure detector) announced a new
+    /// leader. The harness scripts oracle behaviour; after the global
+    /// stabilization time it must converge on a single correct process to
+    /// provide Ω's eventual accuracy.
+    LeaderChange {
+        /// The actor now trusted as leader.
+        leader: ActorId,
+    },
+}
+
+impl<M> EventKind<M> {
+    /// A terse tag for tracing.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::Start => "start",
+            EventKind::Msg { .. } => "msg",
+            EventKind::Timer { .. } => "timer",
+            EventKind::LeaderChange { .. } => "leader",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        let e: EventKind<u8> = EventKind::Start;
+        assert_eq!(e.kind_name(), "start");
+        let e: EventKind<u8> = EventKind::Msg { from: ActorId(0), msg: 1 };
+        assert_eq!(e.kind_name(), "msg");
+        let e: EventKind<u8> = EventKind::Timer { id: TimerId(0), tag: 9 };
+        assert_eq!(e.kind_name(), "timer");
+        let e: EventKind<u8> = EventKind::LeaderChange { leader: ActorId(1) };
+        assert_eq!(e.kind_name(), "leader");
+    }
+}

@@ -1,0 +1,48 @@
+//! Identifiers for simulation entities.
+
+use std::fmt;
+
+/// Identifies an actor (a process or a memory) within one simulation.
+///
+/// Actor ids are dense, assigned in registration order starting from 0.
+/// Whether an id denotes a process or a memory is a convention of the
+/// harness that built the simulation; the kernel treats all actors alike.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// The raw index of this actor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifies a pending timer set through [`Context::set_timer`].
+///
+/// [`Context::set_timer`]: crate::Context::set_timer
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(ActorId(3).to_string(), "a3");
+        assert_eq!(format!("{:?}", ActorId(3)), "a3");
+        assert_eq!(ActorId(7).index(), 7);
+    }
+}

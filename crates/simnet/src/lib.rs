@@ -1,0 +1,70 @@
+//! # simnet — deterministic discrete-event simulation kernel
+//!
+//! The substrate on which this workspace reproduces *The Impact of RDMA on
+//! Agreement* (Aguilera et al., PODC 2019). The paper's model (§3) is a
+//! **message-and-memory** (M&M) system: `n` processes and `m` shared
+//! memories, where processes communicate both by sending messages and by
+//! reading/writing remote memory. This crate provides the common kernel —
+//! actors, virtual time, links, failures — while the RDMA-specific memory
+//! semantics live in the `rdma-sim` crate (memories are just actors here).
+//!
+//! ## Fidelity to the paper's model
+//!
+//! * **Asynchrony.** Delays are arbitrary per-message values chosen by a
+//!   seeded adversary ([`DelayModel`], [`DelayHook`]). Safety tests run under
+//!   adversarial schedules; liveness tests add partial synchrony
+//!   ([`DelayModel::PartialSynchrony`]).
+//! * **Delay metric.** The paper's performance unit: a message takes one
+//!   delay; a memory operation takes two (request + response legs, each a
+//!   message here). [`Time::as_delays`] and [`Metrics::first_decision_delays`]
+//!   expose decision latency in exactly those units.
+//! * **Failures.** [`Simulation::crash_at`] silences an actor: a crashed
+//!   process takes no more steps, a crashed memory hangs without responding
+//!   (indistinguishable from a slow one, as §3 requires). Byzantine behaviour
+//!   is modelled by registering a malicious [`Actor`] implementation; the
+//!   *trusted* components (memories enforcing permissions, the signature
+//!   authority) are separate actors/objects a Byzantine process cannot
+//!   subvert.
+//! * **Determinism.** Every run is a pure function of its seed: the event
+//!   queue breaks ties by scheduling order and randomness flows from one
+//!   seeded generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{Actor, Context, EventKind, Simulation, Time};
+//!
+//! struct Counter { seen: u32 }
+//! impl Actor<u32> for Counter {
+//!     fn on_event(&mut self, _ctx: &mut Context<'_, u32>, ev: EventKind<u32>) {
+//!         if let EventKind::Msg { msg, .. } = ev { self.seen += msg; }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let counter = sim.add(Counter { seen: 0 });
+//! sim.schedule(Time::ZERO, counter, EventKind::Msg { from: counter, msg: 41 });
+//! sim.run_to_quiescence(Time::from_delays(10));
+//! assert_eq!(sim.actor_as::<Counter>(counter).unwrap().seen, 41);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod actor;
+mod delay;
+mod event;
+mod ids;
+mod metrics;
+mod sim;
+mod time;
+mod trace;
+
+pub use actor::{Actor, AnyActor};
+pub use delay::DelayModel;
+pub use event::EventKind;
+pub use ids::{ActorId, TimerId};
+pub use metrics::Metrics;
+pub use sim::{Context, DelayHook, RunOutcome, Simulation};
+pub use time::{Duration, Time, TICKS_PER_DELAY};
+pub use trace::{Trace, TraceEntry};

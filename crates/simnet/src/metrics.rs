@@ -1,0 +1,118 @@
+//! Per-run metrics.
+//!
+//! The benchmarks in this repository reproduce the paper's evaluation metric
+//! — decision latency in network delays — plus auxiliary cost counters
+//! (messages, memory operations, signatures) used by the signature-count and
+//! throughput experiments.
+
+use std::collections::BTreeMap;
+
+use crate::ids::ActorId;
+use crate::time::Time;
+
+/// Counters and timestamps accumulated over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Messages handed to the network (includes memory-operation legs).
+    pub messages_sent: u64,
+    /// Messages actually delivered (excludes those addressed to crashed actors).
+    pub messages_delivered: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Memory read operations submitted (counted by the memory client).
+    pub mem_reads: u64,
+    /// Memory write operations submitted.
+    pub mem_writes: u64,
+    /// Memory range-read operations submitted.
+    pub mem_range_reads: u64,
+    /// Permission-change operations submitted.
+    pub perm_changes: u64,
+    /// When each actor first reported a decision, in event order.
+    decisions: BTreeMap<ActorId, Time>,
+    /// When each actor reported aborting (Cheap Quorum panic path).
+    aborts: BTreeMap<ActorId, Time>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics record.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records that `actor` decided at `at`. Later reports for the same
+    /// actor are ignored (decisions are irrevocable).
+    pub fn record_decision(&mut self, actor: ActorId, at: Time) {
+        self.decisions.entry(actor).or_insert(at);
+    }
+
+    /// Records that `actor` aborted (gave up on a fast path) at `at`.
+    pub fn record_abort(&mut self, actor: ActorId, at: Time) {
+        self.aborts.entry(actor).or_insert(at);
+    }
+
+    /// The instant of the earliest decision, if any.
+    ///
+    /// A protocol is *k-deciding* if in common-case executions some process
+    /// decides within k delays; this is the measured quantity.
+    pub fn first_decision(&self) -> Option<Time> {
+        self.decisions.values().copied().min()
+    }
+
+    /// The earliest decision expressed in network delays.
+    pub fn first_decision_delays(&self) -> Option<f64> {
+        self.first_decision().map(Time::as_delays)
+    }
+
+    /// When `actor` first decided, if it has.
+    pub fn decision_time(&self, actor: ActorId) -> Option<Time> {
+        self.decisions.get(&actor).copied()
+    }
+
+    /// All recorded decision instants, keyed by actor.
+    pub fn decisions(&self) -> &BTreeMap<ActorId, Time> {
+        &self.decisions
+    }
+
+    /// All recorded abort instants, keyed by actor.
+    pub fn aborts(&self) -> &BTreeMap<ActorId, Time> {
+        &self.aborts
+    }
+
+    /// Total memory operations of all kinds.
+    pub fn mem_ops(&self) -> u64 {
+        self.mem_reads + self.mem_writes + self.mem_range_reads + self.perm_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_decision_is_min() {
+        let mut m = Metrics::new();
+        assert_eq!(m.first_decision(), None);
+        m.record_decision(ActorId(1), Time::from_delays(5));
+        m.record_decision(ActorId(0), Time::from_delays(2));
+        assert_eq!(m.first_decision(), Some(Time::from_delays(2)));
+        assert_eq!(m.first_decision_delays(), Some(2.0));
+    }
+
+    #[test]
+    fn decisions_are_irrevocable() {
+        let mut m = Metrics::new();
+        m.record_decision(ActorId(0), Time::from_delays(2));
+        m.record_decision(ActorId(0), Time::from_delays(9));
+        assert_eq!(m.decision_time(ActorId(0)), Some(Time::from_delays(2)));
+    }
+
+    #[test]
+    fn mem_ops_totals() {
+        let mut m = Metrics::new();
+        m.mem_reads = 2;
+        m.mem_writes = 3;
+        m.mem_range_reads = 1;
+        m.perm_changes = 4;
+        assert_eq!(m.mem_ops(), 10);
+    }
+}

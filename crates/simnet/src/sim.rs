@@ -1,0 +1,627 @@
+//! The simulation kernel: event queue, dispatch loop, and the [`Context`]
+//! through which actors act on the world.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, AnyActor};
+use crate::delay::DelayModel;
+use crate::event::EventKind;
+use crate::ids::{ActorId, TimerId};
+use crate::metrics::Metrics;
+use crate::time::{Duration, Time};
+use crate::trace::Trace;
+
+/// A hook that can override the sampled delay of a specific message.
+///
+/// Receives `(send time, from, to, &message)` and returns `Some(duration)` to
+/// pin that message's latency, or `None` to defer to the link's delay model.
+/// This is how the Theorem 6.1 adversary delays a victim's writes while
+/// letting everything else flow: the asynchronous model permits *any* finite
+/// delay, so any hook-constructed schedule is a legal execution.
+pub type DelayHook<M> = Box<dyn Fn(Time, ActorId, ActorId, &M) -> Option<Duration>>;
+
+enum Payload<M> {
+    Deliver(EventKind<M>),
+    Crash,
+}
+
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    to: ActorId,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties deterministically in scheduling order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Core<M> {
+    rng: StdRng,
+    metrics: Metrics,
+    trace: Trace,
+    default_delay: DelayModel,
+    link_overrides: BTreeMap<(ActorId, ActorId), DelayModel>,
+    delay_hook: Option<DelayHook<M>>,
+    timer_seq: u64,
+    cancelled: BTreeSet<TimerId>,
+    /// Events emitted by the currently-dispatching actor, applied afterwards.
+    pending: Vec<(Time, ActorId, EventKind<M>)>,
+}
+
+/// The handle through which an actor affects the simulated world during one
+/// event dispatch. All effects become visible only after the handler returns.
+pub struct Context<'a, M> {
+    me: ActorId,
+    now: Time,
+    core: &'a mut Core<M>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The actor currently executing.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the link, with latency from the link's delay
+    /// model (or the delay hook, if installed and it claims the message).
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        let delay = self
+            .core
+            .delay_hook
+            .as_ref()
+            .and_then(|h| h(self.now, self.me, to, &msg))
+            .unwrap_or_else(|| {
+                let model = self
+                    .core
+                    .link_overrides
+                    .get(&(self.me, to))
+                    .unwrap_or(&self.core.default_delay)
+                    .clone();
+                model.sample(self.now, &mut self.core.rng)
+            });
+        self.core.metrics.messages_sent += 1;
+        let from = self.me;
+        self.core.pending.push((self.now + delay, to, EventKind::Msg { from, msg }));
+    }
+
+    /// Arms a one-shot timer firing after `after`; `tag` distinguishes
+    /// purposes within the actor. Returns an id usable with
+    /// [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
+        self.core.timer_seq += 1;
+        let id = TimerId(self.core.timer_seq);
+        self.core.pending.push((self.now + after, self.me, EventKind::Timer { id, tag }));
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id);
+    }
+
+    /// Records that this actor decided (for the k-deciding latency metric).
+    pub fn mark_decided(&mut self) {
+        let (me, now) = (self.me, self.now);
+        self.core.metrics.record_decision(me, now);
+    }
+
+    /// Records that this actor aborted a fast path.
+    pub fn mark_aborted(&mut self) {
+        let (me, now) = (self.me, self.now);
+        self.core.metrics.record_abort(me, now);
+    }
+
+    /// The run's deterministic random source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Mutable access to the run metrics (used by substrate layers to count
+    /// memory operations).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Appends a line to the trace, if tracing is enabled.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let (me, now) = (self.me, self.now);
+        self.core.trace.push(now, me, text);
+    }
+}
+
+/// Why a [`Simulation::run_until`] loop stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The event queue drained: nothing will ever happen again.
+    Quiescent,
+    /// The caller's predicate returned true.
+    Predicate,
+    /// Virtual time exceeded the given bound.
+    TimeLimit,
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{Actor, Context, EventKind, Simulation, Time};
+///
+/// struct Echo;
+/// impl Actor<&'static str> for Echo {
+///     fn on_event(&mut self, ctx: &mut Context<'_, &'static str>, ev: EventKind<&'static str>) {
+///         if let EventKind::Msg { from, msg } = ev {
+///             if msg == "ping" {
+///                 ctx.send(from, "pong");
+///             }
+///         }
+///     }
+/// }
+///
+/// struct Probe { got_pong: bool }
+/// impl Actor<&'static str> for Probe {
+///     fn on_event(&mut self, ctx: &mut Context<'_, &'static str>, ev: EventKind<&'static str>) {
+///         match ev {
+///             EventKind::Start => ctx.send(simnet::ActorId(0), "ping"),
+///             EventKind::Msg { msg: "pong", .. } => self.got_pong = true,
+///             _ => {}
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(1);
+/// let echo = sim.add(Echo);
+/// let probe = sim.add(Probe { got_pong: false });
+/// sim.run_to_quiescence(Time::from_delays(10));
+/// assert!(sim.actor_as::<Probe>(probe).unwrap().got_pong);
+/// assert_eq!(echo, simnet::ActorId(0));
+/// // One delay out, one delay back:
+/// assert_eq!(sim.now(), Time::from_delays(2));
+/// ```
+pub struct Simulation<M> {
+    actors: Vec<Option<Box<dyn AnyActor<M>>>>,
+    crashed: BTreeSet<ActorId>,
+    queue: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    now: Time,
+    started: bool,
+    core: Core<M>,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation with a seeded random source and
+    /// synchronous (one-delay) links.
+    pub fn new(seed: u64) -> Simulation<M> {
+        Simulation {
+            actors: Vec::new(),
+            crashed: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            started: false,
+            core: Core {
+                rng: StdRng::seed_from_u64(seed),
+                metrics: Metrics::new(),
+                trace: Trace::new(),
+                default_delay: DelayModel::synchronous(),
+                link_overrides: BTreeMap::new(),
+                delay_hook: None,
+                timer_seq: 0,
+                cancelled: BTreeSet::new(),
+                pending: Vec::new(),
+            },
+        }
+    }
+
+    /// Registers an actor, returning its id. Ids are dense and assigned in
+    /// registration order.
+    pub fn add<T: Actor<M>>(&mut self, actor: T) -> ActorId {
+        self.add_boxed(Box::new(actor))
+    }
+
+    /// Registers a boxed actor.
+    pub fn add_boxed(&mut self, actor: Box<dyn AnyActor<M>>) -> ActorId {
+        assert!(!self.started, "cannot add actors after the simulation started");
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Sets the delay model used by links with no per-link override.
+    pub fn set_default_delay(&mut self, model: DelayModel) {
+        self.core.default_delay = model;
+    }
+
+    /// Overrides the delay model of the directed link `from -> to`.
+    pub fn set_link_delay(&mut self, from: ActorId, to: ActorId, model: DelayModel) {
+        self.core.link_overrides.insert((from, to), model);
+    }
+
+    /// Installs a per-message delay override hook (see [`DelayHook`]).
+    pub fn set_delay_hook(&mut self, hook: DelayHook<M>) {
+        self.core.delay_hook = Some(hook);
+    }
+
+    /// Enables event tracing with the given entry cap.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.core.trace.enable(cap);
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Schedules an event for delivery to `to` at `at` (clamped to now).
+    /// This is how harnesses inject leader-oracle announcements or any
+    /// scripted stimulus.
+    pub fn schedule(&mut self, at: Time, to: ActorId, ev: EventKind<M>) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq: self.seq, to, payload: Payload::Deliver(ev) });
+    }
+
+    /// Schedules `actor` to crash at `at`. From that instant the actor
+    /// receives no further events: a crashed process takes no steps, and a
+    /// crashed memory hangs (its clients' outstanding operations never
+    /// complete) — exactly the paper's failure semantics.
+    pub fn crash_at(&mut self, actor: ActorId, at: Time) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq: self.seq, to: actor, payload: Payload::Crash });
+    }
+
+    /// Announces `leader` to every actor in `targets` at time `at`,
+    /// emulating the Ω leader oracle.
+    pub fn announce_leader(&mut self, at: Time, targets: &[ActorId], leader: ActorId) {
+        for &t in targets {
+            self.schedule(at, t, EventKind::LeaderChange { leader });
+        }
+    }
+
+    /// Whether `actor` has crashed.
+    pub fn is_crashed(&self, actor: ActorId) -> bool {
+        self.crashed.contains(&actor)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Downcasts actor `id` to its concrete type for inspection.
+    pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors.get(id.index())?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Simulation::actor_as`].
+    pub fn actor_as_mut<T: 'static>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors.get_mut(id.index())?.as_mut()?.as_any_mut().downcast_mut::<T>()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let to = ActorId(i as u32);
+            self.seq += 1;
+            self.queue.push(Scheduled {
+                at: self.now,
+                seq: self.seq,
+                to,
+                payload: Payload::Deliver(EventKind::Start),
+            });
+        }
+    }
+
+    /// Dispatches the next event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(sched) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(sched.at >= self.now, "event queue went backwards");
+        self.now = sched.at;
+        match sched.payload {
+            Payload::Crash => {
+                self.crashed.insert(sched.to);
+                let (now, to) = (self.now, sched.to);
+                self.core.trace.push(now, to, "CRASH");
+            }
+            Payload::Deliver(ev) => {
+                if self.crashed.contains(&sched.to) {
+                    let (now, to) = (self.now, sched.to);
+                    self.core
+                        .trace
+                        .push(now, to, format!("dropped {} (crashed)", ev.kind_name()));
+                    return true;
+                }
+                if let EventKind::Timer { id, .. } = ev {
+                    if self.core.cancelled.remove(&id) {
+                        return true;
+                    }
+                    self.core.metrics.timers_fired += 1;
+                }
+                if let EventKind::Msg { .. } = ev {
+                    self.core.metrics.messages_delivered += 1;
+                }
+                if self.core.trace.is_enabled() {
+                    let (now, to) = (self.now, sched.to);
+                    let name = ev.kind_name();
+                    self.core.trace.push(now, to, format!("deliver {name}"));
+                }
+                let mut actor = self.actors[sched.to.index()]
+                    .take()
+                    .expect("actor is being dispatched re-entrantly");
+                {
+                    let mut ctx = Context { me: sched.to, now: self.now, core: &mut self.core };
+                    actor.on_event(&mut ctx, ev);
+                }
+                self.actors[sched.to.index()] = Some(actor);
+                for (at, to, ev) in std::mem::take(&mut self.core.pending) {
+                    self.seq += 1;
+                    self.queue
+                        .push(Scheduled { at, seq: self.seq, to, payload: Payload::Deliver(ev) });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the predicate holds (checked between events), the queue
+    /// drains, or virtual time passes `max`.
+    pub fn run_until(
+        &mut self,
+        max: Time,
+        mut pred: impl FnMut(&Simulation<M>) -> bool,
+    ) -> RunOutcome {
+        self.ensure_started();
+        loop {
+            if pred(self) {
+                return RunOutcome::Predicate;
+            }
+            match self.queue.peek() {
+                None => return RunOutcome::Quiescent,
+                Some(next) if next.at > max => return RunOutcome::TimeLimit,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until no events remain or virtual time passes `max`.
+    pub fn run_to_quiescence(&mut self, max: Time) -> RunOutcome {
+        self.run_until(max, |_| false)
+    }
+}
+
+impl<M: 'static> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("crashed", &self.crashed)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    enum TMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Ponger {
+        pongs_sent: u32,
+    }
+    impl Actor<TMsg> for Ponger {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            if let EventKind::Msg { from, msg: TMsg::Ping(n) } = ev {
+                self.pongs_sent += 1;
+                ctx.send(from, TMsg::Pong(n));
+            }
+        }
+    }
+
+    struct Pinger {
+        target: ActorId,
+        rounds: u32,
+        pongs: Vec<u32>,
+        decided_at: Option<Time>,
+    }
+    impl Actor<TMsg> for Pinger {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            match ev {
+                EventKind::Start => ctx.send(self.target, TMsg::Ping(0)),
+                EventKind::Msg { msg: TMsg::Pong(n), .. } => {
+                    self.pongs.push(n);
+                    if n + 1 < self.rounds {
+                        ctx.send(self.target, TMsg::Ping(n + 1));
+                    } else {
+                        ctx.mark_decided();
+                        self.decided_at = Some(ctx.now());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn build(rounds: u32) -> (Simulation<TMsg>, ActorId, ActorId) {
+        let mut sim = Simulation::new(99);
+        let ponger = sim.add(Ponger { pongs_sent: 0 });
+        let pinger =
+            sim.add(Pinger { target: ponger, rounds, pongs: Vec::new(), decided_at: None });
+        (sim, ponger, pinger)
+    }
+
+    #[test]
+    fn ping_pong_latency_is_two_delays_per_round() {
+        let (mut sim, _, pinger) = build(3);
+        let out = sim.run_to_quiescence(Time::from_delays(100));
+        assert_eq!(out, RunOutcome::Quiescent);
+        let p = sim.actor_as::<Pinger>(pinger).unwrap();
+        assert_eq!(p.pongs, vec![0, 1, 2]);
+        // 3 round trips at 2 delays each.
+        assert_eq!(p.decided_at, Some(Time::from_delays(6)));
+        assert_eq!(sim.metrics().first_decision_delays(), Some(6.0));
+        assert_eq!(sim.metrics().messages_sent, 6);
+        assert_eq!(sim.metrics().messages_delivered, 6);
+    }
+
+    #[test]
+    fn crashed_actor_receives_nothing() {
+        let (mut sim, ponger, pinger) = build(5);
+        sim.crash_at(ponger, Time::from_delays(3));
+        sim.run_to_quiescence(Time::from_delays(100));
+        let p = sim.actor_as::<Pinger>(pinger).unwrap();
+        // Rounds complete at 2 and 4... but the ping landing after t=3 is
+        // dropped, so only the first round's pong (t=2) arrives.
+        assert_eq!(p.pongs, vec![0]);
+        assert!(sim.is_crashed(ponger));
+        assert_eq!(sim.metrics().first_decision(), None);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let (mut sim, _, pinger) = build(10);
+        let out = sim.run_until(Time::from_delays(1000), |s| {
+            s.actor_as::<Pinger>(pinger).map_or(false, |p| p.pongs.len() >= 2)
+        });
+        assert_eq!(out, RunOutcome::Predicate);
+        assert_eq!(sim.now(), Time::from_delays(4));
+    }
+
+    #[test]
+    fn time_limit_respected() {
+        let (mut sim, _, _) = build(1_000);
+        let out = sim.run_to_quiescence(Time::from_delays(7));
+        assert_eq!(out, RunOutcome::TimeLimit);
+        assert!(sim.now() <= Time::from_delays(7));
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let mk = || {
+            let mut sim: Simulation<TMsg> = Simulation::new(5);
+            sim.set_default_delay(DelayModel::Uniform {
+                lo: Duration::from_delays(1),
+                hi: Duration::from_delays(4),
+            });
+            let ponger = sim.add(Ponger { pongs_sent: 0 });
+            let pinger =
+                sim.add(Pinger { target: ponger, rounds: 8, pongs: Vec::new(), decided_at: None });
+            sim.run_to_quiescence(Time::from_delays(10_000));
+            sim.actor_as::<Pinger>(pinger).unwrap().decided_at
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    struct TimerActor {
+        fired: Vec<u64>,
+        cancel_second: bool,
+    }
+    impl Actor<TMsg> for TimerActor {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            match ev {
+                EventKind::Start => {
+                    ctx.set_timer(Duration::from_delays(1), 1);
+                    let t2 = ctx.set_timer(Duration::from_delays(2), 2);
+                    ctx.set_timer(Duration::from_delays(3), 3);
+                    if self.cancel_second {
+                        ctx.cancel_timer(t2);
+                    }
+                }
+                EventKind::Timer { tag, .. } => self.fired.push(tag),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut sim: Simulation<TMsg> = Simulation::new(1);
+        let a = sim.add(TimerActor { fired: Vec::new(), cancel_second: true });
+        sim.run_to_quiescence(Time::from_delays(10));
+        assert_eq!(sim.actor_as::<TimerActor>(a).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn leader_change_is_delivered() {
+        struct L {
+            leader: Option<ActorId>,
+        }
+        impl Actor<TMsg> for L {
+            fn on_event(&mut self, _ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+                if let EventKind::LeaderChange { leader } = ev {
+                    self.leader = Some(leader);
+                }
+            }
+        }
+        let mut sim: Simulation<TMsg> = Simulation::new(1);
+        let a = sim.add(L { leader: None });
+        sim.announce_leader(Time::from_delays(2), &[a], ActorId(9));
+        sim.run_to_quiescence(Time::from_delays(10));
+        assert_eq!(sim.actor_as::<L>(a).unwrap().leader, Some(ActorId(9)));
+    }
+
+    #[test]
+    fn delay_hook_overrides_link() {
+        let mut sim = Simulation::new(1);
+        let ponger = sim.add(Ponger { pongs_sent: 0 });
+        let pinger =
+            sim.add(Pinger { target: ponger, rounds: 1, pongs: Vec::new(), decided_at: None });
+        // Delay all pings by 10 delays; pongs use the default 1.
+        sim.set_delay_hook(Box::new(|_, _, _, m| match m {
+            TMsg::Ping(_) => Some(Duration::from_delays(10)),
+            _ => None,
+        }));
+        sim.run_to_quiescence(Time::from_delays(100));
+        let p = sim.actor_as::<Pinger>(pinger).unwrap();
+        assert_eq!(p.decided_at, Some(Time::from_delays(11)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Optional event tracing for debugging simulations.
+
+use std::fmt;
+
+use crate::ids::ActorId;
+use crate::time::Time;
+
+/// One recorded trace line.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When the entry was recorded.
+    pub at: Time,
+    /// Which actor was executing (or being delivered to).
+    pub actor: ActorId,
+    /// Free-form text.
+    pub text: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] {:<4} {}", self.at.to_string(), self.actor.to_string(), self.text)
+    }
+}
+
+/// A bounded in-memory trace. Disabled by default; enabling it records every
+/// dispatched event plus any [`Context::note`] calls made by actors.
+///
+/// [`Context::note`]: crate::Context::note
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    entries: Vec<TraceEntry>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Trace {
+        Trace { enabled: false, cap: 100_000, entries: Vec::new(), dropped: 0 }
+    }
+
+    /// Enables recording, keeping at most `cap` entries (older entries beyond
+    /// the cap are counted as dropped rather than stored).
+    pub fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry if enabled.
+    pub fn push(&mut self, at: Time, actor: ActorId, text: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(TraceEntry { at, actor, text: text.into() });
+    }
+
+    /// The recorded entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// How many entries were discarded after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole trace, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} entries dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::new();
+        t.push(Time::ZERO, ActorId(0), "x");
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut t = Trace::new();
+        t.enable(2);
+        for i in 0..5 {
+            t.push(Time::from_delays(i), ActorId(0), format!("e{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.dump().contains("3 entries dropped"));
+    }
+
+    #[test]
+    fn dump_formats_lines() {
+        let mut t = Trace::new();
+        t.enable(10);
+        t.push(Time::from_delays(1), ActorId(2), "hello");
+        let dump = t.dump();
+        assert!(dump.contains("hello"));
+        assert!(dump.contains("a2"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Kernel-level properties: determinism, causality (time never runs
+//! backwards), delivery guarantees (integrity, no-loss), and crash
+//! semantics — the model properties every protocol above relies on.
+
+use proptest::prelude::*;
+use simnet::{
+    Actor, ActorId, Context, DelayModel, Duration, EventKind, Simulation, Time,
+};
+
+/// Gossiping actor: relays each received token to a pseudo-random peer a
+/// bounded number of times, recording receipt times.
+struct Gossip {
+    peers: Vec<ActorId>,
+    received: Vec<(Time, u64)>,
+    forwards_left: u32,
+}
+
+impl Actor<u64> for Gossip {
+    fn on_event(&mut self, ctx: &mut Context<'_, u64>, ev: EventKind<u64>) {
+        match ev {
+            EventKind::Start => {
+                if ctx.me() == ActorId(0) {
+                    ctx.send(self.peers[1 % self.peers.len()], 1);
+                }
+            }
+            EventKind::Msg { msg, .. } => {
+                self.received.push((ctx.now(), msg));
+                if self.forwards_left > 0 {
+                    self.forwards_left -= 1;
+                    use rand::Rng;
+                    let n = self.peers.len();
+                    let to = self.peers[ctx.rng().gen_range(0..n)];
+                    ctx.send(to, msg + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_gossip(seed: u64, n: usize, jitter: u64) -> (Vec<Vec<(Time, u64)>>, u64, u64) {
+    let mut sim: Simulation<u64> = Simulation::new(seed);
+    sim.set_default_delay(DelayModel::Uniform {
+        lo: Duration::from_delays(1),
+        hi: Duration::from_delays(1 + jitter),
+    });
+    let peers: Vec<ActorId> = (0..n as u32).map(ActorId).collect();
+    for _ in 0..n {
+        sim.add(Gossip { peers: peers.clone(), received: Vec::new(), forwards_left: 30 });
+    }
+    sim.run_to_quiescence(Time::from_delays(100_000));
+    let histories = peers
+        .iter()
+        .map(|&p| sim.actor_as::<Gossip>(p).unwrap().received.clone())
+        .collect();
+    (histories, sim.metrics().messages_sent, sim.metrics().messages_delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical seeds produce bit-identical histories.
+    #[test]
+    fn determinism(seed in 0u64..10_000, n in 2usize..6, jitter in 0u64..5) {
+        let a = run_gossip(seed, n, jitter);
+        let b = run_gossip(seed, n, jitter);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Receipt times are non-decreasing per actor (causality) and total
+    /// messages received equals messages sent (integrity + no-loss, no
+    /// crashes).
+    #[test]
+    fn causality_and_conservation(seed in 0u64..10_000, n in 2usize..6) {
+        let (histories, sent, delivered) = run_gossip(seed, n, 3);
+        for h in &histories {
+            for w in h.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time ran backwards: {w:?}");
+            }
+        }
+        let received: u64 = histories.iter().map(|h| h.len() as u64).sum();
+        // No loss, no duplication: every sent message is delivered exactly
+        // once and lands in exactly one history.
+        prop_assert_eq!(received, delivered);
+        prop_assert_eq!(sent, delivered);
+    }
+
+    /// Crashing an actor at time t suppresses exactly its deliveries
+    /// after t and nothing else.
+    #[test]
+    fn crash_cuts_delivery(seed in 0u64..10_000, crash_at in 0u64..20) {
+        let n = 4usize;
+        let run = |crash: Option<u64>| {
+            let mut sim: Simulation<u64> = Simulation::new(seed);
+            let peers: Vec<ActorId> = (0..n as u32).map(ActorId).collect();
+            for _ in 0..n {
+                sim.add(Gossip { peers: peers.clone(), received: Vec::new(), forwards_left: 20 });
+            }
+            if let Some(t) = crash {
+                sim.crash_at(ActorId(1), Time::from_delays(t));
+            }
+            sim.run_to_quiescence(Time::from_delays(100_000));
+            sim.actor_as::<Gossip>(ActorId(1)).unwrap().received.clone()
+        };
+        let with_crash = run(Some(crash_at));
+        for (t, _) in &with_crash {
+            prop_assert!(*t <= Time::from_delays(crash_at));
+        }
+        // Prefix property: the crashed run's history is a prefix of the
+        // uncrashed run's (the schedule is identical up to the crash).
+        let without = run(None);
+        prop_assert!(without.starts_with(&with_crash));
+    }
+}

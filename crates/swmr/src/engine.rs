@@ -1,0 +1,341 @@
+//! The replication engine: logical operations on registers replicated
+//! across `m` fail-prone memories.
+//!
+//! Implements the construction the paper cites in §4.1 (from Afek et al.,
+//! Attiya–Bar-Noy–Dolev, and Jayanti et al.): *"To implement an SWMR
+//! register, a process writes or reads all memories, and waits for a
+//! majority to respond. When reading, if p sees exactly one distinct non-⊥
+//! value v across the memories, it returns v; otherwise, it returns ⊥."*
+//!
+//! With `m ≥ 2·f_M + 1` memories of which at most `f_M` crash, every
+//! operation completes, and the resulting logical register is a **regular**
+//! SWMR register: a read concurrent with a write may return either the old
+//! value (⊥, since our protocols never overwrite) or the new one.
+//!
+//! The engine is a sub-state-machine: protocols start logical operations,
+//! feed it every memory completion, and receive [`RepEvent`]s when logical
+//! operations finish.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rdma_sim::{
+    Completion, MemEmbed, MemResponse, MemoryClient, OpId, Permission, RegId, RegionId,
+};
+use simnet::{ActorId, Context};
+
+use crate::quorum::{QuorumStatus, QuorumTracker};
+
+/// Identifies a logical (replicated) operation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RepId(pub u64);
+
+impl fmt::Debug for RepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rep{}", self.0)
+    }
+}
+
+/// Outcome of a logical operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepResult<V> {
+    /// The write reached a majority of memories.
+    WriteOk,
+    /// A majority of acknowledgements is no longer possible (permission
+    /// naks). This is how a deposed Cheap Quorum leader learns its write
+    /// permission was revoked.
+    WriteFailed,
+    /// Read completed; `None` is ⊥ (no value, or no unique value).
+    ReadOk(Option<V>),
+    /// A majority of read responses is no longer possible.
+    ReadFailed,
+    /// Range read completed: per-register values that were unique across
+    /// the majority (registers with conflicting replicas are omitted, i.e.
+    /// read as ⊥).
+    RangeOk(BTreeMap<RegId, V>),
+    /// A majority of range-read responses is no longer possible.
+    RangeFailed,
+    /// The permission change was applied by a majority of memories.
+    PermOk,
+    /// The permission change was rejected by a majority-blocking set.
+    PermFailed,
+}
+
+/// A finished logical operation.
+#[derive(Clone, Debug)]
+pub struct RepEvent<V> {
+    /// The id returned when the operation was started.
+    pub id: RepId,
+    /// The outcome.
+    pub result: RepResult<V>,
+}
+
+enum Pending<V> {
+    Vote(QuorumTracker, VoteKind),
+    Read { tracker: QuorumTracker, values: Vec<Option<V>> },
+    Range { tracker: QuorumTracker, snapshots: Vec<Vec<(RegId, V)>> },
+}
+
+#[derive(Clone, Copy)]
+enum VoteKind {
+    Write,
+    Perm,
+}
+
+/// Replicates register operations across a fixed set of memories.
+pub struct RepEngine<V, M> {
+    memories: Vec<ActorId>,
+    next: u64,
+    child_to_parent: BTreeMap<OpId, RepId>,
+    pending: BTreeMap<RepId, Pending<V>>,
+    _msg: std::marker::PhantomData<M>,
+}
+
+impl<V, M> fmt::Debug for RepEngine<V, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RepEngine")
+            .field("memories", &self.memories)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<V, M> RepEngine<V, M>
+where
+    V: Clone + Eq + fmt::Debug + 'static,
+    M: MemEmbed<V>,
+{
+    /// An engine replicating over `memories`. For fault tolerance `f_M`,
+    /// callers must supply `m ≥ 2·f_M + 1` memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memories` is empty.
+    pub fn new(memories: Vec<ActorId>) -> RepEngine<V, M> {
+        assert!(!memories.is_empty(), "need at least one memory");
+        RepEngine {
+            memories,
+            next: 0,
+            child_to_parent: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            _msg: std::marker::PhantomData,
+        }
+    }
+
+    /// The replica set.
+    pub fn memories(&self) -> &[ActorId] {
+        &self.memories
+    }
+
+    /// Majority size of the replica set.
+    pub fn majority(&self) -> usize {
+        self.memories.len() / 2 + 1
+    }
+
+    fn fresh(&mut self) -> RepId {
+        self.next += 1;
+        RepId(self.next)
+    }
+
+    /// Starts a logical write of `value` to `reg` (through `region`).
+    pub fn write(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        client: &mut MemoryClient<V, M>,
+        region: RegionId,
+        reg: RegId,
+        value: V,
+    ) -> RepId {
+        let id = self.fresh();
+        let tracker = QuorumTracker::majority(self.memories.len());
+        self.pending.insert(id, Pending::Vote(tracker, VoteKind::Write));
+        for &mem in &self.memories.clone() {
+            let op = client.write(ctx, mem, region, reg, value.clone());
+            self.child_to_parent.insert(op, id);
+        }
+        id
+    }
+
+    /// Starts a logical read of `reg` (through `region`).
+    pub fn read(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        client: &mut MemoryClient<V, M>,
+        region: RegionId,
+        reg: RegId,
+    ) -> RepId {
+        let id = self.fresh();
+        let tracker = QuorumTracker::majority(self.memories.len());
+        self.pending.insert(id, Pending::Read { tracker, values: Vec::new() });
+        for &mem in &self.memories.clone() {
+            let op = client.read(ctx, mem, region, reg);
+            self.child_to_parent.insert(op, id);
+        }
+        id
+    }
+
+    /// Starts a logical range read of `region`, optionally filtered to a
+    /// sub-pattern of registers.
+    pub fn read_range(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        client: &mut MemoryClient<V, M>,
+        region: RegionId,
+        within: Option<rdma_sim::RegionSpec>,
+    ) -> RepId {
+        let id = self.fresh();
+        let tracker = QuorumTracker::majority(self.memories.len());
+        self.pending.insert(id, Pending::Range { tracker, snapshots: Vec::new() });
+        for &mem in &self.memories.clone() {
+            let op = client.read_range(ctx, mem, region, within);
+            self.child_to_parent.insert(op, id);
+        }
+        id
+    }
+
+    /// Starts a logical permission change on `region`.
+    pub fn change_perm(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        client: &mut MemoryClient<V, M>,
+        region: RegionId,
+        new: Permission,
+    ) -> RepId {
+        let id = self.fresh();
+        let tracker = QuorumTracker::majority(self.memories.len());
+        self.pending.insert(id, Pending::Vote(tracker, VoteKind::Perm));
+        for &mem in &self.memories.clone() {
+            let op = client.change_perm(ctx, mem, region, new.clone());
+            self.child_to_parent.insert(op, id);
+        }
+        id
+    }
+
+    /// Feeds one memory completion. Returns the logical completion if this
+    /// response finished a logical operation.
+    pub fn on_completion(&mut self, c: Completion<V>) -> Option<RepEvent<V>> {
+        let id = self.child_to_parent.remove(&c.op)?;
+        let pending = self.pending.get_mut(&id)?;
+        let event = match pending {
+            Pending::Vote(tracker, kind) => {
+                let ok = c.resp.is_ok();
+                let status = if ok { tracker.vote_yes() } else { tracker.vote_no() };
+                let kind = *kind;
+                match status {
+                    QuorumStatus::Pending => None,
+                    QuorumStatus::Reached => Some(match kind {
+                        VoteKind::Write => RepResult::WriteOk,
+                        VoteKind::Perm => RepResult::PermOk,
+                    }),
+                    QuorumStatus::Impossible => Some(match kind {
+                        VoteKind::Write => RepResult::WriteFailed,
+                        VoteKind::Perm => RepResult::PermFailed,
+                    }),
+                }
+            }
+            Pending::Read { tracker, values } => match c.resp {
+                MemResponse::Value(v) => {
+                    values.push(v);
+                    match tracker.vote_yes() {
+                        QuorumStatus::Reached => {
+                            Some(RepResult::ReadOk(unique_value(values.iter().cloned())))
+                        }
+                        QuorumStatus::Impossible => Some(RepResult::ReadFailed),
+                        QuorumStatus::Pending => None,
+                    }
+                }
+                _ => match tracker.vote_no() {
+                    QuorumStatus::Impossible => Some(RepResult::ReadFailed),
+                    _ => None,
+                },
+            },
+            Pending::Range { tracker, snapshots } => match c.resp {
+                MemResponse::Range(rows) => {
+                    snapshots.push(rows);
+                    match tracker.vote_yes() {
+                        QuorumStatus::Reached => Some(RepResult::RangeOk(merge_ranges(snapshots))),
+                        QuorumStatus::Impossible => Some(RepResult::RangeFailed),
+                        QuorumStatus::Pending => None,
+                    }
+                }
+                _ => match tracker.vote_no() {
+                    QuorumStatus::Impossible => Some(RepResult::RangeFailed),
+                    _ => None,
+                },
+            },
+        };
+        event.map(|result| {
+            self.pending.remove(&id);
+            RepEvent { id, result }
+        })
+    }
+
+    /// Number of logical operations still in flight.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The paper's read rule: exactly one distinct non-⊥ value, else ⊥.
+fn unique_value<V: Eq>(values: impl Iterator<Item = Option<V>>) -> Option<V> {
+    let mut unique: Option<V> = None;
+    for v in values.flatten() {
+        match &unique {
+            None => unique = Some(v),
+            Some(u) if *u == v => {}
+            Some(_) => return None, // two distinct non-⊥ values
+        }
+    }
+    unique
+}
+
+/// Applies the unique-value rule per register across replica snapshots.
+/// A register absent from a snapshot counts as ⊥ there (and ⊥ never
+/// conflicts); a register with two distinct replica values is dropped.
+fn merge_ranges<V: Clone + Eq>(snapshots: &[Vec<(RegId, V)>]) -> BTreeMap<RegId, V> {
+    let mut out: BTreeMap<RegId, Option<V>> = BTreeMap::new();
+    for snap in snapshots {
+        for (reg, v) in snap {
+            match out.get_mut(reg) {
+                None => {
+                    out.insert(*reg, Some(v.clone()));
+                }
+                Some(slot) => {
+                    if let Some(u) = slot {
+                        if u != v {
+                            *slot = None; // conflicting replicas: reads as ⊥
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_value_rule() {
+        assert_eq!(unique_value::<u8>([None, None].into_iter()), None);
+        assert_eq!(unique_value([Some(1), None, Some(1)].into_iter()), Some(1));
+        assert_eq!(unique_value([Some(1), Some(2)].into_iter()), None);
+        assert_eq!(unique_value([None, Some(3)].into_iter()), Some(3));
+    }
+
+    #[test]
+    fn merge_ranges_unique_per_register() {
+        let r1 = RegId::one(1, 1);
+        let r2 = RegId::one(1, 2);
+        let snaps = vec![
+            vec![(r1, 10), (r2, 20)],
+            vec![(r1, 10)],
+            vec![(r1, 11), (r2, 20)], // r1 conflicts here
+        ];
+        let merged = merge_ranges(&snaps);
+        assert_eq!(merged.get(&r1), None);
+        assert_eq!(merged.get(&r2), Some(&20));
+    }
+}

@@ -1,0 +1,128 @@
+//! Counting votes toward a quorum.
+
+/// Progress of a yes/no vote toward a threshold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuorumStatus {
+    /// Not yet decided either way.
+    Pending,
+    /// The threshold of yes votes was reached.
+    Reached,
+    /// Enough no votes arrived that the threshold can never be reached.
+    Impossible,
+}
+
+/// Tracks yes/no votes from `total` voters toward `needed` yes votes.
+///
+/// Voters that never answer (crashed memories, crashed processes) simply
+/// never vote; the tracker reports [`QuorumStatus::Impossible`] only when the
+/// *no* votes alone preclude success, i.e. `no > total - needed`.
+#[derive(Clone, Debug)]
+pub struct QuorumTracker {
+    needed: usize,
+    total: usize,
+    yes: usize,
+    no: usize,
+}
+
+impl QuorumTracker {
+    /// A tracker requiring `needed` of `total` yes votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `needed > total` (such a quorum could never be reached).
+    pub fn new(needed: usize, total: usize) -> QuorumTracker {
+        assert!(needed <= total, "quorum {needed} impossible with {total} voters");
+        QuorumTracker { needed, total, yes: 0, no: 0 }
+    }
+
+    /// A majority-of-`total` tracker.
+    pub fn majority(total: usize) -> QuorumTracker {
+        QuorumTracker::new(total / 2 + 1, total)
+    }
+
+    /// Registers a yes vote and returns the new status.
+    pub fn vote_yes(&mut self) -> QuorumStatus {
+        self.yes += 1;
+        debug_assert!(self.yes + self.no <= self.total, "more votes than voters");
+        self.status()
+    }
+
+    /// Registers a no vote and returns the new status.
+    pub fn vote_no(&mut self) -> QuorumStatus {
+        self.no += 1;
+        debug_assert!(self.yes + self.no <= self.total, "more votes than voters");
+        self.status()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> QuorumStatus {
+        if self.yes >= self.needed {
+            QuorumStatus::Reached
+        } else if self.no > self.total - self.needed {
+            QuorumStatus::Impossible
+        } else {
+            QuorumStatus::Pending
+        }
+    }
+
+    /// Yes votes so far.
+    pub fn yes_count(&self) -> usize {
+        self.yes
+    }
+
+    /// No votes so far.
+    pub fn no_count(&self) -> usize {
+        self.no
+    }
+
+    /// Total responses so far.
+    pub fn responses(&self) -> usize {
+        self.yes + self.no
+    }
+
+    /// The yes threshold.
+    pub fn needed(&self) -> usize {
+        self.needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(QuorumTracker::majority(3).needed(), 2);
+        assert_eq!(QuorumTracker::majority(4).needed(), 3);
+        assert_eq!(QuorumTracker::majority(5).needed(), 3);
+        assert_eq!(QuorumTracker::majority(1).needed(), 1);
+    }
+
+    #[test]
+    fn reaches_on_yes() {
+        let mut q = QuorumTracker::majority(3);
+        assert_eq!(q.vote_yes(), QuorumStatus::Pending);
+        assert_eq!(q.vote_yes(), QuorumStatus::Reached);
+    }
+
+    #[test]
+    fn impossible_on_too_many_no() {
+        let mut q = QuorumTracker::majority(3); // needs 2 of 3
+        assert_eq!(q.vote_no(), QuorumStatus::Pending);
+        assert_eq!(q.vote_no(), QuorumStatus::Impossible);
+    }
+
+    #[test]
+    fn silent_voters_keep_it_pending() {
+        let mut q = QuorumTracker::new(2, 5);
+        assert_eq!(q.vote_yes(), QuorumStatus::Pending);
+        assert_eq!(q.vote_no(), QuorumStatus::Pending);
+        assert_eq!(q.status(), QuorumStatus::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn invalid_threshold_panics() {
+        let _ = QuorumTracker::new(4, 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment E4 — §5.2's claim that processes and memories are
+//! interchangeable agents: Aligned Paxos is live **iff** a majority of the
+//! combined set `n + m` survives. The test sweeps the whole
+//! (dead processes × dead memories) grid on several cluster shapes and
+//! checks liveness exactly at the majority boundary, and safety everywhere.
+
+use agreement::aligned::MemoryMode;
+use agreement::harness::{run_aligned, Scenario};
+
+/// Sweep the full failure grid for a given shape. The proposer (process 0)
+/// is always kept alive — liveness needs *some* correct proposer; the
+/// combined-majority rule governs the acceptors.
+fn sweep(n: usize, m: usize, mode: MemoryMode) {
+    let majority = (n + m) / 2 + 1;
+    for dead_p in 0..n {
+        for dead_m in 0..=m {
+            let alive = (n + m) - dead_p - dead_m;
+            let mut s = Scenario::common_case(n, m, (dead_p * 31 + dead_m) as u64);
+            s.crash_procs = (1..=dead_p).map(|i| (i, 0)).collect();
+            s.crash_mems = (0..dead_m).map(|j| (j, 0)).collect();
+            s.max_delays = 2_500;
+            let report = run_aligned(&s, mode);
+            // Safety always.
+            assert!(report.agreement, "{mode:?} n={n} m={m} dp={dead_p} dm={dead_m}: {report:?}");
+            if alive >= majority {
+                assert!(
+                    report.all_decided,
+                    "{mode:?} n={n} m={m} dp={dead_p} dm={dead_m} (alive {alive} ≥ {majority}): \
+                     should be live: {report:?}"
+                );
+                assert!(report.validity);
+            } else {
+                assert!(
+                    report.decisions.is_empty(),
+                    "{mode:?} n={n} m={m} dp={dead_p} dm={dead_m} (alive {alive} < {majority}): \
+                     should be blocked: {report:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_three_procs_two_mems_disk_style() {
+    sweep(3, 2, MemoryMode::DiskStyle);
+}
+
+#[test]
+fn grid_three_procs_two_mems_protected() {
+    sweep(3, 2, MemoryMode::Protected);
+}
+
+#[test]
+fn grid_two_procs_five_mems() {
+    sweep(2, 5, MemoryMode::DiskStyle);
+}
+
+#[test]
+fn grid_four_procs_three_mems() {
+    sweep(4, 3, MemoryMode::DiskStyle);
+}
+
+/// The headline contrast: configurations where neither a process majority
+/// nor a memory majority survives, yet the combined majority does.
+#[test]
+fn combined_majority_beats_separate_majorities() {
+    // n=4, m=3 → 7 agents, majority 4. Kill 2 processes and 1 memory:
+    // process survivors 2/4 (no process majority), memory survivors 2/3
+    // (a memory majority exists but pure Disk Paxos would ALSO need its
+    // writer process alive — the point is the combined count).
+    let mut s = Scenario::common_case(4, 3, 99);
+    s.crash_procs = vec![(2, 0), (3, 0)];
+    s.crash_mems = vec![(0, 0)];
+    s.max_delays = 2_500;
+    let report = run_aligned(&s, MemoryMode::DiskStyle);
+    assert!(report.all_decided, "{report:?}");
+    assert!(report.agreement && report.validity);
+}
+
+/// Mid-run failures (agents die after the protocol started) keep safety
+/// and — with a surviving majority — liveness.
+#[test]
+fn mid_run_failures() {
+    for t in [1u64, 2, 3, 5] {
+        let mut s = Scenario::common_case(3, 2, 400 + t);
+        s.crash_procs = vec![(2, t)];
+        s.crash_mems = vec![(1, t)];
+        s.max_delays = 2_500;
+        let report = run_aligned(&s, MemoryMode::DiskStyle);
+        assert!(report.agreement, "t={t}: {report:?}");
+        assert!(report.all_decided, "t={t}: {report:?}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Experiment E8 — Lemma 4.1: the three properties of non-equivocating
+//! broadcast, under honest broadcasters, an equivocating Byzantine
+//! broadcaster, memory crashes, and randomized schedules (proptest).
+
+use agreement::adversary::NebEquivocator;
+use agreement::nebcast::{self, NebEngine};
+use agreement::paxos::Dest;
+use agreement::trusted::{RbPayload, SetupEvidence, TWire};
+use agreement::types::{Msg, Pid, RegVal, Value};
+use proptest::prelude::*;
+use rdma_sim::{LegalChange, MemoryActor, MemoryClient};
+use sigsim::{SigAuthority, SigVerifier, Signer};
+use simnet::{Actor, ActorId, Context, DelayModel, Duration, EventKind, Simulation, Time};
+
+/// A minimal honest participant: broadcasts a scripted list of values and
+/// records everything it delivers.
+struct NebTester {
+    engine: NebEngine,
+    client: MemoryClient<RegVal, Msg>,
+    to_broadcast: Vec<Value>,
+    delivered: Vec<(Pid, u64, Value)>,
+}
+
+impl NebTester {
+    fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        mems: Vec<ActorId>,
+        signer: Signer,
+        verifier: SigVerifier,
+        to_broadcast: Vec<Value>,
+    ) -> NebTester {
+        NebTester {
+            engine: NebEngine::new(me, procs, mems, signer, verifier),
+            client: MemoryClient::new(),
+            to_broadcast,
+            delivered: Vec::new(),
+        }
+    }
+
+    fn drain(&mut self) {
+        for d in self.engine.take_deliveries() {
+            if let RbPayload::Setup { value, .. } = d.wire.payload {
+                self.delivered.push((d.from, d.k, value));
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for NebTester {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                for v in self.to_broadcast.clone() {
+                    let wire = TWire {
+                        dest: Dest::All,
+                        payload: RbPayload::Setup { value: v, evidence: SetupEvidence::default() },
+                        history: Vec::new(),
+                    };
+                    self.engine.broadcast(ctx, &mut self.client, wire);
+                }
+                self.engine.poll(ctx, &mut self.client);
+                ctx.set_timer(Duration::from_delays(1), 0);
+            }
+            EventKind::Timer { .. } => {
+                self.engine.poll(ctx, &mut self.client);
+                self.drain();
+                ctx.set_timer(Duration::from_delays(1), 0);
+            }
+            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+                if let Some(c) = self.client.on_wire(ctx, from, wire) {
+                    self.engine.on_completion(ctx, &mut self.client, c);
+                    self.drain();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn neb_memory(procs: &[Pid]) -> MemoryActor<RegVal, Msg> {
+    let mut mem = MemoryActor::new(LegalChange::Static);
+    nebcast::configure_memory(&mut mem, procs);
+    mem
+}
+
+/// Property 1: a correct broadcaster's messages are delivered by every
+/// correct process, in sequence order.
+#[test]
+fn property_one_correct_broadcasts_reach_everyone() {
+    let (n, m) = (3u32, 3u32);
+    let mut sim: Simulation<Msg> = Simulation::new(5);
+    let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+    let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+    let mut auth = SigAuthority::new(1);
+    for i in 0..n {
+        let signer = auth.register(ActorId(i));
+        let vals: Vec<Value> = (0..4).map(|k| Value(100 * i as u64 + k)).collect();
+        sim.add(NebTester::new(
+            ActorId(i),
+            procs.clone(),
+            mems.clone(),
+            signer,
+            auth.verifier(),
+            vals,
+        ));
+    }
+    for _ in 0..m {
+        sim.add(neb_memory(&procs));
+    }
+    sim.run_until(Time::from_delays(400), |s| {
+        (0..n).all(|i| s.actor_as::<NebTester>(ActorId(i)).unwrap().delivered.len() >= 12)
+    });
+    for i in 0..n {
+        let t = sim.actor_as::<NebTester>(ActorId(i)).unwrap();
+        assert_eq!(t.delivered.len(), 12, "process {i} delivered {:?}", t.delivered);
+        // Per-sender sequence order.
+        for q in 0..n {
+            let ks: Vec<u64> =
+                t.delivered.iter().filter(|(f, _, _)| *f == ActorId(q)).map(|(_, k, _)| *k).collect();
+            assert_eq!(ks, vec![1, 2, 3, 4], "process {i} from {q}");
+        }
+    }
+}
+
+/// Property 3: deliveries only happen for values the sender actually
+/// broadcast (nobody can inject into another's row: permissions).
+#[test]
+fn property_three_no_spoofed_deliveries() {
+    let (n, m) = (2u32, 3u32);
+    let mut sim: Simulation<Msg> = Simulation::new(9);
+    let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+    let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+    let mut auth = SigAuthority::new(2);
+    let s0 = auth.register(ActorId(0));
+    let _s1 = auth.register(ActorId(1));
+    sim.add(NebTester::new(
+        ActorId(0),
+        procs.clone(),
+        mems.clone(),
+        s0,
+        auth.verifier(),
+        vec![Value(7)],
+    ));
+    // Process 1 broadcasts nothing; it only listens.
+    sim.add(NebTester::new(
+        ActorId(1),
+        procs.clone(),
+        mems.clone(),
+        _s1,
+        auth.verifier(),
+        vec![],
+    ));
+    for _ in 0..m {
+        sim.add(neb_memory(&procs));
+    }
+    sim.run_until(Time::from_delays(100), |s| {
+        !s.actor_as::<NebTester>(ActorId(1)).unwrap().delivered.is_empty()
+    });
+    let t1 = sim.actor_as::<NebTester>(ActorId(1)).unwrap();
+    assert_eq!(t1.delivered, vec![(ActorId(0), 1, Value(7))]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 2 under attack: an equivocator split-writes two signed
+    /// values across replicas; no two correct processes may ever deliver
+    /// different values for the same (sender, k) — under any seed, split
+    /// point, and link jitter.
+    #[test]
+    fn property_two_no_divergent_deliveries(
+        seed in 0u64..1000,
+        split in 1usize..3,
+        jitter in 1u64..4,
+    ) {
+        let (n, m) = (3u32, 3u32);
+        let mut sim: Simulation<Msg> = Simulation::new(seed);
+        sim.set_default_delay(DelayModel::Uniform {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(jitter),
+        });
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let mut auth = SigAuthority::new(seed ^ 0xE0);
+        let byz_signer = auth.register(ActorId(0));
+        // Process 0 is the equivocator; 1 and 2 are honest listeners.
+        sim.add(NebEquivocator::new(
+            ActorId(0),
+            mems.clone(),
+            split,
+            Value(111),
+            Value(222),
+            byz_signer,
+        ));
+        for i in 1..n {
+            let signer = auth.register(ActorId(i));
+            sim.add(NebTester::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                signer,
+                auth.verifier(),
+                vec![],
+            ));
+        }
+        for _ in 0..m {
+            sim.add(neb_memory(&procs));
+        }
+        sim.run_to_quiescence(Time::from_delays(150));
+        // Collect what the two honest processes delivered from the
+        // equivocator at k = 1.
+        let mut seen = Vec::new();
+        for i in 1..n {
+            let t = sim.actor_as::<NebTester>(ActorId(i)).unwrap();
+            for (f, k, v) in &t.delivered {
+                if *f == ActorId(0) && *k == 1 {
+                    seen.push(*v);
+                }
+            }
+        }
+        // Lemma 4.1 property 2: all deliveries (if any) agree.
+        prop_assert!(seen.windows(2).all(|w| w[0] == w[1]), "diverged: {seen:?}");
+    }
+
+    /// Property 1 resilience: minority memory crashes never block honest
+    /// broadcast delivery.
+    #[test]
+    fn property_one_with_memory_crashes(seed in 0u64..500, dead in 0usize..2) {
+        let (n, m) = (2u32, 5u32);
+        let mut sim: Simulation<Msg> = Simulation::new(seed);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let mut auth = SigAuthority::new(seed);
+        for i in 0..n {
+            let signer = auth.register(ActorId(i));
+            sim.add(NebTester::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                signer,
+                auth.verifier(),
+                vec![Value(10 + i as u64)],
+            ));
+        }
+        for _ in 0..m {
+            sim.add(neb_memory(&procs));
+        }
+        // Crash up to f_M = 2 memories, chosen by the seed.
+        for k in 0..=dead {
+            sim.crash_at(mems[(seed as usize + k) % m as usize], Time::ZERO);
+        }
+        sim.run_until(Time::from_delays(300), |s| {
+            (0..n).all(|i| s.actor_as::<NebTester>(ActorId(i)).unwrap().delivered.len() >= 2)
+        });
+        for i in 0..n {
+            let t = sim.actor_as::<NebTester>(ActorId(i)).unwrap();
+            prop_assert_eq!(t.delivered.len(), 2, "process {} delivered {:?}", i, &t.delivered);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Schedule fuzzing: proptest drives random crash sets, crash times, link
+//! jitter and leadership churn against every crash protocol, asserting the
+//! asynchronous-safety contract (agreement + validity always, no matter
+//! what) and liveness exactly when each protocol's resilience bound says
+//! so.
+
+use agreement::aligned::MemoryMode;
+use agreement::harness::{
+    run_aligned, run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, Scenario,
+};
+use proptest::prelude::*;
+use simnet::{DelayModel, Duration};
+
+fn jittery(s: &mut Scenario, jitter: u64) {
+    if jitter > 0 {
+        s.delay = DelayModel::Uniform {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(1 + jitter),
+        };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Protected Memory Paxos: any non-leader crash set, any crash times,
+    /// any jitter — the leader still decides and nobody ever disagrees.
+    #[test]
+    fn protected_any_follower_crashes(
+        seed in 0u64..50_000,
+        crashes in proptest::collection::btree_map(1usize..5, 0u64..20, 0..4),
+        jitter in 0u64..4,
+    ) {
+        let mut s = Scenario::common_case(5, 3, seed);
+        s.crash_procs = crashes.into_iter().collect();
+        jittery(&mut s, jitter);
+        s.max_delays = 8_000;
+        let r = run_protected(&s);
+        prop_assert!(r.agreement, "{r:?}");
+        prop_assert!(r.validity, "{r:?}");
+        prop_assert!(r.all_decided, "{r:?}");
+    }
+
+    /// Leadership churn against Protected Memory Paxos: arbitrary Ω
+    /// announcements (possibly conflicting with reality) never break
+    /// safety; stabilizing on a live leader restores liveness.
+    #[test]
+    fn protected_leadership_churn(
+        seed in 0u64..50_000,
+        churn in proptest::collection::vec((0u64..30, 0usize..3), 0..5),
+        jitter in 0u64..3,
+    ) {
+        let mut s = Scenario::common_case(3, 3, seed);
+        s.announce = churn;
+        s.announce.push((120, 1)); // eventually: one correct leader
+        jittery(&mut s, jitter);
+        s.max_delays = 10_000;
+        let r = run_protected(&s);
+        prop_assert!(r.agreement, "{r:?}");
+        prop_assert!(r.all_decided, "{r:?}");
+    }
+
+    /// MP Paxos vs Disk Paxos vs PMP vs Aligned on the same random
+    /// minority-crash scenario: each protocol individually agrees and is
+    /// valid (a differential harness — a bug in any one of the four
+    /// state machines shows up as a scenario the others survive).
+    #[test]
+    fn differential_minority_crashes(
+        seed in 0u64..50_000,
+        victim in 1usize..3,
+        crash_at in 0u64..10,
+        jitter in 0u64..3,
+    ) {
+        let mut s = Scenario::common_case(3, 3, seed);
+        s.crash_procs = vec![(victim, crash_at)];
+        jittery(&mut s, jitter);
+        s.max_delays = 10_000;
+        for (name, r) in [
+            ("mp", run_mp_paxos(&s)),
+            ("disk", run_disk_paxos(&s)),
+            ("pmp", run_protected(&s)),
+            ("aligned", run_aligned(&s, MemoryMode::DiskStyle)),
+        ] {
+            prop_assert!(r.agreement, "{name}: {r:?}");
+            prop_assert!(r.validity, "{name}: {r:?}");
+            prop_assert!(r.all_decided, "{name}: {r:?}");
+        }
+    }
+
+    /// Memory crash fuzzing: any minority subset, any times — the three
+    /// memory-based protocols stay live and safe.
+    #[test]
+    fn memory_crash_fuzz(
+        seed in 0u64..50_000,
+        dead in proptest::collection::btree_map(0usize..5, 0u64..8, 0..3),
+    ) {
+        prop_assume!(dead.len() <= 2);
+        let mut s = Scenario::common_case(3, 5, seed);
+        s.crash_mems = dead.into_iter().collect();
+        s.max_delays = 8_000;
+        for (name, r) in [
+            ("disk", run_disk_paxos(&s)),
+            ("pmp", run_protected(&s)),
+            ("aligned", run_aligned(&s, MemoryMode::DiskStyle)),
+        ] {
+            prop_assert!(r.agreement && r.validity && r.all_decided, "{name}: {r:?}");
+        }
+    }
+
+    /// Fast & Robust under combined fuzz: jitter + a tight timeout + a
+    /// follower crash at a random instant. Agreement and validity always;
+    /// termination with the Ω fallback announcement.
+    #[test]
+    fn fast_robust_combined_fuzz(
+        seed in 0u64..50_000,
+        crash_at in 0u64..12,
+        jitter in 0u64..3,
+        timeout in 8u64..20,
+    ) {
+        let mut s = Scenario::common_case(3, 3, seed);
+        s.crash_procs = vec![(2, crash_at)];
+        s.announce = vec![(200, 1)];
+        jittery(&mut s, jitter);
+        s.max_delays = 60_000;
+        let (r, _) = run_fast_robust(&s, timeout);
+        prop_assert!(r.agreement, "{r:?}");
+        prop_assert!(r.validity, "{r:?}");
+        prop_assert!(r.all_decided, "{r:?}");
+    }
+}

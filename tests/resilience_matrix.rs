@@ -1,0 +1,129 @@
+//! Experiment E1 — the Table 1 row the paper adds: weak Byzantine
+//! agreement with `n = 2·f_P + 1` (async, signatures, RDMA
+//! non-equivocation), plus the crash-side bounds of §5.
+//!
+//! The matrix sweeps n and the number of faulty processes; at the bound the
+//! protocols must terminate and agree, past the bound they must *stay safe*
+//! (block rather than split).
+
+use agreement::aligned::MemoryMode;
+use agreement::harness::{
+    run_aligned, run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected,
+    run_robust_backup, Scenario,
+};
+
+/// Fast & Robust at the bound: f = (n-1)/2 silent Byzantine processes.
+#[test]
+fn fast_robust_tolerates_f_byzantine_at_the_bound() {
+    for n in [3usize, 5, 7] {
+        let f = (n - 1) / 2;
+        let mut s = Scenario::common_case(n, 3, 11 + n as u64);
+        s.byz_silent = (n - f..n).collect();
+        s.max_delays = 30_000;
+        let (report, _) = run_fast_robust(&s, 25);
+        assert!(report.all_decided, "n={n}, f={f}: {report:?}");
+        assert!(report.agreement, "n={n}, f={f}: {report:?}");
+        // Weak validity: no faulty process's junk decided (inputs only).
+        assert!(report.validity, "n={n}, f={f}: {report:?}");
+    }
+}
+
+/// One more Byzantine process than the bound: correct processes can no
+/// longer all terminate (n - (f+1) < majority), but nothing diverges.
+#[test]
+fn fast_robust_blocks_safely_beyond_the_bound() {
+    let n = 3;
+    let mut s = Scenario::common_case(n, 3, 77);
+    s.byz_silent = vec![1, 2]; // f+1 = 2 silent Byzantine
+    s.max_delays = 4_000;
+    let (report, _) = run_fast_robust(&s, 25);
+    // The leader alone may fast-decide; the other correct processes are
+    // gone (Byzantine), so "all_decided" can hold trivially here — the
+    // meaningful assertion is agreement among whoever decided.
+    assert!(report.agreement, "{report:?}");
+}
+
+/// Robust Backup alone at the bound (Theorem 4.4).
+#[test]
+fn robust_backup_tolerates_f_byzantine() {
+    for n in [3usize, 5] {
+        let f = (n - 1) / 2;
+        let mut s = Scenario::common_case(n, 3, 5 + n as u64);
+        s.byz_silent = (n - f..n).collect();
+        s.max_delays = 30_000;
+        let (report, _) = run_robust_backup(&s);
+        assert!(report.all_decided, "n={n}: {report:?}");
+        assert!(report.agreement, "n={n}: {report:?}");
+    }
+}
+
+/// Protected Memory Paxos at the crash bound: n = f_P + 1 (all but one
+/// process crash) and m = 2·f_M + 1 (minority of memories crash).
+#[test]
+fn protected_survives_n_minus_one_crashes_and_memory_minority() {
+    for n in [2usize, 3, 5] {
+        let mut s = Scenario::common_case(n, 5, 3 + n as u64);
+        s.crash_procs = (1..n).map(|i| (i, 0)).collect();
+        s.crash_mems = vec![(1, 0), (3, 0)]; // f_M = 2 of m = 5
+        let report = run_protected(&s);
+        assert!(report.all_decided, "n={n}: {report:?}");
+        assert_eq!(report.decisions.len(), 1);
+        assert!(report.validity);
+    }
+}
+
+/// Message-passing Paxos needs a majority: f crashes fine, f+1 blocks.
+#[test]
+fn mp_paxos_majority_bound_is_tight() {
+    let n = 5;
+    // f = 2 crashes: fine.
+    let mut s = Scenario::common_case(n, 0, 21);
+    s.crash_procs = vec![(3, 0), (4, 0)];
+    let report = run_mp_paxos(&s);
+    assert!(report.all_decided && report.agreement, "{report:?}");
+    // f + 1 = 3 crashes: blocked, but never wrong.
+    let mut s = Scenario::common_case(n, 0, 22);
+    s.crash_procs = vec![(2, 0), (3, 0), (4, 0)];
+    s.max_delays = 1_500;
+    let report = run_mp_paxos(&s);
+    assert!(!report.all_decided, "{report:?}");
+    assert!(report.decisions.is_empty(), "{report:?}");
+}
+
+/// Disk Paxos matches Protected Memory Paxos's resilience (but not speed).
+#[test]
+fn disk_paxos_survives_n_minus_one_crashes() {
+    let mut s = Scenario::common_case(3, 3, 31);
+    s.crash_procs = vec![(1, 0), (2, 0)];
+    let report = run_disk_paxos(&s);
+    assert!(report.all_decided, "{report:?}");
+    assert_eq!(report.first_decision_delays, Some(4.0));
+}
+
+/// Memory-majority loss blocks the memory-based protocols without
+/// violating safety.
+#[test]
+fn memory_majority_loss_blocks_safely() {
+    let mut s = Scenario::common_case(2, 3, 41);
+    s.crash_mems = vec![(0, 0), (1, 0)];
+    s.max_delays = 1_000;
+    let p = run_protected(&s);
+    assert!(!p.all_decided && p.decisions.is_empty(), "{p:?}");
+    let d = run_disk_paxos(&s);
+    assert!(!d.all_decided && d.decisions.is_empty(), "{d:?}");
+}
+
+/// Aligned Paxos only cares about the combined count (teaser for E4; the
+/// full grid lives in aligned_majority.rs).
+#[test]
+fn aligned_survives_what_would_kill_either_side() {
+    // n=2, m=3 → 5 agents, majority 3. Kill 1 process + 1 memory: a
+    // process-majority protocol (MP Paxos) and nothing-but-memories
+    // protocols both have trouble; Aligned sails through.
+    let mut s = Scenario::common_case(2, 3, 51);
+    s.crash_procs = vec![(1, 0)];
+    s.crash_mems = vec![(2, 0)];
+    let report = run_aligned(&s, MemoryMode::DiskStyle);
+    assert!(report.all_decided, "{report:?}");
+    assert!(report.validity);
+}
