@@ -63,13 +63,24 @@ impl NebEquivocator {
         b: Value,
         signer: Signer,
     ) -> NebEquivocator {
-        NebEquivocator { me, mems, split, a, b, signer, client: MemoryClient::new() }
+        NebEquivocator {
+            me,
+            mems,
+            split,
+            a,
+            b,
+            signer,
+            client: MemoryClient::new(),
+        }
     }
 
     fn slot_for(&self, v: Value) -> RegVal {
         let wire = TWire {
             dest: Dest::All,
-            payload: RbPayload::Setup { value: v, evidence: Default::default() },
+            payload: RbPayload::Setup {
+                value: v,
+                evidence: Default::default(),
+            },
             history: Vec::new(),
         };
         let sig = self.signer.sign(&wire.sign_view(1));
@@ -89,7 +100,10 @@ impl Actor<Msg> for NebEquivocator {
                     self.client.write(ctx, mem, region, reg, val);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 let _ = self.client.on_wire(ctx, from, wire);
             }
             _ => {}
@@ -117,7 +131,13 @@ pub struct BadHistoryActor {
 impl BadHistoryActor {
     /// Creates the adversary.
     pub fn new(me: Pid, mems: Vec<ActorId>, v: Value, signer: Signer) -> BadHistoryActor {
-        BadHistoryActor { me, mems, v, signer, client: MemoryClient::new() }
+        BadHistoryActor {
+            me,
+            mems,
+            v,
+            signer,
+            client: MemoryClient::new(),
+        }
     }
 }
 
@@ -131,7 +151,10 @@ impl Actor<Msg> for BadHistoryActor {
                 let wire = TWire {
                     dest: Dest::All,
                     payload: RbPayload::Paxos(PaxosMsg::Accept {
-                        b: Ballot { round: 1, pid: self.me },
+                        b: Ballot {
+                            round: 1,
+                            pid: self.me,
+                        },
                         v: self.v,
                     }),
                     history: Vec::<HistEntry>::new(),
@@ -144,7 +167,10 @@ impl Actor<Msg> for BadHistoryActor {
                     self.client.write(ctx, mem, region, reg, slot.clone());
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 let _ = self.client.on_wire(ctx, from, wire);
             }
             _ => {}
@@ -183,12 +209,25 @@ impl CqEquivocatingLeader {
         b: Value,
         signer: Signer,
     ) -> CqEquivocatingLeader {
-        CqEquivocatingLeader { me, mems, split, a, b, signer, client: MemoryClient::new(), ops: Vec::new() }
+        CqEquivocatingLeader {
+            me,
+            mems,
+            split,
+            a,
+            b,
+            signer,
+            client: MemoryClient::new(),
+            ops: Vec::new(),
+        }
     }
 
     fn signed(&self, v: Value) -> RegVal {
         let sig = self.signer.sign(&(sigtags::CQ_VALUE, v));
-        RegVal::CqValue(CqSigned { value: v, leader_sig: sig, own_sig: sig })
+        RegVal::CqValue(CqSigned {
+            value: v,
+            leader_sig: sig,
+            own_sig: sig,
+        })
     }
 }
 
@@ -209,7 +248,10 @@ impl Actor<Msg> for CqEquivocatingLeader {
                     self.ops.push(op);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 let _ = self.client.on_wire(ctx, from, wire);
             }
             _ => {}
@@ -247,7 +289,14 @@ impl HistoryRewriter {
         fake: Value,
         signer: Signer,
     ) -> HistoryRewriter {
-        HistoryRewriter { me, mems, real, fake, signer, client: MemoryClient::new() }
+        HistoryRewriter {
+            me,
+            mems,
+            real,
+            fake,
+            signer,
+            client: MemoryClient::new(),
+        }
     }
 
     fn broadcast(&mut self, ctx: &mut Context<'_, Msg>, k: u64, wire: TWire) {
@@ -268,7 +317,10 @@ impl Actor<Msg> for HistoryRewriter {
                 // k=1: a perfectly legal Setup broadcast of `real`.
                 let first = TWire {
                     dest: Dest::All,
-                    payload: RbPayload::Setup { value: self.real, evidence: Default::default() },
+                    payload: RbPayload::Setup {
+                        value: self.real,
+                        evidence: Default::default(),
+                    },
                     history: Vec::new(),
                 };
                 self.broadcast(ctx, 1, first);
@@ -277,18 +329,27 @@ impl Actor<Msg> for HistoryRewriter {
                 let lying_history = vec![HistEntry::Sent {
                     k: 1,
                     dest: Dest::All,
-                    payload: RbPayload::Setup { value: self.fake, evidence: Default::default() },
+                    payload: RbPayload::Setup {
+                        value: self.fake,
+                        evidence: Default::default(),
+                    },
                 }];
                 let second = TWire {
                     dest: Dest::All,
                     payload: RbPayload::Paxos(PaxosMsg::Prepare {
-                        b: Ballot { round: 1, pid: self.me },
+                        b: Ballot {
+                            round: 1,
+                            pid: self.me,
+                        },
                     }),
                     history: lying_history,
                 };
                 self.broadcast(ctx, 2, second);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 let _ = self.client.on_wire(ctx, from, wire);
             }
             _ => {}

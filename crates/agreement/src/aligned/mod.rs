@@ -93,14 +93,19 @@ pub fn slot_reg(instance: Instance, p: Pid) -> RegId {
 }
 
 /// Builds one Aligned Paxos memory for the given mode.
-pub fn memory_actor(mode: MemoryMode, procs: &[Pid], initial_leader: Pid) -> MemoryActor<RegVal, Msg> {
+pub fn memory_actor(
+    mode: MemoryMode,
+    procs: &[Pid],
+    initial_leader: Pid,
+) -> MemoryActor<RegVal, Msg> {
     match mode {
-        MemoryMode::Protected => MemoryActor::new(LegalChange::Policy(crate::protected::legal_change))
-            .with_region(
+        MemoryMode::Protected => {
+            MemoryActor::new(LegalChange::Policy(crate::protected::legal_change)).with_region(
                 EXCL_REGION,
                 RegionSpec::Space(spaces::ALN),
                 Permission::exclusive_writer(initial_leader),
-            ),
+            )
+        }
         MemoryMode::DiskStyle => {
             let mut mem = MemoryActor::new(LegalChange::Static);
             for &p in procs {
@@ -115,7 +120,11 @@ pub fn memory_actor(mode: MemoryMode, procs: &[Pid], initial_leader: Pid) -> Mem
                     Permission::exclusive_writer(p),
                 );
             }
-            mem.add_region(ALL_REGION, RegionSpec::Space(spaces::ALN), Permission::read_only());
+            mem.add_region(
+                ALL_REGION,
+                RegionSpec::Space(spaces::ALN),
+                Permission::read_only(),
+            );
             mem
         }
     }
@@ -246,7 +255,12 @@ impl AlignedPaxosActor {
     }
 
     fn instance_pattern(&self) -> RegionSpec {
-        RegionSpec::Pattern { space: spaces::ALN, a: Some(self.instance.0), b: None, c: None }
+        RegionSpec::Pattern {
+            space: spaces::ALN,
+            a: Some(self.instance.0),
+            b: None,
+            c: None,
+        }
     }
 
     fn start_attempt(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -255,7 +269,10 @@ impl AlignedPaxosActor {
         }
         self.attempt += 1;
         self.round = self.round.max(self.max_round_seen) + 1;
-        let b = Ballot { round: self.round, pid: self.me };
+        let b = Ballot {
+            round: self.round,
+            pid: self.me,
+        };
         self.ballot = Some(b);
         self.phase = Phase::One;
         self.promises.clear();
@@ -293,12 +310,9 @@ impl AlignedPaxosActor {
                 RegVal::Slot(PaxSlot::phase1(b)),
             );
             self.op_map.insert(w, (self.attempt, mem, StepKind::Write));
-            let r = self.client.read_range(
-                ctx,
-                mem,
-                self.scan_region(),
-                Some(self.instance_pattern()),
-            );
+            let r =
+                self.client
+                    .read_range(ctx, mem, self.scan_region(), Some(self.instance_pattern()));
             self.op_map.insert(r, (self.attempt, mem, StepKind::Scan));
         }
     }
@@ -308,16 +322,19 @@ impl AlignedPaxosActor {
         match m {
             AlMsg::Prepare { b } => {
                 self.max_round_seen = self.max_round_seen.max(b.round);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
-                    Some(AlMsg::Promise { b, acc: self.accepted })
+                    Some(AlMsg::Promise {
+                        b,
+                        acc: self.accepted,
+                    })
                 } else {
                     Some(AlMsg::Nack { b })
                 }
             }
             AlMsg::Accept { b, v } => {
                 self.max_round_seen = self.max_round_seen.max(b.round);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
                     self.accepted = Some((b, v));
                     Some(AlMsg::Accepted { b })
@@ -367,10 +384,7 @@ impl AlignedPaxosActor {
         }
         let ballot = self.ballot.expect("phase without ballot");
         let mems = self.completed_mem_agents_phase1();
-        let ok_mems: Vec<_> = mems
-            .iter()
-            .filter(|a| a.wrote == Some(true))
-            .collect();
+        let ok_mems: Vec<_> = mems.iter().filter(|a| a.wrote == Some(true)).collect();
         // Analyze 1 (Algorithm 12): any failed write or higher minProp
         // aborts; otherwise adopt the highest accepted value.
         let mut max_seen = 0;
@@ -383,7 +397,7 @@ impl AlignedPaxosActor {
                     higher = true;
                 }
                 if let (Some(ap), Some(v)) = (s.acc_prop, s.value) {
-                    if best.map_or(true, |(bb, _)| ap > bb) {
+                    if best.is_none_or(|(bb, _)| ap > bb) {
                         best = Some((ap, v));
                     }
                 }
@@ -402,7 +416,7 @@ impl AlignedPaxosActor {
         }
         // Merge process promises into the adoption rule.
         for acc in self.promises.values().flatten() {
-            if best.map_or(true, |(bb, _)| acc.0 > bb) {
+            if best.is_none_or(|(bb, _)| acc.0 > bb) {
                 best = Some(*acc);
             }
         }
@@ -489,7 +503,13 @@ impl AlignedPaxosActor {
         ctx.mark_decided();
         for &q in &self.procs.clone() {
             if q != self.me {
-                ctx.send(q, Msg::Decided { instance: self.instance, value: v });
+                ctx.send(
+                    q,
+                    Msg::Decided {
+                        instance: self.instance,
+                        value: v,
+                    },
+                );
             }
         }
     }
@@ -521,7 +541,10 @@ impl Actor<Msg> for AlignedPaxosActor {
                     self.start_attempt(ctx);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Aligned(m) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Aligned(m),
+            } => {
                 // Acceptor-agent half first (Prepare/Accept), proposer half
                 // for hear-backs.
                 match m {
@@ -533,14 +556,23 @@ impl Actor<Msg> for AlignedPaxosActor {
                     _ => self.proposer_on(ctx, from, m),
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else { return };
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else {
+                    return;
+                };
                 if attempt != self.attempt || self.phase == Phase::Idle {
                     return;
                 }
                 let phase = self.phase;
-                let Some(agent) = self.mem_agents.get_mut(&mem) else { return };
+                let Some(agent) = self.mem_agents.get_mut(&mem) else {
+                    return;
+                };
                 match (step, c.resp) {
                     (StepKind::Perm, _) => {} // advisory; write outcome decides
                     (StepKind::Write, MemResponse::Ack) => agent.wrote = Some(true),
@@ -571,7 +603,10 @@ impl Actor<Msg> for AlignedPaxosActor {
                     Phase::Idle => {}
                 }
             }
-            EventKind::Msg { msg: Msg::Decided { instance, value }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Decided { instance, value },
+                ..
+            } => {
                 if instance == self.instance && self.decided.is_none() {
                     self.decided = Some(value);
                     self.decided_at = Some(ctx.now());
@@ -616,7 +651,10 @@ mod tests {
     }
 
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
-        procs.iter().map(|&p| sim.actor_as::<AlignedPaxosActor>(p).unwrap().decision()).collect()
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<AlignedPaxosActor>(p).unwrap().decision())
+            .collect()
     }
 
     #[test]
@@ -625,7 +663,10 @@ mod tests {
             let (mut sim, procs, _) = build(3, 2, 1, mode);
             sim.run_to_quiescence(Time::from_delays(60));
             let ds = decisions(&sim, &procs);
-            assert!(ds.iter().all(|d| *d == Some(Value(100))), "{mode:?}: {ds:?}");
+            assert!(
+                ds.iter().all(|d| *d == Some(Value(100))),
+                "{mode:?}: {ds:?}"
+            );
         }
     }
 

@@ -48,7 +48,12 @@ pub fn proc_region(p: Pid) -> RegionId {
 }
 
 /// The leader proposal register `Value[ℓ]`.
-pub const VALUE_L: RegId = RegId { space: spaces::CQ_LEADER, a: 0, b: 0, c: 0 };
+pub const VALUE_L: RegId = RegId {
+    space: spaces::CQ_LEADER,
+    a: 0,
+    b: 0,
+    c: 0,
+};
 
 /// `Value[p]`.
 pub fn value_reg(p: Pid) -> RegId {
@@ -124,7 +129,11 @@ pub fn verify_unanimity(proof: &UnanimityProof, procs: &[Pid], verifier: &SigVer
             return false;
         }
     }
-    let view = ProofView { tag: sigtags::CQ_PROOF, value: proof.value, shares: &proof.shares };
+    let view = ProofView {
+        tag: sigtags::CQ_PROOF,
+        value: proof.value,
+        shares: &proof.shares,
+    };
     verifier.valid(proof.assembler, &view, &proof.outer_sig)
 }
 
@@ -296,8 +305,14 @@ impl CqCore {
         let v = self.input;
         let sig = self.signer.sign(&(sigtags::CQ_VALUE, v));
         self.leader_sig = Some(sig);
-        let signed = CqSigned { value: v, leader_sig: sig, own_sig: sig };
-        let rep = self.rep.write(ctx, client, LEADER_REGION, VALUE_L, RegVal::CqValue(signed));
+        let signed = CqSigned {
+            value: v,
+            leader_sig: sig,
+            own_sig: sig,
+        };
+        let rep = self
+            .rep
+            .write(ctx, client, LEADER_REGION, VALUE_L, RegVal::CqValue(signed));
         self.tags.insert(rep, Tag::LeaderWrite);
     }
 
@@ -352,8 +367,13 @@ impl CqCore {
         }
         self.panicked = true;
         self.panic_step = PanicStep::Flag;
-        let rep =
-            self.rep.write(ctx, client, proc_region(self.me), panic_reg(self.me), RegVal::CqPanic(true));
+        let rep = self.rep.write(
+            ctx,
+            client,
+            proc_region(self.me),
+            panic_reg(self.me),
+            RegVal::CqPanic(true),
+        );
         self.tags.insert(rep, Tag::PanicFlagWrite);
     }
 
@@ -365,18 +385,23 @@ impl CqCore {
         match self.panic_step {
             PanicStep::Flag => {
                 self.panic_step = PanicStep::Revoke;
-                let rep =
-                    self.rep.change_perm(ctx, client, LEADER_REGION, Permission::read_only());
+                let rep = self
+                    .rep
+                    .change_perm(ctx, client, LEADER_REGION, Permission::read_only());
                 self.tags.insert(rep, Tag::PanicRevoke);
             }
             PanicStep::Revoke => {
                 self.panic_step = PanicStep::ReadOwnValue;
-                let rep = self.rep.read(ctx, client, proc_region(self.me), value_reg(self.me));
+                let rep = self
+                    .rep
+                    .read(ctx, client, proc_region(self.me), value_reg(self.me));
                 self.tags.insert(rep, Tag::PanicReadOwnValue);
             }
             PanicStep::ReadOwnValue => {
                 self.panic_step = PanicStep::ReadOwnProof;
-                let rep = self.rep.read(ctx, client, proc_region(self.me), proof_reg(self.me));
+                let rep = self
+                    .rep
+                    .read(ctx, client, proc_region(self.me), proof_reg(self.me));
                 self.tags.insert(rep, Tag::PanicReadOwnProof);
             }
             PanicStep::ReadOwnProof => {
@@ -407,8 +432,12 @@ impl CqCore {
         client: &mut MemoryClient<RegVal, Msg>,
         completion: Completion<RegVal>,
     ) -> bool {
-        let Some(done) = self.rep.on_completion(completion) else { return false };
-        let Some(tag) = self.tags.remove(&done.id) else { return true };
+        let Some(done) = self.rep.on_completion(completion) else {
+            return false;
+        };
+        let Some(tag) = self.tags.remove(&done.id) else {
+            return true;
+        };
         match (tag, done.result) {
             (Tag::LeaderWrite, RepResult::WriteOk) => {
                 // The uncontended instantaneous guarantee: a successful
@@ -441,9 +470,7 @@ impl CqCore {
             (Tag::CopyRead(q), RepResult::ReadOk(Some(RegVal::CqValue(cs)))) => {
                 self.copy_reads_out.remove(&q);
                 let v = self.v.expect("collecting before adopting");
-                if cs.value == v
-                    && self.verifier.valid(q, &(sigtags::CQ_VALUE, v), &cs.own_sig)
-                {
+                if cs.value == v && self.verifier.valid(q, &(sigtags::CQ_VALUE, v), &cs.own_sig) {
                     self.copies.insert(q, cs);
                     if self.copies.len() >= self.procs.len() && self.my_proof.is_none() {
                         self.assemble_proof(ctx, client);
@@ -488,10 +515,11 @@ impl CqCore {
             (Tag::PanicReadLeader, r) => {
                 self.panic_step = PanicStep::Done;
                 if let RepResult::ReadOk(Some(RegVal::CqValue(cs))) = r {
-                    if self
-                        .verifier
-                        .valid(self.leader, &(sigtags::CQ_VALUE, cs.value), &cs.leader_sig)
-                    {
+                    if self.verifier.valid(
+                        self.leader,
+                        &(sigtags::CQ_VALUE, cs.value),
+                        &cs.leader_sig,
+                    ) {
                         self.abort = Some(AbortOutcome {
                             value: cs.value,
                             evidence: SetupEvidence {
@@ -519,8 +547,13 @@ impl CqCore {
             leader_sig: self.leader_sig.expect("leader sig known"),
             own_sig,
         };
-        let rep =
-            self.rep.write(ctx, client, proc_region(self.me), value_reg(self.me), RegVal::CqValue(signed));
+        let rep = self.rep.write(
+            ctx,
+            client,
+            proc_region(self.me),
+            value_reg(self.me),
+            RegVal::CqValue(signed),
+        );
         self.tags.insert(rep, Tag::CopyWrite);
     }
 
@@ -532,9 +565,18 @@ impl CqCore {
         let v = self.v.expect("proof before value");
         let shares: Vec<(Pid, Signature)> =
             self.copies.iter().map(|(q, cs)| (*q, cs.own_sig)).collect();
-        let view = ProofView { tag: sigtags::CQ_PROOF, value: v, shares: &shares };
+        let view = ProofView {
+            tag: sigtags::CQ_PROOF,
+            value: v,
+            shares: &shares,
+        };
         let outer_sig = self.signer.sign(&view);
-        let proof = UnanimityProof { value: v, shares, assembler: self.me, outer_sig };
+        let proof = UnanimityProof {
+            value: v,
+            shares,
+            assembler: self.me,
+            outer_sig,
+        };
         self.my_proof = Some(proof.clone());
         let rep = self.rep.write(
             ctx,
@@ -639,7 +681,9 @@ impl Actor<Msg> for CheapQuorumActor {
                 }
                 self.after_step(ctx);
             }
-            EventKind::Timer { tag: TIMEOUT_TAG, .. } => {
+            EventKind::Timer {
+                tag: TIMEOUT_TAG, ..
+            } => {
                 // The paper's timeout: an upper bound on common-case
                 // delays; expiry without a decision means panic.
                 if self.core.decision().is_none() && !self.core.panicked() {
@@ -648,11 +692,17 @@ impl Actor<Msg> for CheapQuorumActor {
                 }
             }
             EventKind::Timer { .. } => {}
-            EventKind::Msg { msg: Msg::Panic { .. }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Panic { .. },
+                ..
+            } => {
                 self.core.panic(ctx, &mut self.client);
                 self.after_step(ctx);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     self.core.on_completion(ctx, &mut self.client, c);
                     self.after_step(ctx);
@@ -716,7 +766,10 @@ mod tests {
         let mut b = build(3, 3, 1, 60);
         b.sim.run_until(Time::from_delays(50), |s| {
             (0..3).all(|i| {
-                s.actor_as::<CheapQuorumActor>(ActorId(i)).unwrap().decision().is_some()
+                s.actor_as::<CheapQuorumActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
             })
         });
         let out = outcomes(&b);
@@ -751,7 +804,9 @@ mod tests {
             sim.add(memory_actor(&procs, ActorId(0)));
         }
         // Run only until the leader decides.
-        sim.run_until(Time::from_delays(1000), |s| s.metrics().first_decision().is_some());
+        sim.run_until(Time::from_delays(1000), |s| {
+            s.metrics().first_decision().is_some()
+        });
         // The fast decision required exactly one signature (the leader's
         // sign(v)) — the §4.2 claim versus 6f+2 for prior protocols.
         assert_eq!(auth.signatures_created(), 1);
@@ -783,7 +838,10 @@ mod tests {
             let (d, a) = &out[i];
             assert_eq!(*d, None);
             assert_eq!(*a, Some(Value(100)), "abort value must match decision");
-            let actor = b.sim.actor_as::<CheapQuorumActor>(ActorId(i as u32)).unwrap();
+            let actor = b
+                .sim
+                .actor_as::<CheapQuorumActor>(ActorId(i as u32))
+                .unwrap();
             let ab = actor.abort().unwrap();
             assert!(ab.evidence.leader_sig.is_some());
         }
@@ -811,7 +869,10 @@ mod tests {
         // Let the run go: all three decide (followers via proofs).
         b.sim.run_until(Time::from_delays(17), |s| {
             (0..3).all(|i| {
-                s.actor_as::<CheapQuorumActor>(ActorId(i)).unwrap().decision().is_some()
+                s.actor_as::<CheapQuorumActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
             })
         });
         let followers_decided = (1..3)
@@ -870,7 +931,10 @@ mod tests {
         b.sim.crash_at(m4, Time::ZERO);
         b.sim.run_until(Time::from_delays(59), |s| {
             (0..3).all(|i| {
-                s.actor_as::<CheapQuorumActor>(ActorId(i)).unwrap().decision().is_some()
+                s.actor_as::<CheapQuorumActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
             })
         });
         let out = outcomes(&b);

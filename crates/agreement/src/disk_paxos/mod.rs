@@ -47,11 +47,20 @@ pub fn configure_disk(mem: &mut MemoryActor<RegVal, Msg>, procs: &[Pid]) {
     for &p in procs {
         mem.add_region(
             row_region(p),
-            RegionSpec::Pattern { space: spaces::DISK, a: None, b: Some(p.0 as u64), c: None },
+            RegionSpec::Pattern {
+                space: spaces::DISK,
+                a: None,
+                b: Some(p.0 as u64),
+                c: None,
+            },
             Permission::exclusive_writer(p),
         );
     }
-    mem.add_region(ALL_REGION, RegionSpec::Space(spaces::DISK), Permission::read_only());
+    mem.add_region(
+        ALL_REGION,
+        RegionSpec::Space(spaces::DISK),
+        Permission::read_only(),
+    );
 }
 
 /// Builds a ready-to-add disk actor.
@@ -161,13 +170,27 @@ impl DiskPaxosActor {
             (Ballot::initial(self.me), Phase::Two)
         } else {
             self.round = self.round.max(self.max_round_seen) + 1;
-            (Ballot { round: self.round, pid: self.me }, Phase::One)
+            (
+                Ballot {
+                    round: self.round,
+                    pid: self.me,
+                },
+                Phase::One,
+            )
         };
         self.ballot = Some(ballot);
         self.phase = phase;
         let block = match phase {
-            Phase::One => DiskBlock { mbal: ballot, bal: None, inp: None },
-            Phase::Two => DiskBlock { mbal: ballot, bal: Some(ballot), inp: self.value },
+            Phase::One => DiskBlock {
+                mbal: ballot,
+                bal: None,
+                inp: None,
+            },
+            Phase::Two => DiskBlock {
+                mbal: ballot,
+                bal: Some(ballot),
+                inp: self.value,
+            },
             Phase::Idle => unreachable!(),
         };
         self.write_and_scan(ctx, block);
@@ -179,7 +202,9 @@ impl DiskPaxosActor {
         let reg = block_reg(self.instance, self.me);
         for &d in &self.disks.clone() {
             self.progress.insert(d, DiskProgress::default());
-            let w = self.client.write(ctx, d, row_region(self.me), reg, RegVal::Disk(block));
+            let w = self
+                .client
+                .write(ctx, d, row_region(self.me), reg, RegVal::Disk(block));
             self.op_map.insert(w, (self.attempt, d, true));
             let r = self.client.read_range(
                 ctx,
@@ -234,7 +259,11 @@ impl DiskPaxosActor {
                 self.phase = Phase::Two;
                 self.attempt += 1;
                 self.progress.clear();
-                let block = DiskBlock { mbal: ballot, bal: Some(ballot), inp: Some(adopted) };
+                let block = DiskBlock {
+                    mbal: ballot,
+                    bal: Some(ballot),
+                    inp: Some(adopted),
+                };
                 self.write_and_scan(ctx, block);
             }
             Phase::Two => {
@@ -247,7 +276,13 @@ impl DiskPaxosActor {
                 // "easy to extend it so all correct processes decide").
                 for &q in &self.procs.clone() {
                     if q != self.me {
-                        ctx.send(q, Msg::Decided { instance: self.instance, value: v });
+                        ctx.send(
+                            q,
+                            Msg::Decided {
+                                instance: self.instance,
+                                value: v,
+                            },
+                        );
                     }
                 }
             }
@@ -282,13 +317,22 @@ impl Actor<Msg> for DiskPaxosActor {
                     self.start_attempt(ctx);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                let Some((attempt, disk, is_write)) = self.op_map.remove(&c.op) else { return };
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                let Some((attempt, disk, is_write)) = self.op_map.remove(&c.op) else {
+                    return;
+                };
                 if attempt != self.attempt || self.phase == Phase::Idle {
                     return; // stale response from an abandoned attempt
                 }
-                let Some(prog) = self.progress.get_mut(&disk) else { return };
+                let Some(prog) = self.progress.get_mut(&disk) else {
+                    return;
+                };
                 if is_write {
                     match c.resp {
                         rdma_sim::MemResponse::Ack => prog.wrote = true,
@@ -311,7 +355,10 @@ impl Actor<Msg> for DiskPaxosActor {
                 }
                 self.phase_step(ctx);
             }
-            EventKind::Msg { msg: Msg::Decided { instance, value }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Decided { instance, value },
+                ..
+            } => {
                 if instance == self.instance && self.decided.is_none() {
                     self.decided = Some(value);
                     self.decided_at = Some(ctx.now());
@@ -350,7 +397,10 @@ mod tests {
     }
 
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
-        procs.iter().map(|&p| sim.actor_as::<DiskPaxosActor>(p).unwrap().decision()).collect()
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<DiskPaxosActor>(p).unwrap().decision())
+            .collect()
     }
 
     #[test]

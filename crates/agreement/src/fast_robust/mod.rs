@@ -114,7 +114,15 @@ impl FastRobustActor {
             signer.clone(),
             verifier.clone(),
         );
-        let pp = PrefCore::new(me, procs.clone(), memories, Some(leader), leader, signer, verifier);
+        let pp = PrefCore::new(
+            me,
+            procs.clone(),
+            memories,
+            Some(leader),
+            leader,
+            signer,
+            verifier,
+        );
         FastRobustActor {
             me,
             procs,
@@ -192,7 +200,11 @@ impl FastRobustActor {
             }
         }
         if let (Some(d), Some(c)) = (self.decided, cq_d) {
-            assert_eq!(d, c, "composition broken: fast path diverged at {}", self.me);
+            assert_eq!(
+                d, c,
+                "composition broken: fast path diverged at {}",
+                self.me
+            );
         }
         if let (Some(d), Some(p)) = (self.decided, pp_d) {
             assert_eq!(d, p, "composition broken: backup diverged at {}", self.me);
@@ -249,21 +261,29 @@ impl Actor<Msg> for FastRobustActor {
                     ctx.set_timer(self.retry_every, RETRY_TAG);
                 }
             }
-            EventKind::Timer { tag: TIMEOUT_TAG, .. } => {
+            EventKind::Timer {
+                tag: TIMEOUT_TAG, ..
+            } => {
                 if self.cq.decision().is_none() && !self.cq.panicked() {
                     self.cq.panic(ctx, &mut self.client);
                     self.after_step(ctx);
                 }
             }
             EventKind::Timer { .. } => {}
-            EventKind::Msg { msg: Msg::Panic { .. }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Panic { .. },
+                ..
+            } => {
                 if !self.cq.panicked() {
                     self.cq.panic(ctx, &mut self.client);
                 }
                 self.arm_timers(ctx);
                 self.after_step(ctx);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     if !self.cq.on_completion(ctx, &mut self.client, c.clone()) {
                         self.pp.on_completion(ctx, &mut self.client, c);
@@ -319,14 +339,22 @@ mod tests {
     }
 
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
-        procs.iter().map(|&p| sim.actor_as::<FastRobustActor>(p).unwrap().decision()).collect()
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<FastRobustActor>(p).unwrap().decision())
+            .collect()
     }
 
     #[test]
     fn common_case_two_delays_no_backup() {
         let mut b = build(3, 3, 1, 60);
         b.sim.run_until(Time::from_delays(59), |s| {
-            (0..3).all(|i| s.actor_as::<FastRobustActor>(ActorId(i)).unwrap().decision().is_some())
+            (0..3).all(|i| {
+                s.actor_as::<FastRobustActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
         let ds = decisions(&b.sim, &b.procs);
         assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
@@ -346,16 +374,27 @@ mod tests {
         let tail = [ActorId(1), ActorId(2)];
         // Ω converges on a correct process (the standard liveness
         // assumption for the backup's Paxos).
-        b.sim.announce_leader(Time::from_delays(60), &tail, ActorId(1));
+        b.sim
+            .announce_leader(Time::from_delays(60), &tail, ActorId(1));
         b.sim.run_until(Time::from_delays(3000), |s| {
-            tail.iter().all(|&p| s.actor_as::<FastRobustActor>(p).unwrap().decision().is_some())
+            tail.iter().all(|&p| {
+                s.actor_as::<FastRobustActor>(p)
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
-        let ds: Vec<_> =
-            tail.iter().map(|&p| b.sim.actor_as::<FastRobustActor>(p).unwrap().decision()).collect();
+        let ds: Vec<_> = tail
+            .iter()
+            .map(|&p| b.sim.actor_as::<FastRobustActor>(p).unwrap().decision())
+            .collect();
         assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
         assert_eq!(ds[0], ds[1], "agreement across backup deciders");
         for &p in &tail {
-            assert_eq!(b.sim.actor_as::<FastRobustActor>(p).unwrap().via, Some(Via::Backup));
+            assert_eq!(
+                b.sim.actor_as::<FastRobustActor>(p).unwrap().via,
+                Some(Via::Backup)
+            );
         }
     }
 
@@ -367,12 +406,20 @@ mod tests {
         let mut b = build(3, 3, 3, 15);
         b.sim.crash_at(ActorId(0), Time::from_delays(3));
         let tail = [ActorId(1), ActorId(2)];
-        b.sim.announce_leader(Time::from_delays(60), &tail, ActorId(1));
+        b.sim
+            .announce_leader(Time::from_delays(60), &tail, ActorId(1));
         b.sim.run_until(Time::from_delays(4000), |s| {
-            tail.iter().all(|&p| s.actor_as::<FastRobustActor>(p).unwrap().decision().is_some())
+            tail.iter().all(|&p| {
+                s.actor_as::<FastRobustActor>(p)
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
-        let ds: Vec<_> =
-            tail.iter().map(|&p| b.sim.actor_as::<FastRobustActor>(p).unwrap().decision()).collect();
+        let ds: Vec<_> = tail
+            .iter()
+            .map(|&p| b.sim.actor_as::<FastRobustActor>(p).unwrap().decision())
+            .collect();
         assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");
     }
 
@@ -384,7 +431,12 @@ mod tests {
         let mut b = build_with_byzantine(4, 17);
         let correct = [ActorId(0), ActorId(1)];
         b.sim.run_until(Time::from_delays(5000), |s| {
-            correct.iter().all(|&p| s.actor_as::<FastRobustActor>(p).unwrap().decision().is_some())
+            correct.iter().all(|&p| {
+                s.actor_as::<FastRobustActor>(p)
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
         let ds: Vec<_> = correct
             .iter()
@@ -436,7 +488,10 @@ mod tests {
             });
             b.sim.run_until(Time::from_delays(30_000), |s| {
                 (0..3).all(|i| {
-                    s.actor_as::<FastRobustActor>(ActorId(i)).unwrap().decision().is_some()
+                    s.actor_as::<FastRobustActor>(ActorId(i))
+                        .unwrap()
+                        .decision()
+                        .is_some()
                 })
             });
             let ds = decisions(&b.sim, &b.procs);
@@ -455,7 +510,12 @@ mod tests {
         b.sim.crash_at(m0, Time::ZERO);
         b.sim.crash_at(m3, Time::ZERO);
         b.sim.run_until(Time::from_delays(59), |s| {
-            (0..3).all(|i| s.actor_as::<FastRobustActor>(ActorId(i)).unwrap().decision().is_some())
+            (0..3).all(|i| {
+                s.actor_as::<FastRobustActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
         let ds = decisions(&b.sim, &b.procs);
         assert!(ds.iter().all(|d| *d == Some(Value(100))), "{ds:?}");

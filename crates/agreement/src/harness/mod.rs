@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use sigsim::SigAuthority;
-use simnet::{ActorId, DelayModel, Duration, Simulation, Time};
+use simnet::{ActorId, DelayModel, Duration, KernelProfile, Simulation, Time};
 
 use crate::aligned::{self, AlignedPaxosActor, MemoryMode};
 use crate::cheap_quorum::{self, CheapQuorumActor};
@@ -19,6 +19,7 @@ use crate::nebcast;
 use crate::paxos::PaxosActor;
 use crate::protected::{self, ProtectedPaxosActor};
 use crate::robust_backup::RobustPaxosActor;
+use crate::smr::SmrNode;
 use crate::types::{Instance, Msg, Pid, Value};
 
 /// A scripted run: cluster shape, failures, leadership and timing.
@@ -43,6 +44,14 @@ pub struct Scenario {
     pub announce: Vec<(u64, usize)>,
     /// Virtual-time budget, in delays.
     pub max_delays: u64,
+    /// SMR write batching: log entries per replicated write
+    /// ([`run_smr`] only; single-decree protocols ignore it). `1` is the
+    /// paper's unbatched protocol.
+    pub batch: usize,
+    /// Which kernel implementation to simulate on. Identical virtual-time
+    /// results either way; [`KernelProfile::Legacy`] exists for baseline
+    /// wall-clock measurement and differential testing.
+    pub kernel: KernelProfile,
 }
 
 impl Scenario {
@@ -58,7 +67,16 @@ impl Scenario {
             byz_silent: Vec::new(),
             announce: Vec::new(),
             max_delays: 5_000,
+            batch: 1,
+            kernel: KernelProfile::Optimized,
         }
+    }
+
+    /// Builds the simulation this scenario runs on.
+    fn simulation(&self) -> Simulation<Msg> {
+        let mut sim = Simulation::with_profile(self.seed, self.kernel);
+        sim.set_default_delay(self.delay.clone());
+        sim
     }
 
     /// Process ids `0..n`.
@@ -68,7 +86,9 @@ impl Scenario {
 
     /// Memory ids `n..n+m`.
     pub fn mems(&self) -> Vec<ActorId> {
-        (self.n as u32..(self.n + self.m) as u32).map(ActorId).collect()
+        (self.n as u32..(self.n + self.m) as u32)
+            .map(ActorId)
+            .collect()
     }
 
     /// Indices of processes expected to decide (correct, never-crashed).
@@ -131,15 +151,20 @@ fn finish<A: 'static>(
     auth: Option<&SigAuthority>,
     decision_of: impl Fn(&A) -> Option<Value>,
 ) -> RunReport {
-    let expected: Vec<Pid> =
-        scenario.correct_procs().iter().map(|&i| ActorId(i as u32)).collect();
+    let expected: Vec<Pid> = scenario
+        .correct_procs()
+        .iter()
+        .map(|&i| ActorId(i as u32))
+        .collect();
     let deadline = Time::from_delays(scenario.max_delays);
     sim.run_until(deadline, |s| {
-        expected.iter().all(|&p| s.actor_as::<A>(p).map_or(false, |a| decision_of(a).is_some()))
+        expected
+            .iter()
+            .all(|&p| s.actor_as::<A>(p).is_some_and(|a| decision_of(a).is_some()))
     });
     let mut decisions = BTreeMap::new();
     for &p in &expected {
-        if let Some(v) = sim.actor_as::<A>(p).and_then(|a| decision_of(a)) {
+        if let Some(v) = sim.actor_as::<A>(p).and_then(&decision_of) {
             decisions.insert(p, v);
         }
     }
@@ -160,8 +185,7 @@ fn finish<A: 'static>(
 
 /// Runs message-passing Paxos (baseline; memories unused).
 pub fn run_mp_paxos(scenario: &Scenario) -> RunReport {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     for i in 0..scenario.n {
         sim.add(PaxosActor::new(
@@ -178,8 +202,7 @@ pub fn run_mp_paxos(scenario: &Scenario) -> RunReport {
 
 /// Runs Fast Paxos (baseline; `proposer` proposes at start).
 pub fn run_fast_paxos(scenario: &Scenario, proposer: usize) -> RunReport {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     for i in 0..scenario.n {
         sim.add(FastPaxosActor::new(
@@ -197,8 +220,7 @@ pub fn run_fast_paxos(scenario: &Scenario, proposer: usize) -> RunReport {
 
 /// Runs Disk Paxos (baseline).
 pub fn run_disk_paxos(scenario: &Scenario) -> RunReport {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     for i in 0..scenario.n {
@@ -221,8 +243,7 @@ pub fn run_disk_paxos(scenario: &Scenario) -> RunReport {
 
 /// Runs Protected Memory Paxos (Theorem 5.1).
 pub fn run_protected(scenario: &Scenario) -> RunReport {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     let f_m = (scenario.m.max(1) - 1) / 2;
@@ -247,8 +268,7 @@ pub fn run_protected(scenario: &Scenario) -> RunReport {
 
 /// Runs Aligned Paxos (§5.2) in the given memory mode.
 pub fn run_aligned(scenario: &Scenario, mode: MemoryMode) -> RunReport {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     for i in 0..scenario.n {
@@ -275,8 +295,7 @@ pub fn run_aligned(scenario: &Scenario, mode: MemoryMode) -> RunReport {
 /// inspect aborts through their own builds — the composed protocol is
 /// [`run_fast_robust`].
 pub fn run_cheap_quorum(scenario: &Scenario, timeout: u64) -> (RunReport, SigAuthority) {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     let mut auth = SigAuthority::new(scenario.seed ^ 0xCAFE);
@@ -308,8 +327,7 @@ pub fn run_cheap_quorum(scenario: &Scenario, timeout: u64) -> (RunReport, SigAut
 
 /// Runs the composed Fast & Robust protocol (Theorem 4.9).
 pub fn run_fast_robust(scenario: &Scenario, timeout: u64) -> (RunReport, SigAuthority) {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     let mut auth = SigAuthority::new(scenario.seed ^ 0xBEEF);
@@ -343,8 +361,7 @@ pub fn run_fast_robust(scenario: &Scenario, timeout: u64) -> (RunReport, SigAuth
 /// Runs the slow path alone: Robust Backup over trusted channels
 /// (Theorem 4.4).
 pub fn run_robust_backup(scenario: &Scenario) -> (RunReport, SigAuthority) {
-    let mut sim = Simulation::new(scenario.seed);
-    sim.set_default_delay(scenario.delay.clone());
+    let mut sim = scenario.simulation();
     let procs = scenario.procs();
     let mems = scenario.mems();
     let mut auth = SigAuthority::new(scenario.seed ^ 0xD00D);
@@ -374,6 +391,87 @@ pub fn run_robust_backup(scenario: &Scenario) -> (RunReport, SigAuthority) {
     scenario.apply_failures(&mut sim);
     let report = finish::<RobustPaxosActor>(sim, scenario, Some(&auth), |a| a.decision());
     (report, auth)
+}
+
+/// What a replicated-log run produced (the E10b quantities).
+#[derive(Clone, Debug)]
+pub struct SmrRunReport {
+    /// Length of the leader's contiguous decided prefix.
+    pub entries: usize,
+    /// The leader's log.
+    pub log: Vec<Value>,
+    /// Whether every correct replica's log is a prefix-consistent match.
+    pub logs_agree: bool,
+    /// Virtual time when the run stopped, in delays.
+    pub elapsed_delays: f64,
+    /// Virtual-time cost per committed entry, in delays.
+    pub delays_per_entry: f64,
+    /// Kernel events dispatched over the run (wall-clock denominator).
+    pub events_dispatched: u64,
+    /// Messages put on the network.
+    pub messages: u64,
+    /// Memory operations issued.
+    pub mem_ops: u64,
+    /// When the leader decided each slot, in delays.
+    pub decided_at_delays: Vec<f64>,
+}
+
+/// Runs the replicated log (SMR over Protected Memory Paxos): every node
+/// wants `cmds_per_node` commands committed; process 0 leads. Honours
+/// [`Scenario::batch`] and [`Scenario::kernel`].
+pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
+    let mut sim = scenario.simulation();
+    let procs = scenario.procs();
+    let mems = scenario.mems();
+    let f_m = (scenario.m.max(1) - 1) / 2;
+    for i in 0..scenario.n {
+        let workload: Vec<Value> = (0..cmds_per_node)
+            .map(|c| Value(1000 * (i as u64 + 1) + c as u64))
+            .collect();
+        sim.add(
+            SmrNode::new(
+                ActorId(i as u32),
+                procs.clone(),
+                mems.clone(),
+                ActorId(0),
+                workload,
+                f_m,
+                Duration::from_delays(20),
+            )
+            .with_batch(scenario.batch),
+        );
+    }
+    for _ in 0..scenario.m {
+        sim.add(protected::memory_actor(ActorId(0)));
+    }
+    scenario.apply_failures(&mut sim);
+    sim.run_to_quiescence(Time::from_delays(scenario.max_delays));
+
+    let leader = sim.actor_as::<SmrNode>(ActorId(0)).expect("leader exists");
+    let log = leader.log();
+    let mut decided = leader.decided_at.clone();
+    decided.sort_by_key(|&(instance, _)| instance);
+    let decided_at_delays: Vec<f64> = decided.iter().map(|&(_, t)| t.as_delays()).collect();
+    let logs_agree = scenario.correct_procs().iter().all(|&i| {
+        let other = sim
+            .actor_as::<SmrNode>(ActorId(i as u32))
+            .expect("replica exists")
+            .log();
+        let common = log.len().min(other.len());
+        log[..common] == other[..common]
+    });
+    let entries = log.len();
+    SmrRunReport {
+        entries,
+        logs_agree,
+        elapsed_delays: sim.now().as_delays(),
+        delays_per_entry: sim.now().as_delays() / entries.max(1) as f64,
+        events_dispatched: sim.metrics().events_dispatched,
+        messages: sim.metrics().messages_sent,
+        mem_ops: sim.metrics().mem_ops(),
+        decided_at_delays,
+        log,
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +504,40 @@ mod tests {
             assert!(report.agreement, "{report:?}");
             assert!(report.validity, "{report:?}");
         }
+    }
+
+    #[test]
+    fn smr_harness_batching_preserves_log_and_speeds_commit() {
+        let mut s = Scenario::common_case(3, 3, 5);
+        s.max_delays = 400;
+        let unbatched = run_smr(&s, 40);
+        assert_eq!(unbatched.entries, 40);
+        assert!(unbatched.logs_agree);
+
+        s.batch = 8;
+        let batched = run_smr(&s, 40);
+        assert_eq!(batched.entries, 40);
+        assert!(batched.logs_agree);
+        // Identical committed history; only the commit cadence changes.
+        assert_eq!(batched.log, unbatched.log);
+        let t_batched = batched.decided_at_delays.last().copied().unwrap();
+        let t_unbatched = unbatched.decided_at_delays.last().copied().unwrap();
+        assert_eq!(t_unbatched, 80.0); // 2 delays per entry
+        assert_eq!(t_batched, 10.0); // 2 delays per batch of 8
+        assert!(batched.mem_ops < unbatched.mem_ops / 4);
+    }
+
+    #[test]
+    fn legacy_kernel_scenario_matches_optimized() {
+        let s = Scenario::common_case(3, 3, 42);
+        let mut legacy = s.clone();
+        legacy.kernel = KernelProfile::Legacy;
+        let a = run_protected(&s);
+        let b = run_protected(&legacy);
+        assert_eq!(a.first_decision_delays, b.first_decision_delays);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.mem_ops, b.mem_ops);
+        assert_eq!(a.decisions, b.decisions);
     }
 
     #[test]

@@ -52,7 +52,12 @@ pub fn flag_memory(procs: &[Pid]) -> MemoryActor<RegVal, Msg> {
     for &p in procs {
         mem.add_region(
             flag_region(p),
-            RegionSpec::Pattern { space: spaces::LB, a: Some(p.0 as u64), b: None, c: None },
+            RegionSpec::Pattern {
+                space: spaces::LB,
+                a: Some(p.0 as u64),
+                b: None,
+                c: None,
+            },
             Permission::exclusive_writer(p),
         );
     }
@@ -127,26 +132,31 @@ impl Actor<Msg> for StrawmanActor {
                         continue;
                     }
                     self.reads_pending += 1;
-                    self.client.read(ctx, self.memory_of[&q], flag_region(q), flag_reg(q));
+                    self.client
+                        .read(ctx, self.memory_of[&q], flag_region(q), flag_reg(q));
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                match c.resp {
-                    MemResponse::Value(v) => {
-                        self.reads_pending -= 1;
-                        if v.is_some() {
-                            self.saw_nonbot = true;
-                        }
-                        if self.reads_pending == 0 && !self.saw_nonbot {
-                            // All ⊥: uncontended, decide own value — the
-                            // only way any algorithm can be 2-deciding.
-                            self.decided = Some(self.input);
-                            self.decided_at = Some(ctx.now());
-                            ctx.mark_decided();
-                        }
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                // Non-Value responses are the write ack (or a nak —
+                // impossible here).
+                if let MemResponse::Value(v) = c.resp {
+                    self.reads_pending -= 1;
+                    if v.is_some() {
+                        self.saw_nonbot = true;
                     }
-                    _ => {} // the write ack (or a nak — impossible here)
+                    if self.reads_pending == 0 && !self.saw_nonbot {
+                        // All ⊥: uncontended, decide own value — the
+                        // only way any algorithm can be 2-deciding.
+                        self.decided = Some(self.input);
+                        self.decided_at = Some(ctx.now());
+                        ctx.mark_decided();
+                    }
                 }
             }
             EventKind::Msg { .. } => {}
@@ -172,7 +182,10 @@ fn delayed_writes_hook(victim: Pid, delay: Duration) -> simnet::DelayHook<Msg> {
             return None;
         }
         match m {
-            Msg::Mem(MemWire::Req { req: MemRequest::Write { .. }, .. }) => Some(delay),
+            Msg::Mem(MemWire::Req {
+                req: MemRequest::Write { .. },
+                ..
+            }) => Some(delay),
             _ => None,
         }
     })
@@ -247,7 +260,12 @@ pub fn run_protected_contrast(seed: u64) -> DemoReport {
     sim.run_to_quiescence(Time::from_delays(1000));
     let decisions: Vec<(Pid, Option<Value>)> = procs
         .iter()
-        .map(|&p| (p, sim.actor_as::<ProtectedPaxosActor>(p).unwrap().decision()))
+        .map(|&p| {
+            (
+                p,
+                sim.actor_as::<ProtectedPaxosActor>(p).unwrap().decision(),
+            )
+        })
         .collect();
     let reached: Vec<Value> = decisions.iter().filter_map(|(_, d)| *d).collect();
     DemoReport {
@@ -298,7 +316,10 @@ mod tests {
         let report = run_protected_contrast(7);
         assert!(!report.agreement_violated, "{report:?}");
         // Someone still decides (liveness after takeover).
-        assert!(report.decisions.iter().any(|(_, d)| d.is_some()), "{report:?}");
+        assert!(
+            report.decisions.iter().any(|(_, d)| d.is_some()),
+            "{report:?}"
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub fn configure_memory(mem: &mut rdma_sim::MemoryActor<RegVal, Msg>, procs: &[P
             Permission::exclusive_writer(p),
         );
     }
-    mem.add_region(ALL_REGION, RegionSpec::Space(spaces::NEB), Permission::read_only());
+    mem.add_region(
+        ALL_REGION,
+        RegionSpec::Space(spaces::NEB),
+        Permission::read_only(),
+    );
 }
 
 /// A slot value: the signed `(k, wire)` pair written by a broadcaster (and
@@ -197,7 +201,9 @@ impl NebEngine {
         client: &mut MemoryClient<RegVal, Msg>,
         completion: rdma_sim::Completion<RegVal>,
     ) -> bool {
-        let Some(ev) = self.rep.on_completion(completion) else { return false };
+        let Some(ev) = self.rep.on_completion(completion) else {
+            return false;
+        };
         self.on_rep_event(ctx, client, ev);
         true
     }
@@ -221,7 +227,10 @@ impl NebEngine {
         match (attempt, ev.result) {
             (Attempt::ReadSlot(_), RepResult::ReadOk(Some(RegVal::Neb(slot)))) => {
                 // Step 1 checks: signed by q, keyed k.
-                if slot.k != k || !self.verifier.valid(q, &slot.wire.sign_view(slot.k), &slot.sig)
+                if slot.k != k
+                    || !self
+                        .verifier
+                        .valid(q, &slot.wire.sign_view(slot.k), &slot.sig)
                 {
                     return; // pretend we saw nothing; retry next poll
                 }
@@ -255,15 +264,22 @@ impl NebEngine {
                     let RegVal::Neb(other) = other else { continue };
                     if other.k == k
                         && other.wire != slot.wire
-                        && self.verifier.valid(q, &other.wire.sign_view(other.k), &other.sig)
+                        && self
+                            .verifier
+                            .valid(q, &other.wire.sign_view(other.k), &other.sig)
                     {
                         // q signed two different messages for k: equivocation.
-                        ctx.note(format!("nebcast: {q} equivocated at k={k}"));
+                        ctx.note_with(|| format!("nebcast: {q} equivocated at k={k}"));
                         self.blocked.insert(q, k);
                         return;
                     }
                 }
-                self.deliveries.push_back(Delivery { from: q, k, wire: slot.wire, sig: slot.sig });
+                self.deliveries.push_back(Delivery {
+                    from: q,
+                    k,
+                    wire: slot.wire,
+                    sig: slot.sig,
+                });
                 *self.last.get_mut(&q).expect("known sender") += 1;
             }
             (Attempt::Audit { .. }, _) => {} // audit failed: retry later

@@ -103,7 +103,10 @@ impl Actor<Msg> for PaxosActor {
                 }
             }
             EventKind::Timer { .. } => {}
-            EventKind::Msg { from, msg: Msg::Paxos(m) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Paxos(m),
+            } => {
                 let mut out = Vec::new();
                 self.engine.on_msg(from, m, &mut out);
                 self.pump(ctx, out);
@@ -123,11 +126,7 @@ mod tests {
     use super::*;
     use simnet::{ActorId, DelayModel, Simulation};
 
-    fn build(
-        n: u32,
-        seed: u64,
-        initial_leader: Option<u32>,
-    ) -> (Simulation<Msg>, Vec<Pid>) {
+    fn build(n: u32, seed: u64, initial_leader: Option<u32>) -> (Simulation<Msg>, Vec<Pid>) {
         let mut sim = Simulation::new(seed);
         let procs: Vec<Pid> = (0..n).map(ActorId).collect();
         for i in 0..n {
@@ -144,7 +143,10 @@ mod tests {
     }
 
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
-        procs.iter().map(|&p| sim.actor_as::<PaxosActor>(p).unwrap().decision()).collect()
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<PaxosActor>(p).unwrap().decision())
+            .collect()
     }
 
     #[test]
@@ -163,8 +165,10 @@ mod tests {
         sim.crash_at(ActorId(0), Time::from_delays(1)); // mid-broadcast
         sim.announce_leader(Time::from_delays(30), &procs, ActorId(1));
         sim.run_to_quiescence(Time::from_delays(500));
-        let ds: Vec<_> =
-            procs[1..].iter().map(|&p| sim.actor_as::<PaxosActor>(p).unwrap().decision()).collect();
+        let ds: Vec<_> = procs[1..]
+            .iter()
+            .map(|&p| sim.actor_as::<PaxosActor>(p).unwrap().decision())
+            .collect();
         assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
         assert_eq!(ds[0], ds[1]);
     }
@@ -198,7 +202,11 @@ mod tests {
             sim.run_to_quiescence(Time::from_delays(3000));
             let ds = decisions(&sim, &procs);
             let reached: Vec<Value> = ds.iter().flatten().copied().collect();
-            assert_eq!(reached.len(), procs.len(), "seed {seed}: not all decided {ds:?}");
+            assert_eq!(
+                reached.len(),
+                procs.len(),
+                "seed {seed}: not all decided {ds:?}"
+            );
             assert!(
                 reached.windows(2).all(|w| w[0] == w[1]),
                 "seed {seed}: disagreement {ds:?}"

@@ -107,8 +107,14 @@ impl PaxosConfig {
 #[derive(Clone, Debug)]
 enum Proposer {
     Idle,
-    Phase1 { ballot: Ballot, promises: BTreeMap<Pid, Option<(Ballot, Value)>> },
-    Phase2 { #[allow(dead_code)] ballot: Ballot },
+    Phase1 {
+        ballot: Ballot,
+        promises: BTreeMap<Pid, Option<(Ballot, Value)>>,
+    },
+    Phase2 {
+        #[allow(dead_code)]
+        ballot: Ballot,
+    },
 }
 
 /// The Paxos state machine. See the module docs for the driving contract.
@@ -200,8 +206,14 @@ impl PaxosEngine {
             return;
         }
         self.round = self.round.max(self.max_round_seen) + 1;
-        let ballot = Ballot { round: self.round, pid: self.cfg.me };
-        self.proposer = Proposer::Phase1 { ballot, promises: BTreeMap::new() };
+        let ballot = Ballot {
+            round: self.round,
+            pid: self.cfg.me,
+        };
+        self.proposer = Proposer::Phase1 {
+            ballot,
+            promises: BTreeMap::new(),
+        };
         out.push((Dest::All, PaxosMsg::Prepare { b: ballot }));
     }
 
@@ -211,11 +223,14 @@ impl PaxosEngine {
         match msg {
             PaxosMsg::Prepare { b } => {
                 self.max_round_seen = self.max_round_seen.max(b.round);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
                     out.push((
                         Dest::One(b.pid),
-                        PaxosMsg::Promise { b, accepted: self.accepted },
+                        PaxosMsg::Promise {
+                            b,
+                            accepted: self.accepted,
+                        },
                     ));
                 } else {
                     out.push((Dest::One(b.pid), PaxosMsg::Nack { b }));
@@ -223,7 +238,9 @@ impl PaxosEngine {
             }
             PaxosMsg::Promise { b, accepted } => {
                 let majority = self.cfg.majority();
-                let Proposer::Phase1 { ballot, promises } = &mut self.proposer else { return };
+                let Proposer::Phase1 { ballot, promises } = &mut self.proposer else {
+                    return;
+                };
                 if *ballot != b {
                     return;
                 }
@@ -239,16 +256,25 @@ impl PaxosEngine {
                         .unwrap_or_else(|| self.input.expect("proposing without input"));
                     let ballot = *ballot;
                     self.proposer = Proposer::Phase2 { ballot };
-                    out.push((Dest::All, PaxosMsg::Accept { b: ballot, v: adopted }));
+                    out.push((
+                        Dest::All,
+                        PaxosMsg::Accept {
+                            b: ballot,
+                            v: adopted,
+                        },
+                    ));
                 }
             }
             PaxosMsg::Accept { b, v } => {
                 self.max_round_seen = self.max_round_seen.max(b.round);
-                if self.promised.map_or(true, |p| b >= p) {
+                if self.promised.is_none_or(|p| b >= p) {
                     self.promised = Some(b);
                     self.accepted = Some((b, v));
-                    let dest =
-                        if self.cfg.broadcast_accepted { Dest::All } else { Dest::One(b.pid) };
+                    let dest = if self.cfg.broadcast_accepted {
+                        Dest::All
+                    } else {
+                        Dest::One(b.pid)
+                    };
                     out.push((dest, PaxosMsg::Accepted { b, v }));
                 } else {
                     out.push((Dest::One(b.pid), PaxosMsg::Nack { b }));
@@ -304,7 +330,7 @@ mod tests {
 
     /// Drives a set of engines to quiescence by synchronously delivering
     /// every emitted message (no failures, no delays).
-    fn pump(engines: &mut Vec<PaxosEngine>, mut queue: Vec<(Pid, Dest, PaxosMsg)>) {
+    fn pump(engines: &mut [PaxosEngine], mut queue: Vec<(Pid, Dest, PaxosMsg)>) {
         while let Some((from, dest, msg)) = queue.pop() {
             let targets: Vec<Pid> = match dest {
                 Dest::All => engines.iter().map(|e| e.cfg.me).collect(),
@@ -327,8 +353,10 @@ mod tests {
         e.set_leader(ActorId(0), &mut out);
         e.propose(Value(7), &mut out);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], (Dest::All, PaxosMsg::Accept { b, v: Value(7) })
-            if b == Ballot::initial(ActorId(0))));
+        assert!(
+            matches!(out[0], (Dest::All, PaxosMsg::Accept { b, v: Value(7) })
+            if b == Ballot::initial(ActorId(0)))
+        );
     }
 
     #[test]
@@ -343,8 +371,9 @@ mod tests {
     #[test]
     fn full_round_decides_leaders_value() {
         let n = 3;
-        let mut engines: Vec<_> =
-            (0..n).map(|i| PaxosEngine::new(cfg(i, n, Some(0)))).collect();
+        let mut engines: Vec<_> = (0..n)
+            .map(|i| PaxosEngine::new(cfg(i, n, Some(0))))
+            .collect();
         let mut queue = Vec::new();
         for (i, e) in engines.iter_mut().enumerate() {
             let mut out = Vec::new();
@@ -365,34 +394,59 @@ mod tests {
         let mut out = Vec::new();
         e.set_leader(ActorId(2), &mut out);
         e.propose(Value(9), &mut out);
-        let (_, PaxosMsg::Prepare { b }) = out[0] else { panic!() };
+        let (_, PaxosMsg::Prepare { b }) = out[0] else {
+            panic!()
+        };
         out.clear();
-        e.on_msg(ActorId(0), PaxosMsg::Promise { b, accepted: None }, &mut out);
+        e.on_msg(
+            ActorId(0),
+            PaxosMsg::Promise { b, accepted: None },
+            &mut out,
+        );
         assert!(out.is_empty());
         let acc = Some((Ballot::initial(ActorId(0)), Value(7)));
         e.on_msg(ActorId(1), PaxosMsg::Promise { b, accepted: acc }, &mut out);
-        assert!(matches!(out[0], (Dest::All, PaxosMsg::Accept { v: Value(7), .. })));
+        assert!(matches!(
+            out[0],
+            (Dest::All, PaxosMsg::Accept { v: Value(7), .. })
+        ));
     }
 
     #[test]
     fn acceptor_rejects_lower_ballot_after_promise() {
         let mut e = PaxosEngine::new(cfg(1, 3, None));
         let mut out = Vec::new();
-        let high = Ballot { round: 5, pid: ActorId(2) };
+        let high = Ballot {
+            round: 5,
+            pid: ActorId(2),
+        };
         e.on_msg(ActorId(2), PaxosMsg::Prepare { b: high }, &mut out);
         out.clear();
-        let low = Ballot { round: 3, pid: ActorId(0) };
+        let low = Ballot {
+            round: 3,
+            pid: ActorId(0),
+        };
         e.on_msg(ActorId(0), PaxosMsg::Prepare { b: low }, &mut out);
         assert!(matches!(out[0], (Dest::One(p), PaxosMsg::Nack { .. }) if p == ActorId(0)));
         out.clear();
-        e.on_msg(ActorId(0), PaxosMsg::Accept { b: low, v: Value(1) }, &mut out);
+        e.on_msg(
+            ActorId(0),
+            PaxosMsg::Accept {
+                b: low,
+                v: Value(1),
+            },
+            &mut out,
+        );
         assert!(matches!(out[0], (Dest::One(_), PaxosMsg::Nack { .. })));
     }
 
     #[test]
     fn decision_requires_majority_of_accepted() {
         let mut e = PaxosEngine::new(cfg(0, 5, None));
-        let b = Ballot { round: 1, pid: ActorId(1) };
+        let b = Ballot {
+            round: 1,
+            pid: ActorId(1),
+        };
         let mut out = Vec::new();
         e.on_msg(ActorId(1), PaxosMsg::Accepted { b, v: Value(4) }, &mut out);
         e.on_msg(ActorId(2), PaxosMsg::Accepted { b, v: Value(4) }, &mut out);
@@ -404,7 +458,10 @@ mod tests {
     #[test]
     fn duplicate_accepted_votes_not_double_counted() {
         let mut e = PaxosEngine::new(cfg(0, 5, None));
-        let b = Ballot { round: 1, pid: ActorId(1) };
+        let b = Ballot {
+            round: 1,
+            pid: ActorId(1),
+        };
         let mut out = Vec::new();
         for _ in 0..5 {
             e.on_msg(ActorId(1), PaxosMsg::Accepted { b, v: Value(4) }, &mut out);
@@ -428,12 +485,25 @@ mod tests {
         let mut out = Vec::new();
         e.set_leader(ActorId(1), &mut out);
         e.propose(Value(1), &mut out);
-        let (_, PaxosMsg::Prepare { b: b1 }) = out[0] else { panic!() };
+        let (_, PaxosMsg::Prepare { b: b1 }) = out[0] else {
+            panic!()
+        };
         out.clear();
         // Observe contention from a higher round, then retry.
-        e.on_msg(ActorId(2), PaxosMsg::Nack { b: Ballot { round: 9, pid: ActorId(2) } }, &mut out);
+        e.on_msg(
+            ActorId(2),
+            PaxosMsg::Nack {
+                b: Ballot {
+                    round: 9,
+                    pid: ActorId(2),
+                },
+            },
+            &mut out,
+        );
         e.poke(&mut out);
-        let (_, PaxosMsg::Prepare { b: b2 }) = out[0] else { panic!() };
+        let (_, PaxosMsg::Prepare { b: b2 }) = out[0] else {
+            panic!()
+        };
         assert!(b2 > b1);
         assert!(b2.round > 9);
     }

@@ -60,7 +60,14 @@ impl PrefCore {
         let n = procs.len();
         let f = (n - 1) / 2;
         PrefCore {
-            rb: RobustCore::new(me, procs.clone(), memories, backup_leader, signer, verifier.clone()),
+            rb: RobustCore::new(
+                me,
+                procs.clone(),
+                memories,
+                backup_leader,
+                signer,
+                verifier.clone(),
+            ),
             procs,
             cq_leader,
             verifier,
@@ -138,10 +145,13 @@ impl PrefCore {
         }
         let mut best: Option<(PriorityClass, Value)> = None;
         for s in self.rb.setups() {
-            let outcome = AbortOutcome { value: s.value, evidence: s.evidence.clone() };
+            let outcome = AbortOutcome {
+                value: s.value,
+                evidence: s.evidence.clone(),
+            };
             let class = outcome.class(&self.procs, self.cq_leader, &self.verifier);
             let key = (class, s.value);
-            if best.map_or(true, |b| key > b) {
+            if best.is_none_or(|b| key > b) {
                 best = Some(key);
             }
         }
@@ -186,7 +196,15 @@ impl PrefPaxosActor {
         retry_every: Duration,
     ) -> PrefPaxosActor {
         PrefPaxosActor {
-            core: PrefCore::new(me, procs, memories, backup_leader, cq_leader, signer, verifier),
+            core: PrefCore::new(
+                me,
+                procs,
+                memories,
+                backup_leader,
+                cq_leader,
+                signer,
+                verifier,
+            ),
             input,
             evidence,
             backup_leader,
@@ -240,7 +258,10 @@ impl Actor<Msg> for PrefPaxosActor {
             EventKind::LeaderChange { leader } => {
                 self.core.set_leader(ctx, &mut self.client, leader);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     self.core.on_completion(ctx, &mut self.client, c);
                     self.check_decided(ctx);
@@ -297,13 +318,17 @@ mod tests {
     }
 
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
-        procs.iter().map(|&p| sim.actor_as::<PrefPaxosActor>(p).unwrap().decision()).collect()
+        procs
+            .iter()
+            .map(|&p| sim.actor_as::<PrefPaxosActor>(p).unwrap().decision())
+            .collect()
     }
 
     #[test]
     fn all_bare_inputs_agree_on_some_input() {
-        let inputs: Vec<_> =
-            (0..3).map(|i| (Value(100 + i), SetupEvidence::default())).collect();
+        let inputs: Vec<_> = (0..3)
+            .map(|i| (Value(100 + i), SetupEvidence::default()))
+            .collect();
         let (mut sim, procs) = build(1, inputs, 3);
         sim.run_until(Time::from_delays(600), |s| {
             decisions(s, &procs).iter().all(|d| d.is_some())
@@ -365,7 +390,10 @@ mod tests {
             }
             sim.run_until(Time::from_delays(800), |s| {
                 procs.iter().all(|&p| {
-                    s.actor_as::<PrefPaxosActor>(p).unwrap().decision().is_some()
+                    s.actor_as::<PrefPaxosActor>(p)
+                        .unwrap()
+                        .decision()
+                        .is_some()
                 })
             });
             let ds: Vec<_> = procs
@@ -403,7 +431,11 @@ mod tests {
             assembler: ActorId(2),
             outer_sig: sigsim::Signature::forged(ActorId(2), 3),
         };
-        assert!(!verify_unanimity(&fake_proof, &[ActorId(0), ActorId(1), ActorId(2)], &auth.verifier()));
+        assert!(!verify_unanimity(
+            &fake_proof,
+            &[ActorId(0), ActorId(1), ActorId(2)],
+            &auth.verifier()
+        ));
 
         let real = Value(7);
         let m_evidence = SetupEvidence {
@@ -416,7 +448,13 @@ mod tests {
         let signers = [s0, s1, s2];
         for i in 0..3u32 {
             let (v, e) = match i {
-                2 => (junk, SetupEvidence { proof: Some(fake_proof.clone()), leader_sig: None }),
+                2 => (
+                    junk,
+                    SetupEvidence {
+                        proof: Some(fake_proof.clone()),
+                        leader_sig: None,
+                    },
+                ),
                 _ => (real, m_evidence.clone()),
             };
             sim.add(PrefPaxosActor::new(
@@ -439,7 +477,12 @@ mod tests {
             sim.add(mem);
         }
         sim.run_until(Time::from_delays(800), |s| {
-            procs.iter().all(|&p| s.actor_as::<PrefPaxosActor>(p).unwrap().decision().is_some())
+            procs.iter().all(|&p| {
+                s.actor_as::<PrefPaxosActor>(p)
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
         let ds: Vec<_> = procs
             .iter()

@@ -122,7 +122,7 @@ impl ProtectedPaxosActor {
         f_m: usize,
         retry_every: Duration,
     ) -> ProtectedPaxosActor {
-        assert!(mems.len() >= 2 * f_m + 1, "m >= 2 f_M + 1 required");
+        assert!(mems.len() > 2 * f_m, "m >= 2 f_M + 1 required");
         ProtectedPaxosActor {
             me,
             procs,
@@ -174,21 +174,22 @@ impl ProtectedPaxosActor {
             return;
         }
         self.round = self.round.max(self.max_round_seen) + 1;
-        let b = Ballot { round: self.round, pid: self.me };
+        let b = Ballot {
+            round: self.round,
+            pid: self.me,
+        };
         self.ballot = Some(b);
         self.phase = Phase::One;
         let reg = slot_reg(self.instance, self.me);
         for &mem in &self.mems.clone() {
             self.iters.insert(mem, MemIter::default());
-            let p = self.client.change_perm(
-                ctx,
-                mem,
-                REGION,
-                Permission::exclusive_writer(self.me),
-            );
+            let p =
+                self.client
+                    .change_perm(ctx, mem, REGION, Permission::exclusive_writer(self.me));
             self.op_map.insert(p, (self.attempt, mem, StepKind::Perm));
-            let w =
-                self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase1(b)));
+            let w = self
+                .client
+                .write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase1(b)));
             self.op_map.insert(w, (self.attempt, mem, StepKind::Write1));
             let r = self.client.read_range(
                 ctx,
@@ -212,7 +213,9 @@ impl ProtectedPaxosActor {
         self.iters.clear();
         for &mem in &self.mems.clone() {
             self.iters.insert(mem, MemIter::default());
-            let w = self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase2(b, v)));
+            let w = self
+                .client
+                .write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase2(b, v)));
             self.op_map.insert(w, (self.attempt, mem, StepKind::Write2));
         }
     }
@@ -280,7 +283,13 @@ impl ProtectedPaxosActor {
         ctx.mark_decided();
         for &q in &self.procs.clone() {
             if q != self.me {
-                ctx.send(q, Msg::Decided { instance: self.instance, value: v });
+                ctx.send(
+                    q,
+                    Msg::Decided {
+                        instance: self.instance,
+                        value: v,
+                    },
+                );
             }
         }
     }
@@ -312,13 +321,22 @@ impl Actor<Msg> for ProtectedPaxosActor {
                     self.start_attempt(ctx);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else { return };
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else {
+                    return;
+                };
                 if attempt != self.attempt || self.phase == Phase::Idle {
                     return; // stale: belongs to an abandoned attempt
                 }
-                let Some(iter) = self.iters.get_mut(&mem) else { return };
+                let Some(iter) = self.iters.get_mut(&mem) else {
+                    return;
+                };
                 match (step, c.resp) {
                     (StepKind::Perm, MemResponse::PermAck) => iter.perm_ok = true,
                     (StepKind::Perm, _) => iter.perm_ok = false,
@@ -344,7 +362,10 @@ impl Actor<Msg> for ProtectedPaxosActor {
                     Phase::Idle => {}
                 }
             }
-            EventKind::Msg { msg: Msg::Decided { instance, value }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Decided { instance, value },
+                ..
+            } => {
                 if instance == self.instance && self.decided.is_none() {
                     self.decided = Some(value);
                     self.decided_at = Some(ctx.now());

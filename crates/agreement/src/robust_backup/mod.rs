@@ -72,9 +72,16 @@ impl RobustCore {
             broadcast_accepted: true,
         });
         let neb = NebEngine::new(me, procs.clone(), memories, signer, verifier.clone());
-        let checker = PaxosChecker { procs, initial_leader };
+        let checker = PaxosChecker {
+            procs,
+            initial_leader,
+        };
         let peer = TrustedPeer::new(me, verifier, checker, neb);
-        RobustCore { engine, peer, setups: Vec::new() }
+        RobustCore {
+            engine,
+            peer,
+            setups: Vec::new(),
+        }
     }
 
     /// The decision, if reached.
@@ -100,7 +107,8 @@ impl RobustCore {
         value: Value,
         evidence: SetupEvidence,
     ) {
-        self.peer.t_send(ctx, client, Dest::All, RbPayload::Setup { value, evidence });
+        self.peer
+            .t_send(ctx, client, Dest::All, RbPayload::Setup { value, evidence });
     }
 
     /// Proposes a value to the wrapped Paxos instance.
@@ -162,7 +170,11 @@ impl RobustCore {
         for d in self.peer.drain() {
             match d.payload {
                 RbPayload::Setup { value, evidence } => {
-                    self.setups.push(SetupMsg { from: d.from, value, evidence });
+                    self.setups.push(SetupMsg {
+                        from: d.from,
+                        value,
+                        evidence,
+                    });
                 }
                 RbPayload::Paxos(m) => {
                     let mut out = Vec::new();
@@ -270,7 +282,10 @@ impl Actor<Msg> for RobustPaxosActor {
             EventKind::LeaderChange { leader } => {
                 self.core.set_leader(ctx, &mut self.client, leader);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     self.core.on_completion(ctx, &mut self.client, c);
                     self.check_decided(ctx);
@@ -331,7 +346,10 @@ mod tests {
     fn decisions(sim: &Simulation<Msg>, procs: &[Pid]) -> Vec<Option<Value>> {
         procs
             .iter()
-            .map(|&p| sim.actor_as::<RobustPaxosActor>(p).map(|a| a.decision()).flatten())
+            .map(|&p| {
+                sim.actor_as::<RobustPaxosActor>(p)
+                    .and_then(|a| a.decision())
+            })
             .collect()
     }
 

@@ -13,6 +13,17 @@
 //! (DARE, APUS, and later Mu): a stable leader commits one log entry per
 //! *single* replicated write — two network delays per command.
 //!
+//! **Write batching.** With [`SmrNode::with_batch`], a stable leader packs
+//! up to `batch` pending commands into consecutive instances and commits
+//! them with one scatter-gather write per memory
+//! ([`rdma_sim::MemRequest::WriteMany`]): one memory round trip — and one
+//! `DecidedMany` message per follower — amortized over `batch` log
+//! entries. `batch = 1` (the default) takes the exact single-write wire
+//! path and is schedule-identical to the pre-batching implementation; the
+//! golden-schedule tests pin that. Recovery is untouched: takeover scans
+//! see batched entries as ordinary per-instance slot registers, and
+//! recovered values are always re-proposed one instance at a time.
+//!
 //! Failure handling: when Ω nominates a new leader, it runs the full
 //! three-step acquisition (permission grab, ballot write, **whole-log slot
 //! scan**); every value a previous leader may have accepted anywhere in the
@@ -68,12 +79,18 @@ pub struct SmrNode {
     mems: Vec<ActorId>,
     f_m: usize,
     retry_every: Duration,
+    /// Max log entries committed per replicated write (≥ 1).
+    batch: usize,
     client: MemoryClient<RegVal, Msg>,
     /// Commands this node wants committed (its client workload).
     workload: Vec<Value>,
     next_cmd: usize,
-    /// Decided log entries (instance → value); the log is the prefix.
-    chosen: BTreeMap<u64, Value>,
+    /// Decided log entries, dense by instance (`None` = hole). Instances
+    /// are contiguous from 0 in steady state, so a vector beats a map on
+    /// the per-entry hot path; the log is the `Some`-prefix.
+    slots: Vec<Option<Value>>,
+    /// Length of the contiguous decided prefix (maintained incrementally).
+    prefix_len: usize,
     // Leadership / proposer state for the current instance.
     is_leader: bool,
     /// True once this leader has acquired permissions since its election
@@ -89,12 +106,19 @@ pub struct SmrNode {
     recover: BTreeMap<u64, (Ballot, Value)>,
     ballot: Option<Ballot>,
     phase: Phase,
-    value: Option<Value>,
+    /// Values proposed this round for instances
+    /// `instance .. instance + values.len()` (empty when idle).
+    values: Vec<Value>,
     proposing_own: bool,
-    iters: BTreeMap<ActorId, MemIter>,
-    op_map: BTreeMap<rdma_sim::OpId, (u64, ActorId, StepKind)>,
-    /// Time each log slot was decided at this node (for latency reports).
-    pub decided_at: BTreeMap<u64, Time>,
+    /// Per-memory progress of the current round. Small linear vec: its
+    /// capacity survives the per-round `clear()`, unlike a map's nodes.
+    iters: Vec<(ActorId, MemIter)>,
+    /// In-flight op → (attempt, memory, step). Linear small-vec for the
+    /// same reason; at most a few entries per memory.
+    op_map: Vec<(rdma_sim::OpId, (u64, ActorId, StepKind))>,
+    /// `(instance, time)` each log slot was decided at this node, in
+    /// decision order (instance order under a stable leader).
+    pub decided_at: Vec<(u64, Time)>,
 }
 
 impl SmrNode {
@@ -117,10 +141,12 @@ impl SmrNode {
             mems,
             f_m,
             retry_every,
+            batch: 1,
             client: MemoryClient::new(),
             workload,
             next_cmd: 0,
-            chosen: BTreeMap::new(),
+            slots: Vec::new(),
+            prefix_len: 0,
             is_leader: me == initial_leader,
             holds_permission: me == initial_leader,
             instance: 0,
@@ -130,29 +156,38 @@ impl SmrNode {
             recover: BTreeMap::new(),
             ballot: None,
             phase: Phase::Idle,
-            value: None,
+            values: Vec::new(),
             proposing_own: false,
-            iters: BTreeMap::new(),
-            op_map: BTreeMap::new(),
-            decided_at: BTreeMap::new(),
+            iters: Vec::new(),
+            op_map: Vec::new(),
+            decided_at: Vec::new(),
         }
+    }
+
+    /// Sets how many log entries a stable leader commits per replicated
+    /// write (clamped to ≥ 1). `1` reproduces the unbatched protocol
+    /// exactly, down to the wire.
+    pub fn with_batch(mut self, batch: usize) -> SmrNode {
+        self.batch = batch.max(1);
+        self
     }
 
     /// The contiguous decided prefix of the log.
     pub fn log(&self) -> Vec<Value> {
-        let mut out = Vec::new();
-        for i in 0.. {
-            match self.chosen.get(&i) {
-                Some(v) => out.push(*v),
-                None => break,
-            }
-        }
-        out
+        self.slots[..self.prefix_len]
+            .iter()
+            .map(|s| s.expect("prefix is decided"))
+            .collect()
     }
 
-    /// All decided entries, including any beyond a hole.
-    pub fn chosen(&self) -> &BTreeMap<u64, Value> {
-        &self.chosen
+    /// Length of the contiguous decided prefix (O(1)).
+    pub fn log_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// The decided value of `instance`, if any (including beyond a hole).
+    pub fn decided(&self, instance: u64) -> Option<Value> {
+        self.slots.get(instance as usize).copied().flatten()
     }
 
     /// Number of own commands committed so far.
@@ -170,7 +205,7 @@ impl SmrNode {
             return;
         }
         // Move past instances already known decided.
-        while self.chosen.contains_key(&self.instance) {
+        while self.decided(self.instance).is_some() {
             self.instance += 1;
         }
         if self.next_cmd >= self.workload.len() && self.holds_permission {
@@ -182,17 +217,30 @@ impl SmrNode {
         self.iters.clear();
         if self.holds_permission {
             // Steady state: straight to phase 2. Recovered values (from
-            // the takeover scan) take precedence over new commands.
-            let b = Ballot { round: self.epoch, pid: self.me };
+            // the takeover scan) take precedence over new commands and are
+            // always re-proposed singly; fresh commands fill a batch.
+            let b = Ballot {
+                round: self.epoch,
+                pid: self.me,
+            };
             self.ballot = Some(b);
+            self.values.clear();
             match self.recover.get(&self.instance) {
                 Some((_, v)) => {
-                    self.value = Some(*v);
+                    self.values.push(*v);
                     self.proposing_own = false;
                 }
                 None => {
-                    self.value = Some(self.workload[self.next_cmd]);
                     self.proposing_own = true;
+                    let available = self.workload.len() - self.next_cmd;
+                    for j in 0..self.batch.min(available) {
+                        // A recovered value downstream ends the batch: it
+                        // must head its own round.
+                        if self.recover.contains_key(&(self.instance + j as u64)) {
+                            break;
+                        }
+                        self.values.push(self.workload[self.next_cmd + j]);
+                    }
                 }
             }
             self.phase = Phase::Two;
@@ -202,35 +250,55 @@ impl SmrNode {
         // Takeover: acquire permission, stamp the new epoch into this
         // instance's slot, and scan the WHOLE log for values to recover.
         self.epoch = self.epoch.max(self.max_epoch_seen) + 1;
-        let b = Ballot { round: self.epoch, pid: self.me };
+        let b = Ballot {
+            round: self.epoch,
+            pid: self.me,
+        };
         self.ballot = Some(b);
         self.phase = Phase::One;
         let reg = slot_reg(Instance(self.instance), self.me);
-        for &mem in &self.mems.clone() {
-            self.iters.insert(mem, MemIter::default());
-            let p = self.client.change_perm(
-                ctx,
-                mem,
-                REGION,
-                Permission::exclusive_writer(self.me),
-            );
-            self.op_map.insert(p, (self.attempt, mem, StepKind::Perm));
-            let w = self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase1(b)));
-            self.op_map.insert(w, (self.attempt, mem, StepKind::Write1));
+        for i in 0..self.mems.len() {
+            let mem = self.mems[i];
+            self.iters.push((mem, MemIter::default()));
+            let p =
+                self.client
+                    .change_perm(ctx, mem, REGION, Permission::exclusive_writer(self.me));
+            self.op_map.push((p, (self.attempt, mem, StepKind::Perm)));
+            let w = self
+                .client
+                .write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase1(b)));
+            self.op_map.push((w, (self.attempt, mem, StepKind::Write1)));
             let r = self.client.read_range(ctx, mem, REGION, None);
-            self.op_map.insert(r, (self.attempt, mem, StepKind::Scan));
+            self.op_map.push((r, (self.attempt, mem, StepKind::Scan)));
         }
     }
 
     fn send_phase2(&mut self, ctx: &mut Context<'_, Msg>) {
         let b = self.ballot.expect("phase 2 without ballot");
-        let v = self.value.expect("phase 2 without value");
-        let reg = slot_reg(Instance(self.instance), self.me);
+        assert!(!self.values.is_empty(), "phase 2 without values");
         self.iters.clear();
-        for &mem in &self.mems.clone() {
-            self.iters.insert(mem, MemIter::default());
-            let w = self.client.write(ctx, mem, REGION, reg, RegVal::Slot(PaxSlot::phase2(b, v)));
-            self.op_map.insert(w, (self.attempt, mem, StepKind::Write2));
+        for i in 0..self.mems.len() {
+            let mem = self.mems[i];
+            self.iters.push((mem, MemIter::default()));
+            let w = if self.values.len() == 1 {
+                // Unbatched: the exact pre-batching wire request.
+                let reg = slot_reg(Instance(self.instance), self.me);
+                let slot = RegVal::Slot(PaxSlot::phase2(b, self.values[0]));
+                self.client.write(ctx, mem, REGION, reg, slot)
+            } else {
+                // One scatter-gather round trip covering the whole batch.
+                let writes: Vec<_> = self
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        let reg = slot_reg(Instance(self.instance + j as u64), self.me);
+                        (reg, RegVal::Slot(PaxSlot::phase2(b, v)))
+                    })
+                    .collect();
+                self.client.write_many(ctx, mem, REGION, writes)
+            };
+            self.op_map.push((w, (self.attempt, mem, StepKind::Write2)));
         }
     }
 
@@ -240,8 +308,12 @@ impl SmrNode {
     }
 
     fn phase1_step(&mut self, ctx: &mut Context<'_, Msg>) {
-        let complete: Vec<&MemIter> =
-            self.iters.values().filter(|i| i.write1.is_some() && i.slots.is_some()).collect();
+        let complete: Vec<&MemIter> = self
+            .iters
+            .iter()
+            .map(|(_, i)| i)
+            .filter(|i| i.write1.is_some() && i.slots.is_some())
+            .collect();
         if complete.len() < self.quorum() {
             return;
         }
@@ -256,8 +328,12 @@ impl SmrNode {
         self.recover.clear();
         let mut higher = false;
         for it in &complete {
-            for (reg, s) in
-                it.slots.as_ref().expect("filtered").iter().map(|s| (s.instance, s.slot))
+            for (reg, s) in it
+                .slots
+                .as_ref()
+                .expect("filtered")
+                .iter()
+                .map(|s| (s.instance, s.slot))
             {
                 self.max_epoch_seen = self.max_epoch_seen.max(s.min_prop.round);
                 if s.min_prop > ballot {
@@ -275,14 +351,15 @@ impl SmrNode {
             self.abandon();
             return;
         }
+        self.values.clear();
         match self.recover.get(&self.instance) {
             Some((_, v)) => {
-                self.value = Some(*v);
+                self.values.push(*v);
                 self.proposing_own = false;
             }
             None => {
                 self.proposing_own = true;
-                self.value = Some(if self.next_cmd < self.workload.len() {
+                self.values.push(if self.next_cmd < self.workload.len() {
                     self.workload[self.next_cmd]
                 } else {
                     // No command of our own: commit a no-op filler.
@@ -299,7 +376,12 @@ impl SmrNode {
     }
 
     fn phase2_step(&mut self, ctx: &mut Context<'_, Msg>) {
-        let complete: Vec<&MemIter> = self.iters.values().filter(|i| i.write2.is_some()).collect();
+        let complete: Vec<&MemIter> = self
+            .iters
+            .iter()
+            .map(|(_, i)| i)
+            .filter(|i| i.write2.is_some())
+            .collect();
         if complete.len() < self.quorum() {
             return;
         }
@@ -307,15 +389,37 @@ impl SmrNode {
             self.abandon();
             return;
         }
-        let v = self.value.expect("phase 2 without value");
-        self.settle(ctx, self.instance, v);
-        if self.proposing_own && v != Value(u64::MAX) {
-            self.next_cmd += 1;
+        assert!(!self.values.is_empty(), "phase 2 without values");
+        let first = self.instance;
+        let values = std::mem::take(&mut self.values);
+        for (j, &v) in values.iter().enumerate() {
+            self.settle(ctx, first + j as u64, v);
+            if self.proposing_own && v != Value(u64::MAX) {
+                self.next_cmd += 1;
+            }
         }
         self.phase = Phase::Idle;
-        for &q in &self.procs.clone() {
-            if q != self.me {
-                ctx.send(q, Msg::Decided { instance: Instance(self.instance), value: v });
+        for i in 0..self.procs.len() {
+            let q = self.procs[i];
+            if q == self.me {
+                continue;
+            }
+            if values.len() == 1 {
+                ctx.send(
+                    q,
+                    Msg::Decided {
+                        instance: Instance(first),
+                        value: values[0],
+                    },
+                );
+            } else {
+                ctx.send(
+                    q,
+                    Msg::DecidedMany {
+                        first: Instance(first),
+                        values: values.clone(),
+                    },
+                );
             }
         }
         // Steady state: next instance immediately.
@@ -323,8 +427,16 @@ impl SmrNode {
     }
 
     fn settle(&mut self, ctx: &mut Context<'_, Msg>, instance: u64, v: Value) {
-        if self.chosen.insert(instance, v).is_none() {
-            self.decided_at.insert(instance, ctx.now());
+        let idx = instance as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_none() {
+            self.slots[idx] = Some(v);
+            while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
+                self.prefix_len += 1;
+            }
+            self.decided_at.push((instance, ctx.now()));
             ctx.mark_decided();
         }
     }
@@ -353,13 +465,23 @@ impl Actor<Msg> for SmrNode {
                     self.drive(ctx);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                let Some((attempt, mem, step)) = self.op_map.remove(&c.op) else { return };
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                let Some(op_ix) = self.op_map.iter().position(|&(op, _)| op == c.op) else {
+                    return;
+                };
+                let (_, (attempt, mem, step)) = self.op_map.swap_remove(op_ix);
                 if attempt != self.attempt || self.phase == Phase::Idle {
                     return;
                 }
-                let Some(iter) = self.iters.get_mut(&mem) else { return };
+                let Some((_, iter)) = self.iters.iter_mut().find(|(m, _)| *m == mem) else {
+                    return;
+                };
                 match (step, c.resp) {
                     (StepKind::Perm, _) => {}
                     (StepKind::Write1, MemResponse::Ack) => iter.write1 = Some(true),
@@ -368,9 +490,10 @@ impl Actor<Msg> for SmrNode {
                         iter.slots = Some(
                             rows.into_iter()
                                 .filter_map(|(reg, v)| match v {
-                                    RegVal::Slot(s) => {
-                                        Some(ScannedSlot { instance: reg.a, slot: s })
-                                    }
+                                    RegVal::Slot(s) => Some(ScannedSlot {
+                                        instance: reg.a,
+                                        slot: s,
+                                    }),
                                     _ => None,
                                 })
                                 .collect(),
@@ -386,8 +509,22 @@ impl Actor<Msg> for SmrNode {
                     Phase::Idle => {}
                 }
             }
-            EventKind::Msg { msg: Msg::Decided { instance, value }, .. } => {
+            EventKind::Msg {
+                msg: Msg::Decided { instance, value },
+                ..
+            } => {
                 self.settle(ctx, instance.0, value);
+                if self.is_leader && self.phase == Phase::Idle {
+                    self.drive(ctx);
+                }
+            }
+            EventKind::Msg {
+                msg: Msg::DecidedMany { first, values },
+                ..
+            } => {
+                for (j, &v) in values.iter().enumerate() {
+                    self.settle(ctx, first.0 + j as u64, v);
+                }
                 if self.is_leader && self.phase == Phase::Idle {
                     self.drive(ctx);
                 }
@@ -409,21 +546,35 @@ mod tests {
         seed: u64,
         cmds_per_node: usize,
     ) -> (Simulation<Msg>, Vec<Pid>, Vec<ActorId>) {
+        build_batched(n, m, seed, cmds_per_node, 1)
+    }
+
+    fn build_batched(
+        n: u32,
+        m: u32,
+        seed: u64,
+        cmds_per_node: usize,
+        batch: usize,
+    ) -> (Simulation<Msg>, Vec<Pid>, Vec<ActorId>) {
         let mut sim = Simulation::new(seed);
         let procs: Vec<Pid> = (0..n).map(ActorId).collect();
         let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
         for i in 0..n {
-            let workload: Vec<Value> =
-                (0..cmds_per_node).map(|c| Value(1000 * (i as u64 + 1) + c as u64)).collect();
-            sim.add(SmrNode::new(
-                ActorId(i),
-                procs.clone(),
-                mems.clone(),
-                ActorId(0),
-                workload,
-                (m as usize - 1) / 2,
-                Duration::from_delays(25),
-            ));
+            let workload: Vec<Value> = (0..cmds_per_node)
+                .map(|c| Value(1000 * (i as u64 + 1) + c as u64))
+                .collect();
+            sim.add(
+                SmrNode::new(
+                    ActorId(i),
+                    procs.clone(),
+                    mems.clone(),
+                    ActorId(0),
+                    workload,
+                    (m as usize - 1) / 2,
+                    Duration::from_delays(25),
+                )
+                .with_batch(batch),
+            );
         }
         for _ in 0..m {
             sim.add(memory_actor(ActorId(0)));
@@ -435,26 +586,95 @@ mod tests {
     fn stable_leader_commits_at_two_delays_per_entry() {
         let (mut sim, procs, _) = build(3, 3, 1, 5);
         sim.run_until(Time::from_delays(200), |s| {
-            s.actor_as::<SmrNode>(procs[0]).unwrap().log().len() >= 5
+            s.actor_as::<SmrNode>(procs[0]).unwrap().log_len() >= 5
         });
         let leader = sim.actor_as::<SmrNode>(procs[0]).unwrap();
-        assert_eq!(leader.log().len(), 5);
+        assert_eq!(leader.log_len(), 5);
         // Entry i decided at 2·(i+1) delays: one replicated write each.
         for (i, (_, t)) in leader.decided_at.iter().enumerate() {
             assert_eq!(t.as_delays(), 2.0 * (i as f64 + 1.0), "entry {i}");
         }
         // All of the leader's own commands, in order.
-        assert_eq!(leader.log(), vec![Value(1000), Value(1001), Value(1002), Value(1003), Value(1004)]);
+        assert_eq!(
+            leader.log(),
+            vec![
+                Value(1000),
+                Value(1001),
+                Value(1002),
+                Value(1003),
+                Value(1004)
+            ]
+        );
+    }
+
+    #[test]
+    fn batched_leader_amortizes_one_write_over_k_entries() {
+        let (mut sim, procs, _) = build_batched(3, 3, 1, 8, 4);
+        sim.run_until(Time::from_delays(200), |s| {
+            s.actor_as::<SmrNode>(procs[0]).unwrap().log_len() >= 8
+        });
+        let leader = sim.actor_as::<SmrNode>(procs[0]).unwrap();
+        assert_eq!(leader.log_len(), 8);
+        // Two batched rounds of 4: entries 0..4 decide at 2 delays,
+        // entries 4..8 at 4 — still one round trip per *write*, now
+        // amortized over 4 entries each.
+        for (i, (_, t)) in leader.decided_at.iter().enumerate() {
+            let round = (i / 4 + 1) as f64;
+            assert_eq!(t.as_delays(), 2.0 * round, "entry {i}");
+        }
+        // Same committed values and order as the unbatched protocol.
+        let expected: Vec<Value> = (0..8).map(|c| Value(1000 + c)).collect();
+        assert_eq!(leader.log(), expected);
+        // 2 batched write rounds × 3 memories, instead of 8 × 3.
+        assert_eq!(sim.metrics().mem_writes, 6);
+    }
+
+    #[test]
+    fn batched_followers_learn_the_same_log() {
+        let (mut sim, procs, _) = build_batched(3, 3, 2, 10, 3);
+        sim.run_until(Time::from_delays(300), |s| {
+            procs
+                .iter()
+                .all(|&p| s.actor_as::<SmrNode>(p).unwrap().log_len() >= 10)
+        });
+        let logs: Vec<Vec<Value>> = procs
+            .iter()
+            .map(|&p| sim.actor_as::<SmrNode>(p).unwrap().log())
+            .collect();
+        assert_eq!(logs[0].len(), 10);
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+    }
+
+    #[test]
+    fn batched_leader_crash_recovery_preserves_log() {
+        let (mut sim, procs, _) = build_batched(3, 3, 3, 12, 4);
+        sim.crash_at(ActorId(0), Time::from_delays(3)); // one batch in
+        sim.announce_leader(Time::from_delays(20), &procs, ActorId(1));
+        sim.run_until(Time::from_delays(2000), |s| {
+            s.actor_as::<SmrNode>(procs[1]).unwrap().log_len() >= 10
+        });
+        let l1 = sim.actor_as::<SmrNode>(procs[1]).unwrap().log();
+        let l2 = sim.actor_as::<SmrNode>(procs[2]).unwrap().log();
+        assert!(l1.len() >= 10, "new leader made progress: {l1:?}");
+        let common = l1.len().min(l2.len());
+        assert_eq!(l1[..common], l2[..common]);
+        // The crashed leader's first batch survived the takeover scan.
+        assert_eq!(l1[0], Value(1000));
     }
 
     #[test]
     fn followers_learn_the_same_log() {
         let (mut sim, procs, _) = build(3, 3, 2, 4);
         sim.run_until(Time::from_delays(300), |s| {
-            procs.iter().all(|&p| s.actor_as::<SmrNode>(p).unwrap().log().len() >= 4)
+            procs
+                .iter()
+                .all(|&p| s.actor_as::<SmrNode>(p).unwrap().log_len() >= 4)
         });
-        let logs: Vec<Vec<Value>> =
-            procs.iter().map(|&p| sim.actor_as::<SmrNode>(p).unwrap().log()).collect();
+        let logs: Vec<Vec<Value>> = procs
+            .iter()
+            .map(|&p| sim.actor_as::<SmrNode>(p).unwrap().log())
+            .collect();
         assert_eq!(logs[0].len(), 4);
         assert_eq!(logs[0], logs[1]);
         assert_eq!(logs[1], logs[2]);
@@ -466,7 +686,7 @@ mod tests {
         sim.crash_at(ActorId(0), Time::from_delays(7)); // ~3 entries in
         sim.announce_leader(Time::from_delays(20), &procs, ActorId(1));
         sim.run_until(Time::from_delays(2000), |s| {
-            s.actor_as::<SmrNode>(procs[1]).unwrap().log().len() >= 8
+            s.actor_as::<SmrNode>(procs[1]).unwrap().log_len() >= 8
         });
         let l1 = sim.actor_as::<SmrNode>(procs[1]).unwrap().log();
         let l2 = sim.actor_as::<SmrNode>(procs[2]).unwrap().log();
@@ -489,8 +709,10 @@ mod tests {
             sim.announce_leader(Time::from_delays(9), &procs[..1], ActorId(0));
             sim.announce_leader(Time::from_delays(40), &procs, ActorId(1));
             sim.run_to_quiescence(Time::from_delays(4000));
-            let logs: Vec<Vec<Value>> =
-                procs.iter().map(|&p| sim.actor_as::<SmrNode>(p).unwrap().log()).collect();
+            let logs: Vec<Vec<Value>> = procs
+                .iter()
+                .map(|&p| sim.actor_as::<SmrNode>(p).unwrap().log())
+                .collect();
             for a in &logs {
                 for b in &logs {
                     let common = a.len().min(b.len());

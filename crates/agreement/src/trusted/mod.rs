@@ -168,7 +168,8 @@ struct CheckState {
     accepted: Option<(crate::types::Ballot, Value)>,
     accepts_sent: BTreeMap<crate::types::Ballot, Value>,
     prepares_recv: BTreeSet<crate::types::Ballot>,
-    promises_recv: BTreeMap<crate::types::Ballot, BTreeMap<Pid, Option<(crate::types::Ballot, Value)>>>,
+    promises_recv:
+        BTreeMap<crate::types::Ballot, BTreeMap<Pid, Option<(crate::types::Ballot, Value)>>>,
     accepts_recv: BTreeSet<(crate::types::Ballot, Value)>,
 }
 
@@ -201,7 +202,10 @@ impl PaxosChecker {
                 st.prepares_recv.insert(b);
             }
             PaxosMsg::Promise { b, accepted } => {
-                st.promises_recv.entry(b).or_default().insert(from, accepted);
+                st.promises_recv
+                    .entry(b)
+                    .or_default()
+                    .insert(from, accepted);
             }
             PaxosMsg::Accept { b, v } if b.pid == from => {
                 st.accepts_recv.insert((b, v));
@@ -229,7 +233,7 @@ impl PaxosChecker {
                         if b.pid != sender || b.round == 0 {
                             return false;
                         }
-                        if st.last_prepare_round.map_or(false, |r| b.round <= r) {
+                        if st.last_prepare_round.is_some_and(|r| b.round <= r) {
                             return false;
                         }
                         st.last_prepare_round = Some(b.round);
@@ -239,7 +243,7 @@ impl PaxosChecker {
                         if !st.prepares_recv.contains(&b) {
                             return false;
                         }
-                        if st.promised.map_or(false, |p| p > b) {
+                        if st.promised.is_some_and(|p| p > b) {
                             return false;
                         }
                         if accepted != st.accepted {
@@ -286,7 +290,7 @@ impl PaxosChecker {
                         if !st.accepts_recv.contains(&(b, v)) {
                             return false;
                         }
-                        if st.promised.map_or(false, |p| p > b) {
+                        if st.promised.is_some_and(|p| p > b) {
                             return false;
                         }
                         st.promised = Some(b);
@@ -349,7 +353,11 @@ impl TrustedPeer {
         dest: Dest,
         payload: RbPayload,
     ) {
-        let wire = TWire { dest, payload: payload.clone(), history: self.history.clone() };
+        let wire = TWire {
+            dest,
+            payload: payload.clone(),
+            history: self.history.clone(),
+        };
         let k = self.neb.broadcast(ctx, client, wire);
         self.history.push(HistEntry::Sent { k, dest, payload });
     }
@@ -379,7 +387,8 @@ impl TrustedPeer {
             let from = d.from;
             // Record what the sender actually broadcast regardless of
             // validity: later history cross-checks need it.
-            self.got.insert((from, d.k), (d.wire.dest, d.wire.payload.clone()));
+            self.got
+                .insert((from, d.k), (d.wire.dest, d.wire.payload.clone()));
             if self.distrusted.contains(&from) {
                 continue;
             }
@@ -402,7 +411,10 @@ impl TrustedPeer {
                 sig: d.sig,
             });
             if addressed_to_me {
-                out.push(TDelivery { from, payload: d.wire.payload });
+                out.push(TDelivery {
+                    from,
+                    payload: d.wire.payload,
+                });
             }
         }
         out
@@ -412,9 +424,23 @@ impl TrustedPeer {
     fn validate(&self, from: Pid, k: u64, wire: &TWire) -> bool {
         // (a) Claimed receives carry genuine signatures.
         for entry in &wire.history {
-            if let HistEntry::Recv { from: f, k, dest, payload, hd, sig } = entry {
+            if let HistEntry::Recv {
+                from: f,
+                k,
+                dest,
+                payload,
+                hd,
+                sig,
+            } = entry
+            {
                 // Rebuild the signed view with the claimed history digest.
-                let v = SignView { tag: sigtags::NEB, k: *k, dest, payload, hd: *hd };
+                let v = SignView {
+                    tag: sigtags::NEB,
+                    k: *k,
+                    dest,
+                    payload,
+                    hd: *hd,
+                };
                 if !self.verifier.valid(*f, &v, sig) {
                     return false;
                 }
@@ -424,7 +450,12 @@ impl TrustedPeer {
         // 1..k-1, in order.
         let mut expect_k = 1;
         for entry in &wire.history {
-            if let HistEntry::Sent { k: sk, dest, payload } = entry {
+            if let HistEntry::Sent {
+                k: sk,
+                dest,
+                payload,
+            } = entry
+            {
                 if *sk != expect_k {
                     return false;
                 }
@@ -468,13 +499,19 @@ mod tests {
     }
 
     fn b(round: u64, pid: u32) -> Ballot {
-        Ballot { round, pid: ActorId(pid) }
+        Ballot {
+            round,
+            pid: ActorId(pid),
+        }
     }
 
     #[test]
     fn initial_leader_may_accept_freely() {
         let c = checker(3);
-        let next = RbPayload::Paxos(PaxosMsg::Accept { b: b(0, 0), v: Value(7) });
+        let next = RbPayload::Paxos(PaxosMsg::Accept {
+            b: b(0, 0),
+            v: Value(7),
+        });
         assert!(c.conforms(ActorId(0), &[], &next));
         // ...but nobody else may use round 0.
         assert!(!c.conforms(ActorId(1), &[], &next));
@@ -483,7 +520,10 @@ mod tests {
     #[test]
     fn promise_requires_received_prepare() {
         let c = checker(3);
-        let next = RbPayload::Paxos(PaxosMsg::Promise { b: b(1, 0), accepted: None });
+        let next = RbPayload::Paxos(PaxosMsg::Promise {
+            b: b(1, 0),
+            accepted: None,
+        });
         assert!(!c.conforms(ActorId(1), &[], &next));
         let hist = [HistEntry::Recv {
             from: ActorId(0),
@@ -505,14 +545,20 @@ mod tests {
                 from: ActorId(0),
                 k: 1,
                 dest: Dest::All,
-                payload: RbPayload::Paxos(PaxosMsg::Accept { b: b(0, 0), v: Value(7) }),
+                payload: RbPayload::Paxos(PaxosMsg::Accept {
+                    b: b(0, 0),
+                    v: Value(7),
+                }),
                 hd: 0,
                 sig: Signature::forged(ActorId(0), 0),
             },
             HistEntry::Sent {
                 k: 1,
                 dest: Dest::All,
-                payload: RbPayload::Paxos(PaxosMsg::Accepted { b: b(0, 0), v: Value(7) }),
+                payload: RbPayload::Paxos(PaxosMsg::Accepted {
+                    b: b(0, 0),
+                    v: Value(7),
+                }),
             },
             HistEntry::Recv {
                 from: ActorId(2),
@@ -523,7 +569,10 @@ mod tests {
                 sig: Signature::forged(ActorId(2), 0),
             },
         ];
-        let lie = RbPayload::Paxos(PaxosMsg::Promise { b: b(1, 2), accepted: None });
+        let lie = RbPayload::Paxos(PaxosMsg::Promise {
+            b: b(1, 2),
+            accepted: None,
+        });
         assert!(!c.conforms(ActorId(1), &hist, &lie));
         let truth = RbPayload::Paxos(PaxosMsg::Promise {
             b: b(1, 2),
@@ -540,21 +589,33 @@ mod tests {
             from: ActorId(from),
             k: 1,
             dest: Dest::One(ActorId(1)),
-            payload: RbPayload::Paxos(PaxosMsg::Promise { b: ballot, accepted: acc }),
+            payload: RbPayload::Paxos(PaxosMsg::Promise {
+                b: ballot,
+                accepted: acc,
+            }),
             hd: 0,
             sig: Signature::forged(ActorId(from), 0),
         };
         // No quorum: reject.
         let h1 = [mk_promise(0, None)];
-        let acc = RbPayload::Paxos(PaxosMsg::Accept { b: ballot, v: Value(5) });
+        let acc = RbPayload::Paxos(PaxosMsg::Accept {
+            b: ballot,
+            v: Value(5),
+        });
         assert!(!c.conforms(ActorId(1), &h1, &acc));
         // Quorum, no prior accepts: free choice allowed.
         let h2 = [mk_promise(0, None), mk_promise(2, None)];
         assert!(c.conforms(ActorId(1), &h2, &acc));
         // Quorum with a reported accepted value: forced.
-        let h3 = [mk_promise(0, Some((b(0, 0), Value(9)))), mk_promise(2, None)];
+        let h3 = [
+            mk_promise(0, Some((b(0, 0), Value(9)))),
+            mk_promise(2, None),
+        ];
         assert!(!c.conforms(ActorId(1), &h3, &acc));
-        let forced = RbPayload::Paxos(PaxosMsg::Accept { b: ballot, v: Value(9) });
+        let forced = RbPayload::Paxos(PaxosMsg::Accept {
+            b: ballot,
+            v: Value(9),
+        });
         assert!(c.conforms(ActorId(1), &h3, &forced));
     }
 
@@ -566,7 +627,10 @@ mod tests {
             from: ActorId(from),
             k: 1,
             dest: Dest::One(ActorId(1)),
-            payload: RbPayload::Paxos(PaxosMsg::Promise { b: ballot, accepted: None }),
+            payload: RbPayload::Paxos(PaxosMsg::Promise {
+                b: ballot,
+                accepted: None,
+            }),
             hd: 0,
             sig: Signature::forged(ActorId(from), 0),
         };
@@ -576,19 +640,31 @@ mod tests {
             HistEntry::Sent {
                 k: 1,
                 dest: Dest::All,
-                payload: RbPayload::Paxos(PaxosMsg::Accept { b: ballot, v: Value(5) }),
+                payload: RbPayload::Paxos(PaxosMsg::Accept {
+                    b: ballot,
+                    v: Value(5),
+                }),
             },
         ];
-        let equivocation = RbPayload::Paxos(PaxosMsg::Accept { b: ballot, v: Value(6) });
+        let equivocation = RbPayload::Paxos(PaxosMsg::Accept {
+            b: ballot,
+            v: Value(6),
+        });
         assert!(!c.conforms(ActorId(1), &hist, &equivocation));
-        let repeat = RbPayload::Paxos(PaxosMsg::Accept { b: ballot, v: Value(5) });
+        let repeat = RbPayload::Paxos(PaxosMsg::Accept {
+            b: ballot,
+            v: Value(5),
+        });
         assert!(c.conforms(ActorId(1), &hist, &repeat));
     }
 
     #[test]
     fn accepted_requires_received_accept() {
         let c = checker(3);
-        let fake = RbPayload::Paxos(PaxosMsg::Accepted { b: b(1, 0), v: Value(3) });
+        let fake = RbPayload::Paxos(PaxosMsg::Accepted {
+            b: b(1, 0),
+            v: Value(3),
+        });
         assert!(!c.conforms(ActorId(1), &[], &fake));
     }
 
@@ -615,20 +691,32 @@ mod tests {
             HistEntry::Sent {
                 k: 1,
                 dest: Dest::One(ActorId(2)),
-                payload: RbPayload::Paxos(PaxosMsg::Promise { b: b(5, 2), accepted: None }),
+                payload: RbPayload::Paxos(PaxosMsg::Promise {
+                    b: b(5, 2),
+                    accepted: None,
+                }),
             },
         ];
-        let backslide = RbPayload::Paxos(PaxosMsg::Promise { b: b(1, 0), accepted: None });
+        let backslide = RbPayload::Paxos(PaxosMsg::Promise {
+            b: b(1, 0),
+            accepted: None,
+        });
         assert!(!c.conforms(ActorId(1), &hist, &backslide));
     }
 
     #[test]
     fn setup_only_first() {
         let c = checker(3);
-        let setup =
-            RbPayload::Setup { value: Value(1), evidence: SetupEvidence::default() };
+        let setup = RbPayload::Setup {
+            value: Value(1),
+            evidence: SetupEvidence::default(),
+        };
         assert!(c.conforms(ActorId(1), &[], &setup));
-        let hist = [HistEntry::Sent { k: 1, dest: Dest::All, payload: setup.clone() }];
+        let hist = [HistEntry::Sent {
+            k: 1,
+            dest: Dest::All,
+            payload: setup.clone(),
+        }];
         assert!(!c.conforms(ActorId(1), &hist, &setup));
     }
 }

@@ -45,7 +45,10 @@ impl Ballot {
     /// phase 1 ("the leader terminates one instance and becomes the default
     /// leader in the next").
     pub fn initial(leader: Pid) -> Ballot {
-        Ballot { round: 0, pid: leader }
+        Ballot {
+            round: 0,
+            pid: leader,
+        }
     }
 }
 
@@ -99,12 +102,20 @@ pub struct PaxSlot {
 impl PaxSlot {
     /// A phase-1 slot: `{propNr, ⊥, ⊥}`.
     pub fn phase1(prop: Ballot) -> PaxSlot {
-        PaxSlot { min_prop: prop, acc_prop: None, value: None }
+        PaxSlot {
+            min_prop: prop,
+            acc_prop: None,
+            value: None,
+        }
     }
 
     /// A phase-2 slot: `{propNr, propNr, value}`.
     pub fn phase2(prop: Ballot, value: Value) -> PaxSlot {
-        PaxSlot { min_prop: prop, acc_prop: Some(prop), value: Some(value) }
+        PaxSlot {
+            min_prop: prop,
+            acc_prop: Some(prop),
+            value: Some(value),
+        }
     }
 }
 
@@ -217,6 +228,16 @@ pub enum Msg {
         /// The decided value.
         value: Value,
     },
+    /// Batched decision dissemination: `values[j]` decided instance
+    /// `first + j`. Sent by an SMR leader committing multiple log entries
+    /// per replicated write (`batch > 1`), amortizing dissemination the
+    /// same way the write itself is amortized.
+    DecidedMany {
+        /// First instance of the contiguous decided range.
+        first: Instance,
+        /// The decided values, in instance order.
+        values: Vec<Value>,
+    },
 }
 
 impl MemEmbed<RegVal> for Msg {
@@ -246,7 +267,10 @@ mod tests {
 
     #[test]
     fn slot_constructors() {
-        let b = Ballot { round: 3, pid: ActorId(1) };
+        let b = Ballot {
+            round: 3,
+            pid: ActorId(1),
+        };
         let s1 = PaxSlot::phase1(b);
         assert_eq!(s1.acc_prop, None);
         let s2 = PaxSlot::phase2(b, Value(9));

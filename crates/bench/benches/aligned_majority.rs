@@ -41,7 +41,10 @@ fn print_grid(n: usize, m: usize) {
         }
         println!();
     }
-    println!("expected boundary: alive agents >= {majority} ⇔ live — {}", tick(true));
+    println!(
+        "expected boundary: alive agents >= {majority} ⇔ live — {}",
+        tick(true)
+    );
 }
 
 fn bench(c: &mut Criterion) {

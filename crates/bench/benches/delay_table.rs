@@ -25,7 +25,10 @@ fn print_table() {
     );
     let ns = [3usize, 5, 7, 9];
     let cell = |f: &dyn Fn(usize) -> Option<f64>| {
-        ns.iter().map(|&n| format!("{:>6}", fmt_delay(f(n)))).collect::<Vec<_>>().join(" ")
+        ns.iter()
+            .map(|&n| format!("{:>6}", fmt_delay(f(n))))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     println!(
         "{:<26} {}",
@@ -66,17 +69,24 @@ fn print_table() {
     println!(
         "{:<26} {}",
         "Fast & Robust",
-        cell(&|n| run_fast_robust(&Scenario::common_case(n, 3, 1), 60).0.first_decision_delays)
+        cell(&|n| run_fast_robust(&Scenario::common_case(n, 3, 1), 60)
+            .0
+            .first_decision_delays)
     );
     println!(
         "{:<26} {}",
         "Robust Backup (slow path)",
-        cell(&|n| run_robust_backup(&Scenario::common_case(n, 3, 1)).0.first_decision_delays)
+        cell(&|n| run_robust_backup(&Scenario::common_case(n, 3, 1))
+            .0
+            .first_decision_delays)
     );
     println!("\npaper: PMP/F&R/FastPaxos = 2; Disk Paxos >= 4; nebcast hop >= 6");
 
     section("E2 ablation: dynamic permissions vs verification read (m sweep)");
-    println!("{:<10} {:>14} {:>12}", "memories", "PMP (delays)", "Disk (delays)");
+    println!(
+        "{:<10} {:>14} {:>12}",
+        "memories", "PMP (delays)", "Disk (delays)"
+    );
     for m in [3usize, 5, 7] {
         let s = Scenario::common_case(3, m, 1);
         println!(

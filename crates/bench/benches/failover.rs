@@ -54,9 +54,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("no_failure", |b| b.iter(|| run(None, 15, 1)));
     for crash_at in [0u64, 3] {
-        g.bench_with_input(BenchmarkId::new("leader_crash", crash_at), &crash_at, |b, &t| {
-            b.iter(|| run(Some(t), 15, 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("leader_crash", crash_at),
+            &crash_at,
+            |b, &t| b.iter(|| run(Some(t), 15, 1)),
+        );
     }
     g.finish();
 }

@@ -41,7 +41,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("lower_bound");
     g.sample_size(30);
     g.bench_function("strawman_schedule", |b| b.iter(|| run_strawman_demo(1)));
-    g.bench_function("protected_contrast", |b| b.iter(|| run_protected_contrast(1)));
+    g.bench_function("protected_contrast", |b| {
+        b.iter(|| run_protected_contrast(1))
+    });
     g.finish();
 }
 

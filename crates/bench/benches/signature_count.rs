@@ -37,12 +37,15 @@ fn count_signatures(n: u32, seed: u64) -> (u64, u64, f64) {
     for _ in 0..m {
         sim.add(memory_actor(&procs, ActorId(0)));
     }
-    sim.run_until(Time::from_delays(5_000), |s| s.metrics().first_decision().is_some());
+    sim.run_until(Time::from_delays(5_000), |s| {
+        s.metrics().first_decision().is_some()
+    });
     let at_first_decision = auth.signatures_created();
     let first_delay = sim.metrics().first_decision_delays().unwrap_or(f64::NAN);
     sim.run_until(Time::from_delays(5_000), |s| {
         (0..n).all(|i| {
-            s.actor_as::<CheapQuorumActor>(ActorId(i)).map_or(false, |a| a.decision().is_some())
+            s.actor_as::<CheapQuorumActor>(ActorId(i))
+                .is_some_and(|a| a.decision().is_some())
         })
     });
     (at_first_decision, auth.signatures_created(), first_delay)
@@ -55,7 +58,7 @@ fn print_table() {
         "n", "sigs @ 1st decide", "sigs full run", "prior work*", "delays"
     );
     for n in [3u32, 5, 7] {
-        let f = (n - 1) / 2 as u32;
+        let f = (n - 1) / 2_u32;
         let (first, full, delay) = count_signatures(n, 11);
         println!(
             "{:<4} {:>18} {:>16} {:>14} {:>12.1}",

@@ -21,7 +21,7 @@ fn smr_entries_within(budget_delays: u64, n: u32, m: u32) -> usize {
     let procs: Vec<ActorId> = (0..n).map(ActorId).collect();
     let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
     for i in 0..n {
-        let workload: Vec<Value> = (0..10_000).map(|c| Value(c)).collect();
+        let workload: Vec<Value> = (0..10_000).map(Value).collect();
         sim.add(SmrNode::new(
             ActorId(i),
             procs.clone(),
@@ -36,7 +36,7 @@ fn smr_entries_within(budget_delays: u64, n: u32, m: u32) -> usize {
         sim.add(memory_actor(ActorId(0)));
     }
     sim.run_to_quiescence(Time::from_delays(budget_delays));
-    sim.actor_as::<SmrNode>(ActorId(0)).unwrap().log().len()
+    sim.actor_as::<SmrNode>(ActorId(0)).unwrap().log_len()
 }
 
 fn print_table() {

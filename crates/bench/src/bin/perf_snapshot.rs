@@ -1,0 +1,361 @@
+//! Headless perf-trajectory recorder: runs the E10 cost table, the E10b
+//! replicated-log workload, and a kernel queue-stress microbench on both
+//! kernel profiles, then writes machine-readable `BENCH_PR1.json` at the
+//! repo root.
+//!
+//! Reported quantities:
+//!
+//! * **entries/sec** — committed log entries per wall-clock second on the
+//!   E10b workload; the end-to-end replicated-log throughput and the
+//!   headline speedup (the pre-PR kernel cannot batch, so this captures
+//!   the combined kernel + SMR-pipeline overhaul).
+//! * **events/sec** — kernel events dispatched per wall-clock second; the
+//!   direct dispatch-overhead measure, reported at batch=1 (identical
+//!   event streams on both kernels) and on the queue-stress gossip where
+//!   tens of thousands of events are in flight.
+//! * **allocs/event** — global allocations per dispatched event, the
+//!   zero-alloc-dispatch proxy.
+//!
+//! `Legacy` is the faithful pre-overhaul kernel (binary-heap queue,
+//! per-send delay-model clone, eager trace strings, tombstone timer set,
+//! per-dispatch pending buffer); `Optimized` is the current one. Both
+//! produce identical virtual-time results — the golden-schedule tests pin
+//! that — so every difference below is wall-clock only.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_snapshot
+//! PERF_SNAPSHOT_CMDS=200000 cargo run --release -p bench --bin perf_snapshot
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use agreement::harness::{
+    run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, run_robust_backup, run_smr,
+    RunReport, Scenario, SmrRunReport,
+};
+use simnet::{
+    Actor, ActorId, Context, DelayModel, Duration, EventKind, KernelProfile, Simulation, Time,
+};
+
+/// Allocation-counting wrapper around the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One measured E10b run.
+struct Measured {
+    label: &'static str,
+    report: SmrRunReport,
+    wall_secs: f64,
+    allocs: u64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.report.events_dispatched as f64 / self.wall_secs
+    }
+    fn entries_per_sec(&self) -> f64 {
+        self.report.entries as f64 / self.wall_secs
+    }
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.report.events_dispatched.max(1) as f64
+    }
+}
+
+fn measure_smr(label: &'static str, kernel: KernelProfile, batch: usize, cmds: usize) -> Measured {
+    let mut s = Scenario::common_case(3, 3, 5);
+    s.kernel = kernel;
+    s.batch = batch;
+    // Budget: just enough virtual time to commit everything (2 delays per
+    // batched write round) plus slack, so the run measures the commit
+    // pipeline rather than a post-workload timer tail.
+    s.max_delays = 2 * (cmds as u64).div_ceil(batch as u64) + 50;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let report = run_smr(&s, cmds);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        report.entries, cmds,
+        "{label}: workload did not fully commit"
+    );
+    assert!(report.logs_agree, "{label}: replicas diverged");
+    Measured {
+        label,
+        report,
+        wall_secs,
+        allocs,
+    }
+}
+
+/// Queue-stress gossip: `n` actors, deep in-flight queues (tens of
+/// thousands of scheduled events), jittered delays. This is where the
+/// event-queue structure itself dominates: the legacy heap pays
+/// O(log queue) payload moves per operation, the wheel O(1).
+#[derive(Clone, Debug)]
+struct Pkt {
+    _pad: [u64; 12],
+    hops: u32,
+}
+
+struct GossipNode {
+    peers: u32,
+    fanout: u32,
+}
+
+impl Actor<Pkt> for GossipNode {
+    fn on_event(&mut self, ctx: &mut Context<'_, Pkt>, ev: EventKind<Pkt>) {
+        match ev {
+            EventKind::Start => {
+                for i in 0..self.fanout {
+                    let to = ActorId((ctx.me().0 + i + 1) % self.peers);
+                    ctx.send(
+                        to,
+                        Pkt {
+                            _pad: [0; 12],
+                            hops: 12,
+                        },
+                    );
+                }
+            }
+            EventKind::Msg { msg, .. } if msg.hops > 0 => {
+                // Cheap deterministic peer scatter.
+                let mix = (ctx.me().0 as u64)
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(msg.hops as u64 * 40_503)
+                    .wrapping_add(ctx.now().0);
+                let to = ActorId((mix % self.peers as u64) as u32);
+                ctx.send(
+                    to,
+                    Pkt {
+                        _pad: msg._pad,
+                        hops: msg.hops - 1,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn stress_run(profile: KernelProfile, n: u32, fanout: u32) -> (f64, u64) {
+    let mut sim: Simulation<Pkt> = Simulation::with_profile(7, profile);
+    sim.set_default_delay(DelayModel::Uniform {
+        lo: Duration::from_delays(1),
+        hi: Duration::from_delays(8),
+    });
+    for _ in 0..n {
+        sim.add(GossipNode { peers: n, fanout });
+    }
+    let start = Instant::now();
+    sim.run_to_quiescence(Time::from_delays(1_000_000));
+    (
+        start.elapsed().as_secs_f64(),
+        sim.metrics().events_dispatched,
+    )
+}
+
+struct StressResult {
+    n: u32,
+    events: u64,
+    legacy_events_per_sec: f64,
+    optimized_events_per_sec: f64,
+}
+
+fn measure_stress(n: u32, fanout: u32) -> StressResult {
+    let _ = stress_run(KernelProfile::Optimized, n, fanout); // warmup
+    let (tl, el) = stress_run(KernelProfile::Legacy, n, fanout);
+    let (to, eo) = stress_run(KernelProfile::Optimized, n, fanout);
+    assert_eq!(el, eo, "profiles dispatched different event counts");
+    StressResult {
+        n,
+        events: el,
+        legacy_events_per_sec: el as f64 / tl,
+        optimized_events_per_sec: eo as f64 / to,
+    }
+}
+
+fn smr_json(m: &Measured) -> String {
+    format!(
+        "{{\n      \"label\": \"{}\",\n      \"entries\": {},\n      \"events_dispatched\": {},\n      \"wall_secs\": {:.6},\n      \"events_per_sec\": {:.0},\n      \"entries_per_sec\": {:.0},\n      \"allocations\": {},\n      \"allocs_per_event\": {:.3},\n      \"messages\": {},\n      \"mem_ops\": {},\n      \"elapsed_delays\": {:.1},\n      \"delays_per_entry\": {:.3}\n    }}",
+        m.label,
+        m.report.entries,
+        m.report.events_dispatched,
+        m.wall_secs,
+        m.events_per_sec(),
+        m.entries_per_sec(),
+        m.allocs,
+        m.allocs_per_event(),
+        m.report.messages,
+        m.report.mem_ops,
+        m.report.elapsed_delays,
+        m.report.delays_per_entry,
+    )
+}
+
+fn protocol_json(name: &str, r: &RunReport) -> String {
+    format!(
+        "{{ \"protocol\": \"{}\", \"first_decision_delays\": {}, \"messages\": {}, \"mem_ops\": {}, \"all_decided\": {}, \"agreement\": {} }}",
+        name,
+        r.first_decision_delays.map_or("null".to_string(), |d| format!("{d:.1}")),
+        r.messages,
+        r.mem_ops,
+        r.all_decided,
+        r.agreement,
+    )
+}
+
+fn main() {
+    let cmds: usize = std::env::var("PERF_SNAPSHOT_CMDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("perf_snapshot: E10 common-case table (n=3, m=3, seed=1)");
+    let s = Scenario::common_case(3, 3, 1);
+    let table: Vec<(&str, RunReport)> = vec![
+        ("mp_paxos", run_mp_paxos(&s)),
+        ("disk_paxos", run_disk_paxos(&s)),
+        ("protected_memory_paxos", run_protected(&s)),
+        ("fast_robust", run_fast_robust(&s, 60).0),
+        ("robust_backup", run_robust_backup(&s).0),
+    ];
+    for (name, r) in &table {
+        println!(
+            "  {name:<24} {:>6} delays {:>8} msgs {:>6} mem ops",
+            r.first_decision_delays
+                .map_or("-".into(), |d| format!("{d:.1}")),
+            r.messages,
+            r.mem_ops
+        );
+    }
+
+    println!("\nperf_snapshot: E10b replicated log, {cmds} commands (n=3, m=3)");
+    // Warm-up run so cold-start effects (page faults, lazy init) do not
+    // land on the first measured configuration.
+    let _ = measure_smr("warmup", KernelProfile::Optimized, 1, cmds.min(10_000));
+
+    let legacy = measure_smr("legacy_kernel_batch1", KernelProfile::Legacy, 1, cmds);
+    let optimized = measure_smr("optimized_kernel_batch1", KernelProfile::Optimized, 1, cmds);
+    let batched8 = measure_smr("optimized_kernel_batch8", KernelProfile::Optimized, 8, cmds);
+    let batched32 = measure_smr(
+        "optimized_kernel_batch32",
+        KernelProfile::Optimized,
+        32,
+        cmds,
+    );
+
+    for m in [&legacy, &optimized, &batched8, &batched32] {
+        println!(
+            "  {:<26} {:>11.0} events/s {:>11.0} entries/s {:>7.3} allocs/event ({:.3}s)",
+            m.label,
+            m.events_per_sec(),
+            m.entries_per_sec(),
+            m.allocs_per_event(),
+            m.wall_secs
+        );
+    }
+
+    let speedup_events = optimized.events_per_sec() / legacy.events_per_sec();
+    let speedup_b8 = batched8.entries_per_sec() / legacy.entries_per_sec();
+    let speedup_b32 = batched32.entries_per_sec() / legacy.entries_per_sec();
+    println!("\n  dispatch speedup (events/sec, batch=1):   {speedup_events:.2}x");
+    println!("  workload speedup (entries/sec, batch=8):  {speedup_b8:.2}x");
+    println!("  workload speedup (entries/sec, batch=32): {speedup_b32:.2}x");
+
+    println!("\nperf_snapshot: kernel queue stress (gossip, deep in-flight queues)");
+    let stress: Vec<StressResult> = vec![measure_stress(5_000, 40), measure_stress(20_000, 60)];
+    for r in &stress {
+        println!(
+            "  n={:<6} events={:<9} legacy {:>9.0} ev/s, optimized {:>9.0} ev/s ({:.2}x)",
+            r.n,
+            r.events,
+            r.legacy_events_per_sec,
+            r.optimized_events_per_sec,
+            r.optimized_events_per_sec / r.legacy_events_per_sec
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench-snapshot-v1\",\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str(&format!("  \"workload_commands\": {cmds},\n"));
+    json.push_str("  \"e10_common_case\": [\n");
+    let rows: Vec<String> = table
+        .iter()
+        .map(|(name, r)| format!("    {}", protocol_json(name, r)))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"e10b_replicated_log\": {\n");
+    let _ = writeln!(json, "    \"legacy_kernel_batch1\": {},", smr_json(&legacy));
+    let _ = writeln!(
+        json,
+        "    \"optimized_kernel_batch1\": {},",
+        smr_json(&optimized)
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_kernel_batch8\": {},",
+        smr_json(&batched8)
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_kernel_batch32\": {},",
+        smr_json(&batched32)
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_events_per_sec_batch1\": {speedup_events:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_entries_per_sec_batch8\": {speedup_b8:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_entries_per_sec_batch32\": {speedup_b32:.3}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"kernel_queue_stress\": [\n");
+    let rows: Vec<String> = stress
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"actors\": {}, \"events\": {}, \"legacy_events_per_sec\": {:.0}, \"optimized_events_per_sec\": {:.0}, \"speedup\": {:.3} }}",
+                r.n,
+                r.events,
+                r.legacy_events_per_sec,
+                r.optimized_events_per_sec,
+                r.optimized_events_per_sec / r.legacy_events_per_sec
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    std::fs::write(out, &json).expect("write BENCH_PR1.json");
+    println!("\nwrote {out}");
+}

@@ -5,7 +5,7 @@
 //! operations to a busy memory are queued FIFO and dispatched as responses
 //! arrive; operations to distinct memories proceed in parallel.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -15,6 +15,9 @@ use crate::perm::Permission;
 use crate::reg::RegId;
 use crate::region::RegionId;
 use crate::wire::{MemEmbed, MemRequest, MemResponse, MemWire, OpId};
+
+/// Per-memory FIFO of operations waiting for the in-flight one.
+type WaitQueue<V> = VecDeque<(OpId, MemRequest<V>)>;
 
 /// A completed memory operation, as surfaced to the protocol.
 #[derive(Clone, Debug)]
@@ -31,10 +34,13 @@ pub struct Completion<V> {
 /// one-outstanding-op-per-memory rule.
 pub struct MemoryClient<V, M> {
     next_op: u64,
-    /// Operation currently in flight per memory.
-    busy: BTreeMap<ActorId, OpId>,
-    /// Waiting operations per memory.
-    queues: BTreeMap<ActorId, VecDeque<(OpId, MemRequest<V>)>>,
+    /// Operation currently in flight per memory. A client talks to a
+    /// handful of memories, so a linear small-vec beats an ordered map on
+    /// the per-operation hot path (and never allocates once warm).
+    busy: Vec<(ActorId, OpId)>,
+    /// Waiting operations per memory; entries are created on first use and
+    /// retained (capacity included) for the client's lifetime.
+    queues: Vec<(ActorId, WaitQueue<V>)>,
     _msg: PhantomData<M>,
 }
 
@@ -42,7 +48,10 @@ impl<V, M> fmt::Debug for MemoryClient<V, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MemoryClient")
             .field("busy", &self.busy)
-            .field("queued", &self.queues.values().map(|q| q.len()).sum::<usize>())
+            .field(
+                "queued",
+                &self.queues.iter().map(|(_, q)| q.len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -58,8 +67,8 @@ impl<V, M> MemoryClient<V, M> {
     pub fn new() -> MemoryClient<V, M> {
         MemoryClient {
             next_op: 0,
-            busy: BTreeMap::new(),
-            queues: BTreeMap::new(),
+            busy: Vec::new(),
+            queues: Vec::new(),
             _msg: PhantomData,
         }
     }
@@ -70,7 +79,6 @@ where
     V: Clone + fmt::Debug + 'static,
     M: MemEmbed<V>,
 {
-
     /// Submits an operation to `mem`. If the memory is busy the operation is
     /// queued; either way the operation's id is returned immediately.
     pub fn submit(&mut self, ctx: &mut Context<'_, M>, mem: ActorId, req: MemRequest<V>) -> OpId {
@@ -78,14 +86,25 @@ where
         let op = OpId(self.next_op);
         match &req {
             MemRequest::Read { .. } => ctx.metrics().mem_reads += 1,
-            MemRequest::Write { .. } => ctx.metrics().mem_writes += 1,
+            // A batched write is one memory operation (one round trip),
+            // exactly like a single write — that is the point of batching.
+            MemRequest::Write { .. } | MemRequest::WriteMany { .. } => {
+                ctx.metrics().mem_writes += 1
+            }
             MemRequest::ReadRange { .. } => ctx.metrics().mem_range_reads += 1,
             MemRequest::ChangePerm { .. } => ctx.metrics().perm_changes += 1,
         }
-        if self.busy.contains_key(&mem) {
-            self.queues.entry(mem).or_default().push_back((op, req));
+        if self.is_busy(mem) {
+            match self.queues.iter_mut().find(|(m, _)| *m == mem) {
+                Some((_, q)) => q.push_back((op, req)),
+                None => {
+                    let mut q = VecDeque::new();
+                    q.push_back((op, req));
+                    self.queues.push((mem, q));
+                }
+            }
         } else {
-            self.busy.insert(mem, op);
+            self.busy.push((mem, op));
             ctx.send(mem, M::from_wire(MemWire::Req { op, req }));
         }
         op
@@ -112,6 +131,18 @@ where
         value: V,
     ) -> OpId {
         self.submit(ctx, mem, MemRequest::Write { region, reg, value })
+    }
+
+    /// Sugar for [`MemoryClient::submit`] with a batched multi-register
+    /// write (one round trip covering all of `writes`).
+    pub fn write_many(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        mem: ActorId,
+        region: RegionId,
+        writes: Vec<(RegId, V)>,
+    ) -> OpId {
+        self.submit(ctx, mem, MemRequest::WriteMany { region, writes })
     }
 
     /// Sugar for [`MemoryClient::submit`] with a range read.
@@ -147,31 +178,38 @@ where
         from: ActorId,
         wire: MemWire<V>,
     ) -> Option<Completion<V>> {
-        let MemWire::Resp { op, resp } = wire else { return None };
-        match self.busy.get(&from) {
-            Some(&expected) if expected == op => {}
+        let MemWire::Resp { op, resp } = wire else {
+            return None;
+        };
+        match self.busy.iter().position(|&(m, o)| m == from && o == op) {
+            Some(ix) => {
+                self.busy.swap_remove(ix);
+            }
             // A response we no longer expect (e.g. after a protocol-level
             // reset): ignore it but keep the pipeline moving.
-            _ => return None,
+            None => return None,
         }
-        self.busy.remove(&from);
-        if let Some(queue) = self.queues.get_mut(&from) {
+        if let Some((_, queue)) = self.queues.iter_mut().find(|(m, _)| *m == from) {
             if let Some((next_op, req)) = queue.pop_front() {
-                self.busy.insert(from, next_op);
+                self.busy.push((from, next_op));
                 ctx.send(from, M::from_wire(MemWire::Req { op: next_op, req }));
             }
         }
-        Some(Completion { op, mem: from, resp })
+        Some(Completion {
+            op,
+            mem: from,
+            resp,
+        })
     }
 
     /// Whether an operation is currently in flight to `mem`.
     pub fn is_busy(&self, mem: ActorId) -> bool {
-        self.busy.contains_key(&mem)
+        self.busy.iter().any(|&(m, _)| m == mem)
     }
 
     /// Number of queued (not yet sent) operations across all memories.
     pub fn queued_len(&self) -> usize {
-        self.queues.values().map(|q| q.len()).sum()
+        self.queues.iter().map(|(_, q)| q.len()).sum()
     }
 }
 
@@ -212,10 +250,14 @@ mod tests {
             match ev {
                 EventKind::Start => {
                     for i in 0..self.count {
-                        self.client.write(ctx, self.mem, REGION, RegId::one(1, i), i);
+                        self.client
+                            .write(ctx, self.mem, REGION, RegId::one(1, i), i);
                     }
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
                     if let Some(c) = self.client.on_wire(ctx, from, wire) {
                         self.completions.push((c.op, ctx.now()));
                     }
@@ -228,19 +270,30 @@ mod tests {
     #[test]
     fn serializes_ops_to_one_memory() {
         let mut sim: Simulation<TMsg> = Simulation::new(1);
-        let mem = sim.add(MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
-            REGION,
-            RegionSpec::Space(1),
-            Permission::open(),
-        ));
-        let b = sim.add(Burst { mem, count: 3, client: MemoryClient::new(), completions: vec![] });
+        let mem = sim.add(
+            MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
+                REGION,
+                RegionSpec::Space(1),
+                Permission::open(),
+            ),
+        );
+        let b = sim.add(Burst {
+            mem,
+            count: 3,
+            client: MemoryClient::new(),
+            completions: vec![],
+        });
         sim.run_to_quiescence(Time::from_delays(100));
         let burst = sim.actor_as::<Burst>(b).unwrap();
         // Each op is a 2-delay round trip and they must not overlap.
         let times: Vec<_> = burst.completions.iter().map(|(_, t)| *t).collect();
         assert_eq!(
             times,
-            vec![Time::from_delays(2), Time::from_delays(4), Time::from_delays(6)]
+            vec![
+                Time::from_delays(2),
+                Time::from_delays(4),
+                Time::from_delays(6)
+            ]
         );
         // FIFO order.
         let ops: Vec<_> = burst.completions.iter().map(|(op, _)| op.0).collect();
@@ -262,7 +315,10 @@ mod tests {
                         self.client.write(ctx, mem, REGION, RegId::one(1, 0), 9);
                     }
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
                     if let Some(c) = self.client.on_wire(ctx, from, wire) {
                         self.completions.push((c.mem, ctx.now()));
                     }
@@ -277,14 +333,20 @@ mod tests {
         let mut sim: Simulation<TMsg> = Simulation::new(1);
         let mems: Vec<_> = (0..3)
             .map(|_| {
-                sim.add(MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
-                    REGION,
-                    RegionSpec::Space(1),
-                    Permission::open(),
-                ))
+                sim.add(
+                    MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
+                        REGION,
+                        RegionSpec::Space(1),
+                        Permission::open(),
+                    ),
+                )
             })
             .collect();
-        let f = sim.add(FanOut { mems, client: MemoryClient::new(), completions: vec![] });
+        let f = sim.add(FanOut {
+            mems,
+            client: MemoryClient::new(),
+            completions: vec![],
+        });
         sim.run_to_quiescence(Time::from_delays(100));
         let fan = sim.actor_as::<FanOut>(f).unwrap();
         // All three complete at 2 delays: parallel round trips.
@@ -304,20 +366,30 @@ mod tests {
         }
         impl Actor<TMsg> for Probe {
             fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
-                if let EventKind::Msg { from, msg: TMsg::Mem(wire) } = ev {
+                if let EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } = ev
+                {
                     if let Some(c) = self.client.on_wire(ctx, from, wire) {
                         self.got.push(c.op);
                     }
                 }
             }
         }
-        let p = sim.add(Probe { client: MemoryClient::new(), got: vec![] });
+        let p = sim.add(Probe {
+            client: MemoryClient::new(),
+            got: vec![],
+        });
         sim.schedule(
             Time::ZERO,
             p,
             EventKind::Msg {
                 from: simnet::ActorId(42),
-                msg: TMsg::Mem(MemWire::Resp { op: OpId(7), resp: MemResponse::Ack }),
+                msg: TMsg::Mem(MemWire::Resp {
+                    op: OpId(7),
+                    resp: MemResponse::Ack,
+                }),
             },
         );
         sim.run_to_quiescence(Time::from_delays(10));

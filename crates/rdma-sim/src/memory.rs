@@ -9,7 +9,7 @@
 //!
 //! [`Simulation::crash_at`]: simnet::Simulation::crash_at
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -26,7 +26,11 @@ use crate::wire::{MemEmbed, MemRequest, MemResponse, MemWire};
 /// message type embedding [`MemWire<V>`].
 pub struct MemoryActor<V, M> {
     regions: BTreeMap<RegionId, (RegionSpec, Permission)>,
-    registers: BTreeMap<RegId, V>,
+    /// Hash-indexed register store: writes are the per-log-entry hot path,
+    /// so O(1) insert beats ordered storage. Range reads (rare: takeover
+    /// scans) sort their rows, preserving the deterministic RegId-ordered
+    /// responses an ordered map used to give.
+    registers: HashMap<RegId, V>,
     legal: LegalChange,
     _msg: PhantomData<M>,
 }
@@ -51,7 +55,7 @@ where
     pub fn new(legal: LegalChange) -> MemoryActor<V, M> {
         MemoryActor {
             regions: BTreeMap::new(),
-            registers: BTreeMap::new(),
+            registers: HashMap::new(),
             legal,
             _msg: PhantomData,
         }
@@ -96,16 +100,30 @@ where
                 }
                 _ => MemResponse::Nak,
             },
+            MemRequest::WriteMany { region, writes } => match self.regions.get(&region) {
+                Some((spec, perm))
+                    if perm.allows_write(from) && writes.iter().all(|(r, _)| spec.contains(*r)) =>
+                {
+                    for (reg, value) in writes {
+                        self.registers.insert(reg, value);
+                    }
+                    MemResponse::Ack
+                }
+                _ => MemResponse::Nak,
+            },
             MemRequest::ReadRange { region, within } => match self.regions.get(&region) {
                 Some((spec, perm)) if perm.allows_read(from) => {
-                    let rows = self
+                    let mut rows: Vec<(RegId, V)> = self
                         .registers
                         .iter()
                         .filter(|(r, _)| {
-                            spec.contains(**r) && within.map_or(true, |w| w.contains(**r))
+                            spec.contains(**r) && within.is_none_or(|w| w.contains(**r))
                         })
                         .map(|(r, v)| (*r, v.clone()))
                         .collect();
+                    // RegId order, as the ordered register store used to
+                    // produce: responses stay deterministic.
+                    rows.sort_unstable_by_key(|(r, _)| *r);
                     MemResponse::Range(rows)
                 }
                 _ => MemResponse::Nak,
@@ -131,8 +149,12 @@ where
     M: MemEmbed<V>,
 {
     fn on_event(&mut self, ctx: &mut Context<'_, M>, ev: EventKind<M>) {
-        let EventKind::Msg { from, msg } = ev else { return };
-        let Ok(MemWire::Req { op, req }) = msg.into_wire() else { return };
+        let EventKind::Msg { from, msg } = ev else {
+            return;
+        };
+        let Ok(MemWire::Req { op, req }) = msg.into_wire() else {
+            return;
+        };
         let resp = self.handle(from, req);
         ctx.send(from, M::from_wire(MemWire::Resp { op, resp }));
     }
@@ -172,10 +194,19 @@ mod tests {
             match ev {
                 EventKind::Start => {
                     for (i, req) in self.script.drain(..).enumerate() {
-                        ctx.send(self.mem, TMsg::Mem(MemWire::Req { op: OpId(i as u64), req }));
+                        ctx.send(
+                            self.mem,
+                            TMsg::Mem(MemWire::Req {
+                                op: OpId(i as u64),
+                                req,
+                            }),
+                        );
                     }
                 }
-                EventKind::Msg { msg: TMsg::Mem(MemWire::Resp { op, resp }), .. } => {
+                EventKind::Msg {
+                    msg: TMsg::Mem(MemWire::Resp { op, resp }),
+                    ..
+                } => {
                     self.responses.push((op, resp));
                 }
                 _ => {}
@@ -196,7 +227,11 @@ mod tests {
             .with_region(REGION, RegionSpec::Space(1), perm)
             .with_region(LOCKED, RegionSpec::Space(2), Permission::read_only());
         let mem_id = sim.add(mem);
-        let drv = sim.add(Driver { mem: mem_id, script, responses: Vec::new() });
+        let drv = sim.add(Driver {
+            mem: mem_id,
+            script,
+            responses: Vec::new(),
+        });
         sim.run_to_quiescence(Time::from_delays(100));
         let mut out = sim.actor_as::<Driver>(drv).unwrap().responses.clone();
         out.sort_by_key(|(op, _)| *op);
@@ -209,9 +244,19 @@ mod tests {
             LegalChange::Static,
             Permission::open(),
             vec![
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 0), value: 42 },
-                MemRequest::Read { region: REGION, reg: RegId::one(1, 0) },
-                MemRequest::Read { region: REGION, reg: RegId::one(1, 1) },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                    value: 42,
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 1),
+                },
             ],
         );
         assert_eq!(out[0].1, MemResponse::Ack);
@@ -232,8 +277,15 @@ mod tests {
             LegalChange::Static,
             perm,
             vec![
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 0), value: 1 },
-                MemRequest::Read { region: REGION, reg: RegId::one(1, 0) },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                    value: 1,
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                },
             ],
         );
         assert_eq!(out[0].1, MemResponse::Nak);
@@ -248,8 +300,15 @@ mod tests {
             Permission::open(),
             vec![
                 // Register in space 2 accessed through the space-1 region.
-                MemRequest::Write { region: REGION, reg: RegId::one(2, 0), value: 1 },
-                MemRequest::Read { region: REGION, reg: RegId::one(2, 0) },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(2, 0),
+                    value: 1,
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(2, 0),
+                },
             ],
         );
         assert_eq!(out[0].1, MemResponse::Nak);
@@ -261,9 +320,43 @@ mod tests {
         let out = run_script(
             LegalChange::Static,
             Permission::open(),
-            vec![MemRequest::Read { region: RegionId(99), reg: RegId::one(1, 0) }],
+            vec![MemRequest::Read {
+                region: RegionId(99),
+                reg: RegId::one(1, 0),
+            }],
         );
         assert_eq!(out[0].1, MemResponse::Nak);
+    }
+
+    #[test]
+    fn write_many_is_atomic_and_permission_checked() {
+        let out = run_script(
+            LegalChange::Static,
+            Permission::open(),
+            vec![
+                MemRequest::WriteMany {
+                    region: REGION,
+                    writes: vec![(RegId::one(1, 0), 1), (RegId::one(1, 1), 2)],
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 1),
+                },
+                // One register outside the region: nothing is applied.
+                MemRequest::WriteMany {
+                    region: REGION,
+                    writes: vec![(RegId::one(1, 2), 3), (RegId::one(2, 0), 4)],
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 2),
+                },
+            ],
+        );
+        assert_eq!(out[0].1, MemResponse::Ack);
+        assert_eq!(out[1].1, MemResponse::Value(Some(2)));
+        assert_eq!(out[2].1, MemResponse::Nak);
+        assert_eq!(out[3].1, MemResponse::Value(None));
     }
 
     #[test]
@@ -272,12 +365,25 @@ mod tests {
             LegalChange::Static,
             Permission::open(),
             vec![
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 3), value: 30 },
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 1), value: 10 },
-                MemRequest::ReadRange { region: REGION, within: None },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 3),
+                    value: 30,
+                },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 1),
+                    value: 10,
+                },
+                MemRequest::ReadRange {
+                    region: REGION,
+                    within: None,
+                },
             ],
         );
-        let MemResponse::Range(rows) = &out[2].1 else { panic!("expected range") };
+        let MemResponse::Range(rows) = &out[2].1 else {
+            panic!("expected range")
+        };
         assert_eq!(rows, &vec![(RegId::one(1, 1), 10), (RegId::one(1, 3), 30)]);
     }
 
@@ -287,8 +393,15 @@ mod tests {
             LegalChange::Static,
             Permission::open(),
             vec![
-                MemRequest::ChangePerm { region: REGION, new: Permission::read_only() },
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 0), value: 7 },
+                MemRequest::ChangePerm {
+                    region: REGION,
+                    new: Permission::read_only(),
+                },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                    value: 7,
+                },
             ],
         );
         assert_eq!(out[0].1, MemResponse::PermNak);
@@ -302,9 +415,19 @@ mod tests {
             LegalChange::AnyChange,
             Permission::open(),
             vec![
-                MemRequest::ChangePerm { region: REGION, new: Permission::read_only() },
-                MemRequest::Write { region: REGION, reg: RegId::one(1, 0), value: 7 },
-                MemRequest::Read { region: REGION, reg: RegId::one(1, 0) },
+                MemRequest::ChangePerm {
+                    region: REGION,
+                    new: Permission::read_only(),
+                },
+                MemRequest::Write {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                    value: 7,
+                },
+                MemRequest::Read {
+                    region: REGION,
+                    reg: RegId::one(1, 0),
+                },
             ],
         );
         assert_eq!(out[0].1, MemResponse::PermAck);
@@ -324,7 +447,10 @@ mod tests {
         let mem_id = sim.add(mem);
         let drv = sim.add(Driver {
             mem: mem_id,
-            script: vec![MemRequest::Read { region: REGION, reg: RegId::one(1, 0) }],
+            script: vec![MemRequest::Read {
+                region: REGION,
+                reg: RegId::one(1, 0),
+            }],
             responses: Vec::new(),
         });
         sim.crash_at(mem_id, Time::ZERO);

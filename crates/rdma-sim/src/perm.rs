@@ -74,14 +74,22 @@ impl Permission {
 
     /// Everyone may read, nobody may write.
     pub fn read_only() -> Permission {
-        Permission { read: PermSet::Everybody, write: PermSet::Nobody, rw: PermSet::Nobody }
+        Permission {
+            read: PermSet::Everybody,
+            write: PermSet::Nobody,
+            rw: PermSet::Nobody,
+        }
     }
 
     /// Everyone may read and write (the Disk Paxos disk model: "each memory
     /// has a single region which always permits all processes to read and
     /// write all registers").
     pub fn open() -> Permission {
-        Permission { read: PermSet::Nobody, write: PermSet::Nobody, rw: PermSet::Everybody }
+        Permission {
+            read: PermSet::Nobody,
+            write: PermSet::Nobody,
+            rw: PermSet::Everybody,
+        }
     }
 
     /// Whether `p` may read under this permission (`p ∈ R ∪ RW`).

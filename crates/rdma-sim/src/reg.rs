@@ -64,7 +64,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![RegId::one(1, 2), RegId::one(1, 1), RegId::scalar(0)];
+        let mut v = [RegId::one(1, 2), RegId::one(1, 1), RegId::scalar(0)];
         v.sort();
         assert_eq!(v[0], RegId::scalar(0));
         assert_eq!(v[1], RegId::one(1, 1));

@@ -52,7 +52,12 @@ impl RegionSpec {
     /// All registers in `space` with first coordinate `a` (e.g. "process
     /// p's row of broadcast slots").
     pub fn row(space: u16, a: u64) -> RegionSpec {
-        RegionSpec::Pattern { space, a: Some(a), b: None, c: None }
+        RegionSpec::Pattern {
+            space,
+            a: Some(a),
+            b: None,
+            c: None,
+        }
     }
 
     /// Membership test.
@@ -63,9 +68,9 @@ impl RegionSpec {
             RegionSpec::Space(s) => s == reg.space,
             RegionSpec::Pattern { space, a, b, c } => {
                 space == reg.space
-                    && a.map_or(true, |v| v == reg.a)
-                    && b.map_or(true, |v| v == reg.b)
-                    && c.map_or(true, |v| v == reg.c)
+                    && a.is_none_or(|v| v == reg.a)
+                    && b.is_none_or(|v| v == reg.b)
+                    && c.is_none_or(|v| v == reg.c)
             }
         }
     }
@@ -105,7 +110,12 @@ mod tests {
 
     #[test]
     fn full_pattern() {
-        let spec = RegionSpec::Pattern { space: 1, a: Some(2), b: None, c: Some(4) };
+        let spec = RegionSpec::Pattern {
+            space: 1,
+            a: Some(2),
+            b: None,
+            c: Some(4),
+        };
         assert!(spec.contains(RegId::new(1, 2, 99, 4)));
         assert!(!spec.contains(RegId::new(1, 2, 99, 5)));
     }

@@ -42,6 +42,21 @@ pub enum MemRequest<V> {
         /// Value to store.
         value: V,
     },
+    /// Writes several registers of one region in a single round trip.
+    ///
+    /// Models RDMA scatter-gather / doorbell batching: the NIC applies one
+    /// work request covering multiple registered locations, so the cost —
+    /// two network delays, one memory operation — is that of a single
+    /// write no matter how many registers it covers. Permission checking
+    /// is all-or-nothing: if the caller lacks write permission or any
+    /// register falls outside the region, nothing is written and the
+    /// memory naks.
+    WriteMany {
+        /// Region through which access is claimed.
+        region: RegionId,
+        /// `(register, value)` pairs, applied atomically in order.
+        writes: Vec<(RegId, V)>,
+    },
     /// Reads every currently-written register of `region` in one round trip,
     /// optionally restricted to a sub-pattern.
     ///
@@ -73,6 +88,7 @@ impl<V> MemRequest<V> {
         match self {
             MemRequest::Read { .. } => "read",
             MemRequest::Write { .. } => "write",
+            MemRequest::WriteMany { .. } => "write_many",
             MemRequest::ReadRange { .. } => "read_range",
             MemRequest::ChangePerm { .. } => "change_perm",
         }
@@ -154,9 +170,15 @@ mod tests {
 
     #[test]
     fn request_kind_names() {
-        let r: MemRequest<u8> = MemRequest::Read { region: RegionId(0), reg: RegId::scalar(0) };
+        let r: MemRequest<u8> = MemRequest::Read {
+            region: RegionId(0),
+            reg: RegId::scalar(0),
+        };
         assert_eq!(r.kind_name(), "read");
-        let r: MemRequest<u8> = MemRequest::ReadRange { region: RegionId(0), within: None };
+        let r: MemRequest<u8> = MemRequest::ReadRange {
+            region: RegionId(0),
+            within: None,
+        };
         assert_eq!(r.kind_name(), "read_range");
     }
 }

@@ -41,6 +41,15 @@ proptest! {
         prop_assert_eq!(perm.allows_write(p), p == w);
     }
 
+    /// An arbitrary read set governs reads exactly; with no write or rw
+    /// grants, writes are always denied.
+    #[test]
+    fn arbitrary_read_set_governs_reads(ps in arb_permset(), p in arb_pid()) {
+        let perm = Permission { read: ps.clone(), write: PermSet::Nobody, rw: PermSet::Nobody };
+        prop_assert_eq!(perm.allows_read(p), ps.contains(p));
+        prop_assert!(!perm.allows_write(p));
+    }
+
     /// read_only and open are constant functions of the probe.
     #[test]
     fn constant_permissions(p in arb_pid()) {
@@ -90,8 +99,8 @@ proptest! {
 
 mod data_path {
     use rdma_sim::{
-        LegalChange, MemEmbed, MemRequest, MemResponse, MemWire, MemoryActor, MemoryClient,
-        Permission, RegId, RegionId, RegionSpec,
+        LegalChange, MemEmbed, MemResponse, MemWire, MemoryActor, MemoryClient, Permission, RegId,
+        RegionId, RegionSpec,
     };
     use simnet::{Actor, ActorId, Context, EventKind, Simulation, Time};
 
@@ -132,7 +141,11 @@ mod data_path {
                 EventKind::Start => {
                     for (w, owned, v) in self.script.clone() {
                         let region = if owned { OWNED } else { FOREIGN };
-                        let reg = if owned { RegId::one(0, 0) } else { RegId::one(1, 0) };
+                        let reg = if owned {
+                            RegId::one(0, 0)
+                        } else {
+                            RegId::one(1, 0)
+                        };
                         let op = if w {
                             self.client.write(ctx, self.mem, region, reg, v)
                         } else {
@@ -141,8 +154,13 @@ mod data_path {
                         self.pending.insert(op, (w, owned, v));
                     }
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
-                    let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
+                    let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                        return;
+                    };
                     let (w, owned, v) = self.pending.remove(&c.op).expect("tracked");
                     match (w, owned, c.resp) {
                         // Owned write must ack and becomes the oracle value

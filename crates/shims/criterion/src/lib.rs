@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The build container has no registry access, so the bench targets link
+//! this shim instead: it runs each registered closure a handful of times,
+//! reports min/mean wall-clock per iteration, and skips all of criterion's
+//! statistical machinery. The printed tables the benches produce (the
+//! paper-reproduction output) are unaffected — they come from the bench
+//! code itself.
+//!
+//! Iteration count: `CRITERION_SHIM_SAMPLES` env var, default 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Hands the measured closure to the runner.
+pub struct Bencher {
+    samples: u32,
+    /// Filled by [`Bencher::iter`]: (total elapsed, iterations).
+    measured: Option<(Duration, u32)>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it a fixed number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.measured = Some((start.elapsed(), self.samples));
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        measured: None,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match b.measured {
+        Some((total, n)) if n > 0 => {
+            let per = total / n;
+            println!("bench {label:<40} {per:>12.2?}/iter ({n} iters)");
+        }
+        _ => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+fn samples_from_env() -> u32 {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Shim driver; collects nothing, runs benches eagerly.
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            samples: samples_from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+
+    /// Registers (and immediately runs) an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into_id(), self.samples, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench sample count (capped at the shim's env default so
+    /// `cargo test`-invoked runs stay fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u32).min(samples_from_env());
+        self.samples = self.samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), self.samples, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&self.name, &id.into_id(), self.samples, &mut g);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running the listed functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (harness = false).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes flags like --bench / --test; none change shim
+            // behaviour, so they are accepted and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| ()));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all() {
+        benches();
+    }
+}

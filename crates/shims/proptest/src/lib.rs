@@ -1,0 +1,493 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! `prop_assert!` / `prop_assert_eq!`, integer-range and tuple strategies,
+//! [`Just`], [`prop_oneof!`], `any::<T>()`, `.prop_map(..)`, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Cases are sampled deterministically: the RNG for case `i` of test `t` is
+//! seeded from `hash(t) ^ i`, so failures reproduce exactly across runs
+//! (there is no failure persistence file and no shrinking — the failing
+//! inputs are printed instead).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Test-runner types referenced by the macros.
+pub mod test_runner {
+    /// Why a test case failed (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result type each generated case body evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` sampled cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng as _;
+
+    /// A recipe for sampling values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (for heterogeneous unions).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returning a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (what [`prop_oneof!`] builds).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<V> {
+        alternatives: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given non-empty alternative list.
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { alternatives }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let ix = rng.gen_range(0..self.alternatives.len());
+            self.alternatives[ix].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.sample(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng as _;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vec of `size.len()` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s; duplicates collapse, so the set may be
+    /// smaller than the drawn size (matching real proptest's semantics
+    /// loosely enough for these tests).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Set of up to `size.len()` elements from `element`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s; duplicate keys collapse like
+    /// [`btree_set`]'s elements.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Map of up to `size.len()` entries with keys from `key` and values
+    /// from `value`.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng as _;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> u64 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> u32 {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG seed.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    test_name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Renders one argument for the failure report.
+pub fn fmt_arg(name: &str, value: &dyn fmt::Debug) -> String {
+    format!("{name} = {value:?}")
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                // Rendered before the body runs: the body may move the
+                // inputs, and shrinking-free failure reports need them.
+                let __report: String = [
+                    $($crate::fmt_arg(stringify!($arg), &$arg),)*
+                ]
+                .join(", ");
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!("proptest case {case} failed: {e}\n  inputs: {__report}");
+                }
+            }
+        }
+    )*};
+}
+
+/// `prop_assume!`: skips the case (successfully) when the assumption does
+/// not hold. Without shrinking there is no rejection bookkeeping; the case
+/// simply passes vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// `prop_assert!`: like `assert!` but reported through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Uniform choice between alternative strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u64> {
+        (0u64..10).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_maps(x in 0u64..100, y in small(), b in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y % 2, 0);
+            let _: bool = b;
+        }
+
+        #[test]
+        fn collections(v in crate::collection::vec(0u32..5, 1..8),
+                       s in crate::collection::btree_set(0u32..5, 0..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(s.len() < 4);
+            for x in v { prop_assert!(x < 5); }
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u64), Just(2u64), 10u64..12]) {
+            prop_assert!(x == 1 || x == 2 || (10..12).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = crate::case_rng("t", 0);
+        let mut b = crate::case_rng("t", 0);
+        use rand::Rng as _;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -79,7 +79,10 @@ impl Signature {
     /// which the constructor avoids by construction for the authority's
     /// keyspace only probabilistically — in practice tests never collide).
     pub fn forged(claimed: ActorId, junk: u64) -> Signature {
-        Signature { signer: claimed, tag: junk }
+        Signature {
+            signer: claimed,
+            tag: junk,
+        }
     }
 }
 
@@ -145,13 +148,18 @@ impl SigAuthority {
         let key: u64 = self.rng.gen();
         let prev = self.inner.keys.borrow_mut().insert(id, key);
         assert!(prev.is_none(), "identity {id} registered twice");
-        Signer { inner: Rc::clone(&self.inner), me: id }
+        Signer {
+            inner: Rc::clone(&self.inner),
+            me: id,
+        }
     }
 
     /// Returns a verifier handle. Any number may be created; they share the
     /// authority's counters.
     pub fn verifier(&self) -> SigVerifier {
-        SigVerifier { inner: Rc::clone(&self.inner) }
+        SigVerifier {
+            inner: Rc::clone(&self.inner),
+        }
     }
 
     /// Total signatures created so far.
@@ -194,7 +202,10 @@ impl Signer {
             .inner
             .digest(self.me, value)
             .expect("signer identity vanished from authority");
-        Signature { signer: self.me, tag }
+        Signature {
+            signer: self.me,
+            tag,
+        }
     }
 }
 
@@ -215,8 +226,7 @@ impl SigVerifier {
     pub fn valid<T: Hash + ?Sized>(&self, signer: ActorId, value: &T, sig: &Signature) -> bool {
         let c = &self.inner.counters.verified;
         c.set(c.get() + 1);
-        let ok = sig.signer == signer
-            && self.inner.digest(signer, value).map_or(false, |d| d == sig.tag);
+        let ok = sig.signer == signer && (self.inner.digest(signer, value) == Some(sig.tag));
         if !ok {
             let r = &self.inner.counters.rejected;
             r.set(r.get() + 1);
@@ -232,7 +242,11 @@ impl SigVerifier {
 
 impl fmt::Debug for SigVerifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SigVerifier({} identities)", self.inner.keys.borrow().len())
+        write!(
+            f,
+            "SigVerifier({} identities)",
+            self.inner.keys.borrow().len()
+        )
     }
 }
 

@@ -58,9 +58,15 @@ mod tests {
     fn kind_names() {
         let e: EventKind<u8> = EventKind::Start;
         assert_eq!(e.kind_name(), "start");
-        let e: EventKind<u8> = EventKind::Msg { from: ActorId(0), msg: 1 };
+        let e: EventKind<u8> = EventKind::Msg {
+            from: ActorId(0),
+            msg: 1,
+        };
         assert_eq!(e.kind_name(), "msg");
-        let e: EventKind<u8> = EventKind::Timer { id: TimerId(0), tag: 9 };
+        let e: EventKind<u8> = EventKind::Timer {
+            id: TimerId(0),
+            tag: 9,
+        };
         assert_eq!(e.kind_name(), "timer");
         let e: EventKind<u8> = EventKind::LeaderChange { leader: ActorId(1) };
         assert_eq!(e.kind_name(), "leader");

@@ -29,6 +29,38 @@
 //!   queue breaks ties by scheduling order and randomness flows from one
 //!   seeded generator.
 //!
+//! ## Performance model
+//!
+//! Kernel dispatch is the wall-clock floor under every experiment, so the
+//! hot path is engineered around three rules:
+//!
+//! * **Queue structure.** The event queue is a bucketed calendar queue
+//!   ("timing wheel"): one bucket per virtual tick over a 2^15-tick
+//!   near-future window, a two-level occupancy bitmap to find the next
+//!   non-empty tick in a few word operations, and a binary-heap fallback
+//!   for far-future events that migrate into the wheel as time approaches
+//!   them. Push and pop are O(1) in the common case, with no
+//!   sift-up/sift-down moves of event payloads; the win over the old
+//!   `BinaryHeap` kernel grows with the number of in-flight events
+//!   (≈2x events/sec with tens of thousands queued — see
+//!   `BENCH_PR1.json`'s `kernel_queue_stress`).
+//! * **Allocation rules.** Steady-state dispatch performs no heap
+//!   allocation: link delays are sampled by reference (no per-send model
+//!   clone), kernel trace lines are `&'static str` and actor notes are
+//!   lazy ([`Context::note_with`]) so disabled tracing costs nothing,
+//!   timers use generation-stamped slots (O(1) arm/cancel/fire, bounded
+//!   memory — the old cancelled-timer tombstone set grew forever), the
+//!   per-dispatch pending buffer is recycled, and crash flags live in a
+//!   dense bitvector.
+//! * **Determinism contract.** Events dispatch in strictly ascending
+//!   `(time, seq)` order, where `seq` is the kernel-assigned scheduling
+//!   sequence number; RNG draws happen in dispatch order. Any conforming
+//!   queue implementation is therefore observationally identical. The
+//!   pre-overhaul kernel is kept as [`KernelProfile::Legacy`]
+//!   (reproducing even its allocation behaviour) for baseline measurement
+//!   and differential testing: the golden-schedule suite asserts both
+//!   kernels produce bit-identical decisions, metrics, and traces.
+//!
 //! ## Example
 //!
 //! ```
@@ -56,6 +88,7 @@ mod delay;
 mod event;
 mod ids;
 mod metrics;
+mod queue;
 mod sim;
 mod time;
 mod trace;
@@ -65,6 +98,6 @@ pub use delay::DelayModel;
 pub use event::EventKind;
 pub use ids::{ActorId, TimerId};
 pub use metrics::Metrics;
-pub use sim::{Context, DelayHook, RunOutcome, Simulation};
+pub use sim::{Context, DelayHook, KernelProfile, RunOutcome, Simulation};
 pub use time::{Duration, Time, TICKS_PER_DELAY};
 pub use trace::{Trace, TraceEntry};

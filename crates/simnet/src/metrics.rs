@@ -13,6 +13,10 @@ use crate::time::Time;
 /// Counters and timestamps accumulated over one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
+    /// Events dispatched by the kernel (messages, timers, starts, leader
+    /// changes, crashes, and drops to crashed actors). The denominator of
+    /// the events/sec and allocations-per-event perf metrics.
+    pub events_dispatched: u64,
     /// Messages handed to the network (includes memory-operation legs).
     pub messages_sent: u64,
     /// Messages actually delivered (excludes those addressed to crashed actors).

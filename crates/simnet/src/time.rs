@@ -76,7 +76,10 @@ impl Duration {
     ///
     /// Panics if `delays` is negative or not finite.
     pub fn from_delays_f64(delays: f64) -> Duration {
-        assert!(delays.is_finite() && delays >= 0.0, "invalid delay: {delays}");
+        assert!(
+            delays.is_finite() && delays >= 0.0,
+            "invalid delay: {delays}"
+        );
         Duration((delays * TICKS_PER_DELAY as f64).round() as u64)
     }
 
@@ -135,7 +138,10 @@ mod tests {
         let t = Time::from_delays(2) + Duration::from_delays(3);
         assert_eq!(t, Time::from_delays(5));
         assert_eq!(t - Time::from_delays(2), Duration::from_delays(3));
-        assert_eq!(Time::from_delays(1).since(Time::from_delays(4)), Duration::ZERO);
+        assert_eq!(
+            Time::from_delays(1).since(Time::from_delays(4)),
+            Duration::ZERO
+        );
     }
 
     #[test]

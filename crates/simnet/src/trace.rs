@@ -1,5 +1,6 @@
 //! Optional event tracing for debugging simulations.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::ids::ActorId;
@@ -12,13 +13,20 @@ pub struct TraceEntry {
     pub at: Time,
     /// Which actor was executing (or being delivered to).
     pub actor: ActorId,
-    /// Free-form text.
-    pub text: String,
+    /// Free-form text. `Cow` so the kernel's fixed per-event-kind lines
+    /// cost no allocation.
+    pub text: Cow<'static, str>,
 }
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>10}] {:<4} {}", self.at.to_string(), self.actor.to_string(), self.text)
+        write!(
+            f,
+            "[{:>10}] {:<4} {}",
+            self.at.to_string(),
+            self.actor.to_string(),
+            self.text
+        )
     }
 }
 
@@ -37,7 +45,12 @@ pub struct Trace {
 impl Trace {
     /// Creates a disabled trace.
     pub fn new() -> Trace {
-        Trace { enabled: false, cap: 100_000, entries: Vec::new(), dropped: 0 }
+        Trace {
+            enabled: false,
+            cap: 100_000,
+            entries: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Enables recording, keeping at most `cap` entries (older entries beyond
@@ -52,8 +65,9 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an entry if enabled.
-    pub fn push(&mut self, at: Time, actor: ActorId, text: impl Into<String>) {
+    /// Records an entry if enabled. Accepts both `&'static str` (stored
+    /// without allocating) and `String`.
+    pub fn push(&mut self, at: Time, actor: ActorId, text: impl Into<Cow<'static, str>>) {
         if !self.enabled {
             return;
         }
@@ -61,7 +75,28 @@ impl Trace {
             self.dropped += 1;
             return;
         }
-        self.entries.push(TraceEntry { at, actor, text: text.into() });
+        self.entries.push(TraceEntry {
+            at,
+            actor,
+            text: text.into(),
+        });
+    }
+
+    /// Records a lazily-built entry: `f` runs only when the trace is
+    /// enabled and under its cap, so disabled runs pay nothing.
+    pub fn push_with(&mut self, at: Time, actor: ActorId, f: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.entries.push(TraceEntry {
+            at,
+            actor,
+            text: Cow::Owned(f()),
+        });
     }
 
     /// The recorded entries, in order.
@@ -96,6 +131,9 @@ mod tests {
     fn disabled_records_nothing() {
         let mut t = Trace::new();
         t.push(Time::ZERO, ActorId(0), "x");
+        t.push_with(Time::ZERO, ActorId(0), || {
+            panic!("must not run when disabled")
+        });
         assert!(t.entries().is_empty());
     }
 
@@ -116,8 +154,10 @@ mod tests {
         let mut t = Trace::new();
         t.enable(10);
         t.push(Time::from_delays(1), ActorId(2), "hello");
+        t.push_with(Time::from_delays(2), ActorId(2), || "lazy".to_string());
         let dump = t.dump();
         assert!(dump.contains("hello"));
+        assert!(dump.contains("lazy"));
         assert!(dump.contains("a2"));
     }
 }

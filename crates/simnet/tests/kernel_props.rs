@@ -3,9 +3,7 @@
 //! semantics — the model properties every protocol above relies on.
 
 use proptest::prelude::*;
-use simnet::{
-    Actor, ActorId, Context, DelayModel, Duration, EventKind, Simulation, Time,
-};
+use simnet::{Actor, ActorId, Context, DelayModel, Duration, EventKind, Simulation, Time};
 
 /// Gossiping actor: relays each received token to a pseudo-random peer a
 /// bounded number of times, recording receipt times.
@@ -18,10 +16,8 @@ struct Gossip {
 impl Actor<u64> for Gossip {
     fn on_event(&mut self, ctx: &mut Context<'_, u64>, ev: EventKind<u64>) {
         match ev {
-            EventKind::Start => {
-                if ctx.me() == ActorId(0) {
-                    ctx.send(self.peers[1 % self.peers.len()], 1);
-                }
+            EventKind::Start if ctx.me() == ActorId(0) => {
+                ctx.send(self.peers[1 % self.peers.len()], 1);
             }
             EventKind::Msg { msg, .. } => {
                 self.received.push((ctx.now(), msg));
@@ -46,14 +42,22 @@ fn run_gossip(seed: u64, n: usize, jitter: u64) -> (Vec<Vec<(Time, u64)>>, u64, 
     });
     let peers: Vec<ActorId> = (0..n as u32).map(ActorId).collect();
     for _ in 0..n {
-        sim.add(Gossip { peers: peers.clone(), received: Vec::new(), forwards_left: 30 });
+        sim.add(Gossip {
+            peers: peers.clone(),
+            received: Vec::new(),
+            forwards_left: 30,
+        });
     }
     sim.run_to_quiescence(Time::from_delays(100_000));
     let histories = peers
         .iter()
         .map(|&p| sim.actor_as::<Gossip>(p).unwrap().received.clone())
         .collect();
-    (histories, sim.metrics().messages_sent, sim.metrics().messages_delivered)
+    (
+        histories,
+        sim.metrics().messages_sent,
+        sim.metrics().messages_delivered,
+    )
 }
 
 proptest! {

@@ -1,0 +1,16 @@
+//! Workspace facade: re-exports the crates of the reproduction so the
+//! root-level integration tests and examples have a single anchor package.
+//!
+//! The actual code lives in the member crates:
+//!
+//! * [`simnet`] — deterministic discrete-event simulation kernel
+//! * [`rdma_sim`] — RDMA-style memories: regions, permissions, wire protocol
+//! * [`sigsim`] — simulated signatures (PKI stand-in)
+//! * [`swmr`] — replicated SWMR regular registers over fail-prone memories
+//! * [`agreement`] — the paper's protocols and the experiment harness
+
+pub use agreement;
+pub use rdma_sim;
+pub use sigsim;
+pub use simnet;
+pub use swmr;

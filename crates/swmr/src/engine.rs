@@ -72,8 +72,14 @@ pub struct RepEvent<V> {
 
 enum Pending<V> {
     Vote(QuorumTracker, VoteKind),
-    Read { tracker: QuorumTracker, values: Vec<Option<V>> },
-    Range { tracker: QuorumTracker, snapshots: Vec<Vec<(RegId, V)>> },
+    Read {
+        tracker: QuorumTracker,
+        values: Vec<Option<V>>,
+    },
+    Range {
+        tracker: QuorumTracker,
+        snapshots: Vec<Vec<(RegId, V)>>,
+    },
 }
 
 #[derive(Clone, Copy)]
@@ -82,12 +88,22 @@ enum VoteKind {
     Perm,
 }
 
+/// How many finished-operation buffers the engine keeps for reuse. In
+/// steady state a protocol has a handful of logical operations in flight
+/// per engine; the cap only bounds pathological bursts.
+const SCRATCH_POOL_CAP: usize = 16;
+
 /// Replicates register operations across a fixed set of memories.
 pub struct RepEngine<V, M> {
     memories: Vec<ActorId>,
     next: u64,
     child_to_parent: BTreeMap<OpId, RepId>,
     pending: BTreeMap<RepId, Pending<V>>,
+    /// Recycled read-value buffers: replication allocates nothing per slot
+    /// once warm.
+    spare_values: Vec<Vec<Option<V>>>,
+    /// Recycled range-snapshot buffers.
+    spare_snapshots: Vec<Vec<Vec<(RegId, V)>>>,
     _msg: std::marker::PhantomData<M>,
 }
 
@@ -118,6 +134,8 @@ where
             next: 0,
             child_to_parent: BTreeMap::new(),
             pending: BTreeMap::new(),
+            spare_values: Vec::new(),
+            spare_snapshots: Vec::new(),
             _msg: std::marker::PhantomData,
         }
     }
@@ -148,8 +166,10 @@ where
     ) -> RepId {
         let id = self.fresh();
         let tracker = QuorumTracker::majority(self.memories.len());
-        self.pending.insert(id, Pending::Vote(tracker, VoteKind::Write));
-        for &mem in &self.memories.clone() {
+        self.pending
+            .insert(id, Pending::Vote(tracker, VoteKind::Write));
+        for i in 0..self.memories.len() {
+            let mem = self.memories[i];
             let op = client.write(ctx, mem, region, reg, value.clone());
             self.child_to_parent.insert(op, id);
         }
@@ -166,8 +186,10 @@ where
     ) -> RepId {
         let id = self.fresh();
         let tracker = QuorumTracker::majority(self.memories.len());
-        self.pending.insert(id, Pending::Read { tracker, values: Vec::new() });
-        for &mem in &self.memories.clone() {
+        let values = self.spare_values.pop().unwrap_or_default();
+        self.pending.insert(id, Pending::Read { tracker, values });
+        for i in 0..self.memories.len() {
+            let mem = self.memories[i];
             let op = client.read(ctx, mem, region, reg);
             self.child_to_parent.insert(op, id);
         }
@@ -185,8 +207,11 @@ where
     ) -> RepId {
         let id = self.fresh();
         let tracker = QuorumTracker::majority(self.memories.len());
-        self.pending.insert(id, Pending::Range { tracker, snapshots: Vec::new() });
-        for &mem in &self.memories.clone() {
+        let snapshots = self.spare_snapshots.pop().unwrap_or_default();
+        self.pending
+            .insert(id, Pending::Range { tracker, snapshots });
+        for i in 0..self.memories.len() {
+            let mem = self.memories[i];
             let op = client.read_range(ctx, mem, region, within);
             self.child_to_parent.insert(op, id);
         }
@@ -203,8 +228,10 @@ where
     ) -> RepId {
         let id = self.fresh();
         let tracker = QuorumTracker::majority(self.memories.len());
-        self.pending.insert(id, Pending::Vote(tracker, VoteKind::Perm));
-        for &mem in &self.memories.clone() {
+        self.pending
+            .insert(id, Pending::Vote(tracker, VoteKind::Perm));
+        for i in 0..self.memories.len() {
+            let mem = self.memories[i];
             let op = client.change_perm(ctx, mem, region, new.clone());
             self.child_to_parent.insert(op, id);
         }
@@ -219,7 +246,11 @@ where
         let event = match pending {
             Pending::Vote(tracker, kind) => {
                 let ok = c.resp.is_ok();
-                let status = if ok { tracker.vote_yes() } else { tracker.vote_no() };
+                let status = if ok {
+                    tracker.vote_yes()
+                } else {
+                    tracker.vote_no()
+                };
                 let kind = *kind;
                 match status {
                     QuorumStatus::Pending => None,
@@ -265,9 +296,33 @@ where
             },
         };
         event.map(|result| {
-            self.pending.remove(&id);
+            if let Some(done) = self.pending.remove(&id) {
+                self.recycle(done);
+            }
             RepEvent { id, result }
         })
+    }
+
+    /// Returns a finished operation's buffers to the scratch pools.
+    fn recycle(&mut self, done: Pending<V>) {
+        match done {
+            Pending::Vote(..) => {}
+            Pending::Read { mut values, .. } => {
+                if self.spare_values.len() < SCRATCH_POOL_CAP {
+                    values.clear();
+                    self.spare_values.push(values);
+                }
+            }
+            Pending::Range { mut snapshots, .. } => {
+                if self.spare_snapshots.len() < SCRATCH_POOL_CAP {
+                    // The per-replica row vectors came off the wire and are
+                    // dropped; the outer buffer's capacity is what recurs
+                    // every slot.
+                    snapshots.clear();
+                    self.spare_snapshots.push(snapshots);
+                }
+            }
+        }
     }
 
     /// Number of logical operations still in flight.
@@ -310,7 +365,9 @@ fn merge_ranges<V: Clone + Eq>(snapshots: &[Vec<(RegId, V)>]) -> BTreeMap<RegId,
             }
         }
     }
-    out.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+    out.into_iter()
+        .filter_map(|(k, v)| v.map(|v| (k, v)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -48,7 +48,12 @@ mod tests {
     }
 
     const REGION: RegionId = RegionId(0);
-    const REG: RegId = RegId { space: 1, a: 0, b: 0, c: 0 };
+    const REG: RegId = RegId {
+        space: 1,
+        a: 0,
+        b: 0,
+        c: 0,
+    };
 
     /// Writes 7 to the replicated register, then reads it back.
     struct WriteThenRead {
@@ -77,19 +82,26 @@ mod tests {
         fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
             match ev {
                 EventKind::Start => {
-                    self.write_id =
-                        Some(self.engine.write(ctx, &mut self.client, REGION, REG, 7));
+                    self.write_id = Some(self.engine.write(ctx, &mut self.client, REGION, REG, 7));
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
-                    let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
-                    let Some(done) = self.engine.on_completion(c) else { return };
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
+                    let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                        return;
+                    };
+                    let Some(done) = self.engine.on_completion(c) else {
+                        return;
+                    };
                     if Some(done.id) == self.write_id {
                         assert_eq!(done.result, RepResult::WriteOk);
                         self.write_done_at = Some(ctx.now());
-                        self.read_id =
-                            Some(self.engine.read(ctx, &mut self.client, REGION, REG));
+                        self.read_id = Some(self.engine.read(ctx, &mut self.client, REGION, REG));
                     } else if Some(done.id) == self.read_id {
-                        let RepResult::ReadOk(v) = done.result else { panic!("read failed") };
+                        let RepResult::ReadOk(v) = done.result else {
+                            panic!("read failed")
+                        };
                         self.read_result = Some(v);
                         self.read_done_at = Some(ctx.now());
                     }
@@ -102,11 +114,13 @@ mod tests {
     fn memories(sim: &mut Simulation<TMsg>, m: usize, perm: Permission) -> Vec<ActorId> {
         (0..m)
             .map(|_| {
-                sim.add(MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
-                    REGION,
-                    RegionSpec::Space(1),
-                    perm.clone(),
-                ))
+                sim.add(
+                    MemoryActor::<u64, TMsg>::new(LegalChange::Static).with_region(
+                        REGION,
+                        RegionSpec::Space(1),
+                        perm.clone(),
+                    ),
+                )
             })
             .collect()
     }
@@ -165,7 +179,10 @@ mod tests {
                     EventKind::Start => {
                         self.engine.write(ctx, &mut self.client, REGION, REG, 1);
                     }
-                    EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                    EventKind::Msg {
+                        from,
+                        msg: TMsg::Mem(wire),
+                    } => {
                         if let Some(c) = self.client.on_wire(ctx, from, wire) {
                             if let Some(done) = self.engine.on_completion(c) {
                                 self.result = Some(done.result);
@@ -208,7 +225,10 @@ mod tests {
                         self.client.write(ctx, mem, REGION, REG, v);
                     }
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
                     let _ = self.client.on_wire(ctx, from, wire);
                 }
                 _ => {}
@@ -231,10 +251,15 @@ mod tests {
                 EventKind::Timer { .. } => {
                     self.engine.read(ctx, &mut self.client, REGION, REG);
                 }
-                EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
+                EventKind::Msg {
+                    from,
+                    msg: TMsg::Mem(wire),
+                } => {
                     if let Some(c) = self.client.on_wire(ctx, from, wire) {
                         if let Some(done) = self.engine.on_completion(c) {
-                            let RepResult::ReadOk(v) = done.result else { panic!() };
+                            let RepResult::ReadOk(v) = done.result else {
+                                panic!()
+                            };
                             self.result = Some(v);
                         }
                     }
@@ -248,7 +273,10 @@ mod tests {
     fn split_replica_write_reads_as_bot_or_one_value() {
         let mut sim: Simulation<TMsg> = Simulation::new(11);
         let mems = memories(&mut sim, 3, Permission::open());
-        sim.add(SplitWriter { mems: mems.clone(), client: MemoryClient::new() });
+        sim.add(SplitWriter {
+            mems: mems.clone(),
+            client: MemoryClient::new(),
+        });
         let r = sim.add(LateReader {
             client: MemoryClient::new(),
             engine: RepEngine::new(mems),
@@ -258,6 +286,9 @@ mod tests {
         let got = sim.actor_as::<LateReader>(r).unwrap().result.unwrap();
         // Replicas disagree (1 at one memory, 2 at two): the majority the
         // reader happens to contact yields either a unique value or ⊥.
-        assert!(got.is_none() || got == Some(2) || got == Some(1), "impossible value {got:?}");
+        assert!(
+            got.is_none() || got == Some(2) || got == Some(1),
+            "impossible value {got:?}"
+        );
     }
 }

@@ -31,8 +31,16 @@ impl QuorumTracker {
     ///
     /// Panics if `needed > total` (such a quorum could never be reached).
     pub fn new(needed: usize, total: usize) -> QuorumTracker {
-        assert!(needed <= total, "quorum {needed} impossible with {total} voters");
-        QuorumTracker { needed, total, yes: 0, no: 0 }
+        assert!(
+            needed <= total,
+            "quorum {needed} impossible with {total} voters"
+        );
+        QuorumTracker {
+            needed,
+            total,
+            yes: 0,
+            no: 0,
+        }
     }
 
     /// A majority-of-`total` tracker.

@@ -24,7 +24,12 @@ impl MemEmbed<u64> for TMsg {
 }
 
 const REGION: RegionId = RegionId(0);
-const REG: RegId = RegId { space: 0, a: 0, b: 0, c: 0 };
+const REG: RegId = RegId {
+    space: 0,
+    a: 0,
+    b: 0,
+    c: 0,
+};
 
 /// Writes a sequence of values (waiting for each WriteOk), then reads.
 struct SeqWriter {
@@ -45,21 +50,22 @@ impl Actor<TMsg> for SeqWriter {
                 engine.write(ctx, &mut self.client, REGION, REG, self.values[0]);
                 self.engine = Some(engine);
             }
-            EventKind::Msg { from, msg: TMsg::Mem(wire) } => {
-                let Some(c) = self.client.on_wire(ctx, from, wire) else { return };
+            EventKind::Msg {
+                from,
+                msg: TMsg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
                 let engine = self.engine.as_mut().expect("started");
-                let Some(done) = engine.on_completion(c) else { return };
+                let Some(done) = engine.on_completion(c) else {
+                    return;
+                };
                 match done.result {
                     RepResult::WriteOk => {
                         self.idx += 1;
                         if self.idx < self.values.len() {
-                            engine.write(
-                                ctx,
-                                &mut self.client,
-                                REGION,
-                                REG,
-                                self.values[self.idx],
-                            );
+                            engine.write(ctx, &mut self.client, REGION, REG, self.values[self.idx]);
                         } else if !self.reading {
                             self.reading = true;
                             engine.read(ctx, &mut self.client, REGION, REG);

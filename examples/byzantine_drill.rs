@@ -114,7 +114,12 @@ fn drill_bad_history() {
         let signer = auth.register(ActorId(i));
         if i == 2 {
             // Broadcasts Accept{b=(1,p2)} with an empty history: illegal.
-            sim.add(BadHistoryActor::new(ActorId(2), mems.clone(), Value(666), signer));
+            sim.add(BadHistoryActor::new(
+                ActorId(2),
+                mems.clone(),
+                Value(666),
+                signer,
+            ));
             continue;
         }
         sim.add(RobustPaxosActor::new(
@@ -136,7 +141,10 @@ fn drill_bad_history() {
     }
     sim.run_until(Time::from_delays(2_000), |s| {
         [0u32, 1].iter().all(|&i| {
-            s.actor_as::<RobustPaxosActor>(ActorId(i)).unwrap().decision().is_some()
+            s.actor_as::<RobustPaxosActor>(ActorId(i))
+                .unwrap()
+                .decision()
+                .is_some()
         })
     });
     for i in [0u32, 1] {

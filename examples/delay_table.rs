@@ -29,25 +29,55 @@ fn main() {
         row(&format!("Paxos (messages) n={n}"), &r, "n >= 2f+1", "crash");
 
         let r = run_fast_paxos(&s, 1);
-        row(&format!("Fast Paxos n={n}"), &r, "n >= 2f+1 (fast: less)", "crash");
+        row(
+            &format!("Fast Paxos n={n}"),
+            &r,
+            "n >= 2f+1 (fast: less)",
+            "crash",
+        );
 
         let r = run_disk_paxos(&s);
         row(&format!("Disk Paxos n={n},m={m}"), &r, "n >= f+1", "crash");
 
         let r = run_protected(&s);
-        row(&format!("Protected Mem Paxos n={n}"), &r, "n >= f+1", "crash");
+        row(
+            &format!("Protected Mem Paxos n={n}"),
+            &r,
+            "n >= f+1",
+            "crash",
+        );
 
         let r = run_aligned(&s, MemoryMode::DiskStyle);
-        row(&format!("Aligned Paxos n={n} (disk)"), &r, "majority of n+m", "crash");
+        row(
+            &format!("Aligned Paxos n={n} (disk)"),
+            &r,
+            "majority of n+m",
+            "crash",
+        );
 
         let r = run_aligned(&s, MemoryMode::Protected);
-        row(&format!("Aligned Paxos n={n} (perm)"), &r, "majority of n+m", "crash");
+        row(
+            &format!("Aligned Paxos n={n} (perm)"),
+            &r,
+            "majority of n+m",
+            "crash",
+        );
 
         let (r, _) = run_fast_robust(&s, 60);
-        row(&format!("Fast & Robust n={n}"), &r, "n >= 2f+1", "Byzantine");
+        row(
+            &format!("Fast & Robust n={n}"),
+            &r,
+            "n >= 2f+1",
+            "Byzantine",
+        );
 
         let (r, _) = run_robust_backup(&s);
-        row(&format!("Robust Backup n={n}"), &r, "n >= 2f+1", "Byzantine");
+        row(
+            &format!("Robust Backup n={n}"),
+            &r,
+            "n >= 2f+1",
+            "Byzantine",
+        );
 
         println!();
     }

@@ -21,7 +21,10 @@ fn main() {
     println!("Fast & Robust  (n=3 processes, m=3 memories, f_P=1 Byzantine tolerated)");
     println!("  all decided : {}", report.all_decided);
     println!("  agreement   : {}", report.agreement);
-    println!("  decision    : {:?}", report.decisions.values().next().unwrap());
+    println!(
+        "  decision    : {:?}",
+        report.decisions.values().next().unwrap()
+    );
     println!(
         "  first decision after {:.1} network delays (paper: 2-deciding)",
         report.first_decision_delays.unwrap()

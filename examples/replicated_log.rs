@@ -24,7 +24,7 @@ fn cmd(key: u8, val: u8) -> Value {
 }
 
 fn decode(v: Value) -> Option<(u8, u8)> {
-    (v.0 & !0xFFFF == 0x5E7_0000).then(|| (((v.0 >> 8) & 0xFF) as u8, (v.0 & 0xFF) as u8))
+    (v.0 & !0xFFFF == 0x5E7_0000).then_some((((v.0 >> 8) & 0xFF) as u8, (v.0 & 0xFF) as u8))
 }
 
 fn main() {
@@ -57,14 +57,19 @@ fn main() {
     sim.announce_leader(Time::from_delays(25), &procs, ActorId(1));
 
     sim.run_until(Time::from_delays(3_000), |s| {
-        s.actor_as::<SmrNode>(ActorId(1)).map_or(false, |node| node.log().len() >= 9)
+        s.actor_as::<SmrNode>(ActorId(1))
+            .is_some_and(|node| node.log_len() >= 9)
     });
 
     println!("== replicated_log: 3 replicas, leader crash at t=9 delays ==\n");
     let mut logs = Vec::new();
     for &p in &procs[1..] {
         let node = sim.actor_as::<SmrNode>(p).unwrap();
-        println!("replica {p}: {} entries, own commands committed: {}", node.log().len(), node.committed_own());
+        println!(
+            "replica {p}: {} entries, own commands committed: {}",
+            node.log_len(),
+            node.committed_own()
+        );
         logs.push(node.log());
     }
 

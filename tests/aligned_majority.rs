@@ -21,7 +21,10 @@ fn sweep(n: usize, m: usize, mode: MemoryMode) {
             s.max_delays = 2_500;
             let report = run_aligned(&s, mode);
             // Safety always.
-            assert!(report.agreement, "{mode:?} n={n} m={m} dp={dead_p} dm={dead_m}: {report:?}");
+            assert!(
+                report.agreement,
+                "{mode:?} n={n} m={m} dp={dead_p} dm={dead_m}: {report:?}"
+            );
             if alive >= majority {
                 assert!(
                     report.all_decided,

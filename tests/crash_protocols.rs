@@ -2,9 +2,7 @@
 //! Protected Memory Paxos (Theorem 5.1) and the baselines it is measured
 //! against, plus cross-protocol sanity on common scenarios.
 
-use agreement::harness::{
-    run_disk_paxos, run_fast_paxos, run_mp_paxos, run_protected, Scenario,
-};
+use agreement::harness::{run_disk_paxos, run_fast_paxos, run_mp_paxos, run_protected, Scenario};
 use agreement::protected::ProtectedPaxosActor;
 use agreement::smr::SmrNode;
 use agreement::types::{Msg, Value};
@@ -16,13 +14,18 @@ fn protected_crash_subset_sweep() {
     let n = 4;
     // Crash every non-empty subset of {1,2,3} (keep 0 alive as leader).
     for mask in 0u32..8 {
-        let crash: Vec<(usize, u64)> =
-            (0..3).filter(|b| mask & (1 << b) != 0).map(|b| (b + 1, 0)).collect();
+        let crash: Vec<(usize, u64)> = (0..3)
+            .filter(|b| mask & (1 << b) != 0)
+            .map(|b| (b + 1, 0))
+            .collect();
         let mut s = Scenario::common_case(n, 3, 600 + mask as u64);
         s.crash_procs = crash.clone();
         let report = run_protected(&s);
         assert!(report.all_decided, "mask {mask:03b}: {report:?}");
-        assert!(report.agreement && report.validity, "mask {mask:03b}: {report:?}");
+        assert!(
+            report.agreement && report.validity,
+            "mask {mask:03b}: {report:?}"
+        );
         // Survivor count never matters for PMP: the leader alone suffices.
         assert_eq!(report.first_decision_delays, Some(2.0), "mask {mask:03b}");
     }
@@ -105,7 +108,9 @@ fn smr_long_run_with_two_takeovers() {
     let procs: Vec<ActorId> = (0..n).map(ActorId).collect();
     let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
     for i in 0..n {
-        let workload: Vec<Value> = (0..20).map(|c| Value(10_000 * (i as u64 + 1) + c)).collect();
+        let workload: Vec<Value> = (0..20)
+            .map(|c| Value(10_000 * (i as u64 + 1) + c))
+            .collect();
         sim.add(SmrNode::new(
             ActorId(i),
             procs.clone(),
@@ -125,15 +130,28 @@ fn smr_long_run_with_two_takeovers() {
     sim.announce_leader(Time::from_delays(120), &procs, ActorId(2));
     sim.run_until(Time::from_delays(5_000), |s| {
         s.actor_as::<SmrNode>(ActorId(2))
-            .map_or(false, |x| x.log().len() >= 15 && x.committed_own() >= 2)
+            .is_some_and(|x| x.log_len() >= 15 && x.committed_own() >= 2)
     });
     let survivor = sim.actor_as::<SmrNode>(ActorId(2)).unwrap();
-    assert!(survivor.log().len() >= 15, "log stalled: {}", survivor.log().len());
+    assert!(
+        survivor.log_len() >= 15,
+        "log stalled: {}",
+        survivor.log_len()
+    );
     // Entries committed by all three leadership terms are present.
     let log = survivor.log();
-    assert!(log.iter().any(|v| (10_000..20_000).contains(&v.0)), "term-0 entries lost");
-    assert!(log.iter().any(|v| (20_000..30_000).contains(&v.0)), "term-1 entries missing");
-    assert!(log.iter().any(|v| (30_000..40_000).contains(&v.0)), "term-2 entries missing");
+    assert!(
+        log.iter().any(|v| (10_000..20_000).contains(&v.0)),
+        "term-0 entries lost"
+    );
+    assert!(
+        log.iter().any(|v| (20_000..30_000).contains(&v.0)),
+        "term-1 entries missing"
+    );
+    assert!(
+        log.iter().any(|v| (30_000..40_000).contains(&v.0)),
+        "term-2 entries missing"
+    );
 }
 
 /// Memory crash mid-protocol (not just at start): the write quorum shrinks

@@ -5,7 +5,7 @@
 //! every step, so these sweeps double as composition-lemma checks).
 
 use agreement::adversary::CqEquivocatingLeader;
-use agreement::fast_robust::{memory_actor, FastRobustActor, Via};
+use agreement::fast_robust::{memory_actor, FastRobustActor};
 use agreement::harness::{run_fast_robust, Scenario};
 use agreement::types::{Msg, Pid, Value};
 use sigsim::SigAuthority;
@@ -43,7 +43,7 @@ fn committed_fast_decision_binds_the_backup() {
     s.max_delays = 30_000;
     let (report, _) = run_fast_robust(&s, 15);
     assert!(report.all_decided);
-    for (_, v) in &report.decisions {
+    for v in report.decisions.values() {
         assert_eq!(*v, Value(100), "backup diverged from the fast decision");
     }
 }
@@ -123,10 +123,19 @@ fn equivocating_leader_cannot_split_the_composition() {
         // Ω settles on a correct process for the backup.
         sim.announce_leader(Time::from_delays(80), &procs[1..], ActorId(1));
         sim.run_until(Time::from_delays(40_000), |s| {
-            (1..n).all(|i| s.actor_as::<FastRobustActor>(ActorId(i)).unwrap().decision().is_some())
+            (1..n).all(|i| {
+                s.actor_as::<FastRobustActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+                    .is_some()
+            })
         });
         let ds: Vec<Option<Value>> = (1..n)
-            .map(|i| sim.actor_as::<FastRobustActor>(ActorId(i)).unwrap().decision())
+            .map(|i| {
+                sim.actor_as::<FastRobustActor>(ActorId(i))
+                    .unwrap()
+                    .decision()
+            })
             .collect();
         let got: Vec<Value> = ds.iter().flatten().copied().collect();
         assert_eq!(got.len(), 2, "seed {seed}: {ds:?}");

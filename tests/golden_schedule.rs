@@ -1,0 +1,188 @@
+//! Golden-schedule regression for the kernel overhaul.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Recorded fixtures** — seeded common-case runs must keep producing
+//!    exactly these decision times, message counts and memory-op counts.
+//!    If a kernel change shifts any schedule, these fail before anything
+//!    subtler does.
+//! 2. **Differential runs** — the `Legacy` kernel profile is the faithful
+//!    pre-overhaul implementation (binary-heap queue, eager allocations,
+//!    tombstone timer set). Every scenario here must produce identical
+//!    virtual-time results — decisions, metrics, and trace lines — on both
+//!    kernels, including under jittered (RNG-driven) delays, crashes and
+//!    failover, and for the SMR log at `batch = 1` (the batching knob's
+//!    compatibility mode).
+
+use agreement::harness::{run_fast_robust, run_mp_paxos, run_protected, run_smr, Scenario};
+use agreement::protected::memory_actor;
+use agreement::smr::SmrNode;
+use agreement::types::{Msg, Value};
+use simnet::{ActorId, DelayModel, Duration, KernelProfile, Simulation, Time};
+
+#[test]
+fn golden_common_case_fixtures() {
+    let s = Scenario::common_case(3, 3, 42);
+
+    let mp = run_mp_paxos(&s);
+    assert_eq!(mp.first_decision_delays, Some(2.0));
+    assert_eq!(mp.messages, 6);
+    assert_eq!(mp.mem_ops, 0);
+    assert!(mp.all_decided && mp.agreement && mp.validity);
+
+    let pmp = run_protected(&s);
+    assert_eq!(pmp.first_decision_delays, Some(2.0));
+    assert_eq!(pmp.messages, 8);
+    assert_eq!(pmp.mem_ops, 3);
+    assert!(pmp.all_decided && pmp.agreement && pmp.validity);
+
+    let (fr, _) = run_fast_robust(&s, 60);
+    assert_eq!(fr.first_decision_delays, Some(2.0));
+    assert!(fr.all_decided && fr.agreement && fr.validity);
+}
+
+#[test]
+fn golden_smr_schedule_fixture() {
+    let mut s = Scenario::common_case(3, 3, 7);
+    s.max_delays = 100;
+    let r = run_smr(&s, 10);
+    assert_eq!(r.entries, 10);
+    assert!(r.logs_agree);
+    // One replicated write per entry: slot i decided at 2·(i+1) delays.
+    let expected: Vec<f64> = (1..=10).map(|i| 2.0 * i as f64).collect();
+    assert_eq!(r.decided_at_delays, expected);
+    assert_eq!(r.log, (0..10).map(|c| Value(1000 + c)).collect::<Vec<_>>());
+}
+
+/// Every scenario-level quantity the harness reports must be identical on
+/// both kernels.
+fn assert_profiles_agree(build: impl Fn(KernelProfile) -> Scenario) {
+    let opt = build(KernelProfile::Optimized);
+    let leg = build(KernelProfile::Legacy);
+    for (a, b) in [
+        (run_mp_paxos(&opt), run_mp_paxos(&leg)),
+        (run_protected(&opt), run_protected(&leg)),
+        (run_fast_robust(&opt, 60).0, run_fast_robust(&leg, 60).0),
+    ] {
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.first_decision_delays, b.first_decision_delays);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.mem_ops, b.mem_ops);
+        assert_eq!(a.elapsed_delays, b.elapsed_delays);
+        assert_eq!(a.all_decided, b.all_decided);
+    }
+}
+
+#[test]
+fn kernels_agree_on_common_case() {
+    for seed in [1, 7, 42, 1234] {
+        assert_profiles_agree(|kernel| {
+            let mut s = Scenario::common_case(3, 3, seed);
+            s.kernel = kernel;
+            s
+        });
+    }
+}
+
+#[test]
+fn kernels_agree_under_jittered_delays() {
+    // Uniform link jitter drives the seeded RNG on every send: identical
+    // results require identical dispatch order AND identical RNG draw
+    // order on both kernels.
+    for seed in [3, 9, 77] {
+        assert_profiles_agree(|kernel| {
+            let mut s = Scenario::common_case(3, 3, seed);
+            s.delay = DelayModel::Uniform {
+                lo: Duration::from_delays(1),
+                hi: Duration::from_delays(4),
+            };
+            s.max_delays = 3_000;
+            s.kernel = kernel;
+            s
+        });
+    }
+}
+
+#[test]
+fn kernels_agree_under_crashes_and_failover() {
+    for seed in [5, 11] {
+        assert_profiles_agree(|kernel| {
+            let mut s = Scenario::common_case(4, 3, seed);
+            s.crash_procs = vec![(0, 6)];
+            s.crash_mems = vec![(2, 9)];
+            s.announce = vec![(15, 1)];
+            s.max_delays = 2_000;
+            s.kernel = kernel;
+            s
+        });
+    }
+}
+
+#[test]
+fn kernels_agree_on_smr_batch1_and_traces_match() {
+    // Full SMR cluster with tracing on: both kernels must produce the
+    // same decision times AND byte-identical trace dumps.
+    let run = |profile: KernelProfile| {
+        let n = 3u32;
+        let m = 3u32;
+        let mut sim: Simulation<Msg> = Simulation::with_profile(11, profile);
+        sim.enable_trace(100_000);
+        let procs: Vec<ActorId> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        for i in 0..n {
+            let workload: Vec<Value> = (0..12).map(|c| Value(100 * (i as u64 + 1) + c)).collect();
+            sim.add(SmrNode::new(
+                ActorId(i),
+                procs.clone(),
+                mems.clone(),
+                ActorId(0),
+                workload,
+                1,
+                Duration::from_delays(20),
+            ));
+        }
+        for _ in 0..m {
+            sim.add(memory_actor(ActorId(0)));
+        }
+        // A mid-run crash of one memory exercises the drop-to-crashed
+        // trace path on both kernels.
+        sim.crash_at(mems[2], Time::from_delays(9));
+        sim.run_to_quiescence(Time::from_delays(60));
+        let leader = sim.actor_as::<SmrNode>(ActorId(0)).unwrap();
+        (
+            leader.log(),
+            leader.decided_at.clone(),
+            sim.metrics().messages_sent,
+            sim.metrics().mem_ops(),
+            sim.trace().dump(),
+        )
+    };
+    let (log_o, decided_o, msgs_o, ops_o, trace_o) = run(KernelProfile::Optimized);
+    let (log_l, decided_l, msgs_l, ops_l, trace_l) = run(KernelProfile::Legacy);
+    assert!(!log_o.is_empty());
+    assert_eq!(log_o, log_l);
+    assert_eq!(decided_o, decided_l);
+    assert_eq!(msgs_o, msgs_l);
+    assert_eq!(ops_o, ops_l);
+    assert_eq!(trace_o, trace_l);
+    assert!(trace_o.contains("CRASH"));
+    assert!(trace_o.contains("dropped msg (crashed)"));
+}
+
+#[test]
+fn smr_batch1_wire_path_is_unchanged() {
+    // batch=1 must take the exact pre-batching wire path: same message
+    // count, same mem-op count, same per-entry decision times as the
+    // recorded fixture, on both kernels.
+    for kernel in [KernelProfile::Optimized, KernelProfile::Legacy] {
+        let mut s = Scenario::common_case(3, 3, 7);
+        s.max_delays = 100;
+        s.kernel = kernel;
+        let r = run_smr(&s, 10);
+        assert_eq!(r.entries, 10, "{kernel:?}");
+        let expected: Vec<f64> = (1..=10).map(|i| 2.0 * i as f64).collect();
+        assert_eq!(r.decided_at_delays, expected, "{kernel:?}");
+        // 10 entries × 3 memories, one write each; no extra ops.
+        assert_eq!(r.mem_ops, 30, "{kernel:?}");
+    }
+}

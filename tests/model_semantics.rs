@@ -23,7 +23,12 @@ struct Probe {
 
 impl Probe {
     fn new(mem: ActorId, script: Vec<MemRequest<RegVal>>) -> Probe {
-        Probe { mem, script, client: MemoryClient::new(), responses: Vec::new() }
+        Probe {
+            mem,
+            script,
+            client: MemoryClient::new(),
+            responses: Vec::new(),
+        }
     }
 }
 
@@ -35,7 +40,10 @@ impl Actor<Msg> for Probe {
                     self.client.submit(ctx, self.mem, req);
                 }
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     self.responses.push((c.op, c.resp));
                 }
@@ -61,7 +69,11 @@ fn run_probe(
 fn sample_cq_value(auth: &mut SigAuthority, signer_id: Pid, v: Value) -> RegVal {
     let s = auth.register(signer_id);
     let sig = s.sign(&(sigtags::CQ_VALUE, v));
-    RegVal::CqValue(CqSigned { value: v, leader_sig: sig, own_sig: sig })
+    RegVal::CqValue(CqSigned {
+        value: v,
+        leader_sig: sig,
+        own_sig: sig,
+    })
 }
 
 /// §3: a process "cannot operate on memories without the required
@@ -148,7 +160,10 @@ fn pmp_permission_handoff_semantics() {
                 })),
             },
             // Illegal shapes rejected.
-            MemRequest::ChangePerm { region: protected::REGION, new: Permission::open() },
+            MemRequest::ChangePerm {
+                region: protected::REGION,
+                new: Permission::open(),
+            },
             // Acquire-exclusive: accepted...
             MemRequest::ChangePerm {
                 region: protected::REGION,
@@ -204,9 +219,15 @@ fn nebcast_overlapping_regions() {
                 value: RegVal::LbFlag(Value(3)),
             },
             // Read own slot through the ALL region: ok, sees the row write.
-            MemRequest::Read { region: nebcast::ALL_REGION, reg: my_slot },
+            MemRequest::Read {
+                region: nebcast::ALL_REGION,
+                reg: my_slot,
+            },
             // Range-read the whole array: exactly one register written.
-            MemRequest::ReadRange { region: nebcast::ALL_REGION, within: None },
+            MemRequest::ReadRange {
+                region: nebcast::ALL_REGION,
+                within: None,
+            },
         ],
     );
     assert_eq!(out[0], MemResponse::Ack);
@@ -261,8 +282,10 @@ fn crashed_memory_is_silent() {
 #[test]
 fn wire_embedding_round_trip() {
     use rdma_sim::MemEmbed;
-    let wire: MemWire<RegVal> =
-        MemWire::Resp { op: OpId(9), resp: MemResponse::Value(None) };
+    let wire: MemWire<RegVal> = MemWire::Resp {
+        op: OpId(9),
+        resp: MemResponse::Value(None),
+    };
     let msg = Msg::from_wire(wire);
     assert!(msg.into_wire().is_ok());
 }

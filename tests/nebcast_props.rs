@@ -54,7 +54,10 @@ impl Actor<Msg> for NebTester {
                 for v in self.to_broadcast.clone() {
                     let wire = TWire {
                         dest: Dest::All,
-                        payload: RbPayload::Setup { value: v, evidence: SetupEvidence::default() },
+                        payload: RbPayload::Setup {
+                            value: v,
+                            evidence: SetupEvidence::default(),
+                        },
                         history: Vec::new(),
                     };
                     self.engine.broadcast(ctx, &mut self.client, wire);
@@ -67,7 +70,10 @@ impl Actor<Msg> for NebTester {
                 self.drain();
                 ctx.set_timer(Duration::from_delays(1), 0);
             }
-            EventKind::Msg { from, msg: Msg::Mem(wire) } => {
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
                 if let Some(c) = self.client.on_wire(ctx, from, wire) {
                     self.engine.on_completion(ctx, &mut self.client, c);
                     self.drain();
@@ -113,11 +119,20 @@ fn property_one_correct_broadcasts_reach_everyone() {
     });
     for i in 0..n {
         let t = sim.actor_as::<NebTester>(ActorId(i)).unwrap();
-        assert_eq!(t.delivered.len(), 12, "process {i} delivered {:?}", t.delivered);
+        assert_eq!(
+            t.delivered.len(),
+            12,
+            "process {i} delivered {:?}",
+            t.delivered
+        );
         // Per-sender sequence order.
         for q in 0..n {
-            let ks: Vec<u64> =
-                t.delivered.iter().filter(|(f, _, _)| *f == ActorId(q)).map(|(_, k, _)| *k).collect();
+            let ks: Vec<u64> = t
+                .delivered
+                .iter()
+                .filter(|(f, _, _)| *f == ActorId(q))
+                .map(|(_, k, _)| *k)
+                .collect();
             assert_eq!(ks, vec![1, 2, 3, 4], "process {i} from {q}");
         }
     }
@@ -155,7 +170,10 @@ fn property_three_no_spoofed_deliveries() {
         sim.add(neb_memory(&procs));
     }
     sim.run_until(Time::from_delays(100), |s| {
-        !s.actor_as::<NebTester>(ActorId(1)).unwrap().delivered.is_empty()
+        !s.actor_as::<NebTester>(ActorId(1))
+            .unwrap()
+            .delivered
+            .is_empty()
     });
     let t1 = sim.actor_as::<NebTester>(ActorId(1)).unwrap();
     assert_eq!(t1.delivered, vec![(ActorId(0), 1, Value(7))]);

@@ -8,8 +8,8 @@
 
 use agreement::aligned::MemoryMode;
 use agreement::harness::{
-    run_aligned, run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected,
-    run_robust_backup, Scenario,
+    run_aligned, run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, run_robust_backup,
+    Scenario,
 };
 
 /// Fast & Robust at the bound: f = (n-1)/2 silent Byzantine processes.

@@ -54,9 +54,12 @@ fn rewritten_history_is_rejected_and_sender_distrusted() {
         sim.add(neb_memory(&procs));
     }
     sim.run_until(Time::from_delays(3_000), |s| {
-        [0u32, 1]
-            .iter()
-            .all(|&i| s.actor_as::<RobustPaxosActor>(ActorId(i)).unwrap().decision().is_some())
+        [0u32, 1].iter().all(|&i| {
+            s.actor_as::<RobustPaxosActor>(ActorId(i))
+                .unwrap()
+                .decision()
+                .is_some()
+        })
     });
     for i in [0u32, 1] {
         let a = sim.actor_as::<RobustPaxosActor>(ActorId(i)).unwrap();
@@ -79,7 +82,13 @@ fn attack_runs_are_deterministic() {
         for i in 0..n {
             let signer = auth.register(ActorId(i));
             if i == 2 {
-                sim.add(HistoryRewriter::new(ActorId(2), mems.clone(), Value(1), Value(2), signer));
+                sim.add(HistoryRewriter::new(
+                    ActorId(2),
+                    mems.clone(),
+                    Value(1),
+                    Value(2),
+                    signer,
+                ));
                 continue;
             }
             sim.add(RobustPaxosActor::new(
@@ -99,7 +108,9 @@ fn attack_runs_are_deterministic() {
         }
         sim.run_to_quiescence(Time::from_delays(2_500));
         (
-            sim.actor_as::<RobustPaxosActor>(ActorId(0)).unwrap().decision(),
+            sim.actor_as::<RobustPaxosActor>(ActorId(0))
+                .unwrap()
+                .decision(),
             sim.metrics().messages_sent,
         )
     };
@@ -138,12 +149,17 @@ fn silent_third_process_control_group() {
         sim.add(neb_memory(&procs));
     }
     sim.run_until(Time::from_delays(3_000), |s| {
-        [0u32, 1]
-            .iter()
-            .all(|&i| s.actor_as::<RobustPaxosActor>(ActorId(i)).unwrap().decision().is_some())
+        [0u32, 1].iter().all(|&i| {
+            s.actor_as::<RobustPaxosActor>(ActorId(i))
+                .unwrap()
+                .decision()
+                .is_some()
+        })
     });
     assert_eq!(
-        sim.actor_as::<RobustPaxosActor>(ActorId(0)).unwrap().decision(),
+        sim.actor_as::<RobustPaxosActor>(ActorId(0))
+            .unwrap()
+            .decision(),
         Some(Value(100))
     );
 }
