@@ -19,6 +19,7 @@ use crate::nebcast;
 use crate::paxos::PaxosActor;
 use crate::protected::{self, ProtectedPaxosActor};
 use crate::robust_backup::RobustPaxosActor;
+use crate::sharded::{self, GroupTopology, RouterActor, WorkloadSpec};
 use crate::smr::SmrNode;
 use crate::types::{Instance, Msg, Pid, Value};
 
@@ -474,6 +475,250 @@ pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
     }
 }
 
+/// A scripted sharded-service run: `groups` independent SMR groups over a
+/// hash-partitioned key space, fronted by one router
+/// (see [`crate::sharded`] for the architecture). Mirrors [`Scenario`]:
+/// build one, tweak fields, hand it to [`run_sharded`].
+#[derive(Clone, Debug)]
+pub struct ShardedScenario {
+    /// Number of groups (shards).
+    pub groups: usize,
+    /// Replicas per group.
+    pub n: usize,
+    /// Memories per group.
+    pub m: usize,
+    /// Simulation seed (also seeds the workload's key stream).
+    pub seed: u64,
+    /// Link behaviour.
+    pub delay: DelayModel,
+    /// Total client commands across all groups.
+    pub total_cmds: usize,
+    /// Key distribution of the command stream.
+    pub workload: WorkloadSpec,
+    /// Per-group closed-loop window (commands in flight). `0` switches to
+    /// open loop: every backlog is preloaded into its group's initial
+    /// leader and the router only observes — the max-throughput
+    /// configuration, wire-identical per group to [`run_smr`].
+    pub window: usize,
+    /// Log entries per replicated write (as [`Scenario::batch`]).
+    pub batch: usize,
+    /// Kernel implementation (as [`Scenario::kernel`]).
+    pub kernel: KernelProfile,
+    /// `(group, crash time in delays)`: crash that group's initial leader.
+    pub crash_leaders: Vec<(usize, u64)>,
+    /// `(group, replica index, time in delays)`: Ω announces that replica
+    /// as the group's leader, to the group and the router.
+    pub announce: Vec<(usize, usize, u64)>,
+    /// Virtual-time budget, in delays.
+    pub max_delays: u64,
+}
+
+impl ShardedScenario {
+    /// A failure-free closed-loop run with synchronous links and a window
+    /// sized to keep batched pipelines full.
+    pub fn common_case(groups: usize, n: usize, m: usize, seed: u64) -> ShardedScenario {
+        ShardedScenario {
+            groups,
+            n,
+            m,
+            seed,
+            delay: DelayModel::synchronous(),
+            total_cmds: 1_000,
+            workload: WorkloadSpec::uniform(),
+            window: 16,
+            batch: 1,
+            kernel: KernelProfile::Optimized,
+            crash_leaders: Vec::new(),
+            announce: Vec::new(),
+            max_delays: 50_000,
+        }
+    }
+
+    /// The deployment's actor-id layout.
+    pub fn topology(&self) -> GroupTopology {
+        GroupTopology {
+            groups: self.groups,
+            n: self.n,
+            m: self.m,
+        }
+    }
+}
+
+/// What one group of a sharded run produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardGroupReport {
+    /// Log length of the group's longest replica log (no-op fillers and
+    /// at-least-once duplicates included).
+    pub entries: usize,
+    /// Unique client commands observed committed by this group.
+    pub committed: usize,
+    /// Median decision latency (submission → first observed commit), in
+    /// ticks.
+    pub p50_latency_ticks: u64,
+    /// 99th-percentile decision latency, in ticks.
+    pub p99_latency_ticks: u64,
+    /// Longest gap between consecutive observed commits, in ticks — a
+    /// failover's stall window lands here.
+    pub max_commit_gap_ticks: u64,
+    /// Whether every replica's log is a prefix of the group's longest log.
+    pub logs_agree: bool,
+    /// The group's longest replica log.
+    pub log: Vec<Value>,
+}
+
+/// Aggregate metrics of a sharded run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedRunReport {
+    /// Per-group outcomes, indexed by group.
+    pub groups: Vec<ShardGroupReport>,
+    /// Sum of group log lengths (includes no-ops and duplicates).
+    pub total_entries: usize,
+    /// Unique client commands observed committed, across all groups.
+    pub committed: usize,
+    /// Whether every client command was observed committed in budget.
+    pub all_committed: bool,
+    /// Whether every group's replica logs agree.
+    pub all_logs_agree: bool,
+    /// Whether every committed command landed in the group the key-hash
+    /// assigned it to (no cross-group leakage).
+    pub no_cross_group_leak: bool,
+    /// Virtual time when the run stopped, in delays.
+    pub elapsed_delays: f64,
+    /// Aggregate virtual-time throughput: unique committed commands per
+    /// delay — the quantity that scales with `groups`.
+    pub committed_per_delay: f64,
+    /// Kernel events dispatched (wall-clock denominator).
+    pub events_dispatched: u64,
+    /// Messages put on the network.
+    pub messages: u64,
+    /// Memory operations issued.
+    pub mem_ops: u64,
+    /// Deepest the kernel event queue got during the run.
+    pub peak_queue_len: u64,
+}
+
+/// Runs the sharded multi-group replicated-log service.
+///
+/// Builds `groups` disjoint SMR groups plus the router (actor ids per
+/// [`ShardedScenario::topology`]), injects the scripted per-group leader
+/// crashes and Ω announcements, runs until every command is observed
+/// committed (or the budget ends), and reduces the router's observations
+/// to a [`ShardedRunReport`].
+pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
+    let topo = scenario.topology();
+    let workload = sharded::partition(
+        &scenario.workload,
+        scenario.seed,
+        scenario.total_cmds,
+        scenario.groups,
+    );
+    let group_of = workload.group_of.clone();
+    let mut sim: Simulation<Msg> = Simulation::with_profile(scenario.seed, scenario.kernel);
+    sim.set_default_delay(scenario.delay.clone());
+    let f_m = (scenario.m.max(1) - 1) / 2;
+    for g in 0..scenario.groups {
+        let procs = topo.procs(g);
+        let mems = topo.mems(g);
+        let leader = topo.initial_leader(g);
+        for (i, &p) in procs.iter().enumerate() {
+            // Open loop preloads the whole backlog into the initial
+            // leader; closed loop starts everyone empty and the router
+            // submits.
+            let preload = if scenario.window == 0 && i == 0 {
+                workload.backlogs[g].clone()
+            } else {
+                Vec::new()
+            };
+            let node = SmrNode::new(
+                p,
+                procs.clone(),
+                mems.clone(),
+                leader,
+                preload,
+                f_m,
+                Duration::from_delays(20),
+            )
+            .with_batch(scenario.batch)
+            .with_observer(topo.router());
+            let id = sim.add(node);
+            debug_assert_eq!(id, p);
+        }
+        for &mem in &mems {
+            let id = sim.add(protected::memory_actor(leader));
+            debug_assert_eq!(id, mem);
+        }
+    }
+    let router_id = sim.add(RouterActor::new(topo, workload, scenario.window));
+    assert_eq!(router_id, topo.router(), "router must be the last actor");
+
+    for &(g, t) in &scenario.crash_leaders {
+        sim.crash_at(topo.initial_leader(g), Time::from_delays(t));
+    }
+    for &(g, i, t) in &scenario.announce {
+        let mut targets = topo.procs(g);
+        targets.push(topo.router());
+        sim.announce_leader(Time::from_delays(t), &targets, topo.procs(g)[i]);
+    }
+
+    let deadline = Time::from_delays(scenario.max_delays);
+    sim.run_until(deadline, |s| {
+        s.actor_as::<RouterActor>(router_id)
+            .is_some_and(RouterActor::done)
+    });
+
+    let router = sim
+        .actor_as::<RouterActor>(router_id)
+        .expect("router exists");
+    let mut groups = Vec::with_capacity(scenario.groups);
+    let mut no_cross_group_leak = true;
+    for g in 0..scenario.groups {
+        let logs: Vec<Vec<Value>> = topo
+            .procs(g)
+            .iter()
+            .map(|&p| sim.actor_as::<SmrNode>(p).expect("replica exists").log())
+            .collect();
+        let longest = logs
+            .iter()
+            .max_by_key(|l| l.len())
+            .cloned()
+            .unwrap_or_default();
+        let logs_agree = logs.iter().all(|l| longest[..l.len()] == l[..]);
+        for v in &longest {
+            let id = v.0 as usize;
+            if id != 0 && id < group_of.len() && group_of[id] as usize != g {
+                no_cross_group_leak = false;
+            }
+        }
+        let mut lat = router.group_latencies_ticks(g).to_vec();
+        lat.sort_unstable();
+        groups.push(ShardGroupReport {
+            entries: longest.len(),
+            committed: router.group_committed(g),
+            p50_latency_ticks: sharded::metrics::percentile_sorted_ticks(&lat, 50.0),
+            p99_latency_ticks: sharded::metrics::percentile_sorted_ticks(&lat, 99.0),
+            max_commit_gap_ticks: sharded::metrics::max_gap_ticks(router.group_commit_times(g)),
+            logs_agree,
+            log: longest,
+        });
+    }
+    let committed = router.committed_total();
+    let elapsed_delays = sim.now().as_delays();
+    ShardedRunReport {
+        total_entries: groups.iter().map(|g| g.entries).sum(),
+        committed,
+        all_committed: committed >= scenario.total_cmds,
+        all_logs_agree: groups.iter().all(|g| g.logs_agree),
+        no_cross_group_leak,
+        elapsed_delays,
+        committed_per_delay: committed as f64 / elapsed_delays.max(f64::MIN_POSITIVE),
+        events_dispatched: sim.metrics().events_dispatched,
+        messages: sim.metrics().messages_sent,
+        mem_ops: sim.metrics().mem_ops(),
+        peak_queue_len: sim.metrics().peak_queue_len,
+        groups,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +783,71 @@ mod tests {
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.mem_ops, b.mem_ops);
         assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn sharded_open_loop_g1_keeps_the_single_group_pipeline() {
+        let mut sc = ShardedScenario::common_case(1, 3, 3, 5);
+        sc.total_cmds = 40;
+        sc.window = 0; // open loop: preloaded leader, router observes
+        sc.max_delays = 400;
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "{r:?}");
+        assert!(r.all_logs_agree && r.no_cross_group_leak);
+        assert_eq!(r.groups[0].entries, 40);
+        assert_eq!(r.groups[0].committed, 40);
+        // The group keeps run_smr's cadence: one entry per replicated
+        // write, two delays each; the router observes one delay later.
+        assert_eq!(
+            r.groups[0].max_commit_gap_ticks,
+            2 * simnet::TICKS_PER_DELAY
+        );
+        assert_eq!(r.elapsed_delays, 81.0);
+    }
+
+    #[test]
+    fn sharded_closed_loop_commits_everything_across_groups() {
+        let mut sc = ShardedScenario::common_case(4, 3, 3, 11);
+        sc.total_cmds = 200;
+        sc.batch = 4;
+        sc.window = 8;
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "{r:?}");
+        assert!(r.all_logs_agree && r.no_cross_group_leak);
+        assert_eq!(r.committed, 200);
+        assert_eq!(r.groups.iter().map(|g| g.committed).sum::<usize>(), 200);
+        for (g, report) in r.groups.iter().enumerate() {
+            assert!(report.committed > 0, "group {g} starved: {report:?}");
+            assert!(report.p50_latency_ticks > 0);
+            assert!(report.p99_latency_ticks >= report.p50_latency_ticks);
+        }
+    }
+
+    #[test]
+    fn sharded_failover_stalls_one_group_and_spares_the_rest() {
+        let mut sc = ShardedScenario::common_case(3, 3, 3, 13);
+        sc.total_cmds = 150;
+        sc.window = 4;
+        sc.max_delays = 5_000;
+        sc.crash_leaders = vec![(1, 9)];
+        sc.announce = vec![(1, 1, 60)];
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "{r:?}");
+        assert!(r.all_logs_agree && r.no_cross_group_leak);
+        // The crashed group's failover window dominates its commit gaps;
+        // untouched groups never stall anywhere near it.
+        let stalled = r.groups[1].max_commit_gap_ticks;
+        assert!(
+            stalled >= 50 * simnet::TICKS_PER_DELAY,
+            "no failover stall visible: {stalled}"
+        );
+        for g in [0, 2] {
+            assert!(
+                r.groups[g].max_commit_gap_ticks < stalled / 2,
+                "group {g} stalled too: {:?}",
+                r.groups[g].max_commit_gap_ticks
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Aligned Paxos (§5.2, Algs. 9–15) | [`aligned`] |
 //! | Lower bound (Thm 6.1) | [`lower_bound`] |
 //! | Replicated log on PMP (multi-instance) | [`smr`] |
+//! | Sharded multi-group log service (router + groups) | [`sharded`] |
 //! | Baselines: Paxos, Disk Paxos, Fast Paxos | [`paxos`], [`disk_paxos`], [`fast_paxos`] |
 //! | Byzantine adversaries | [`adversary`] |
 //! | One-call experiment builders | [`harness`] |
@@ -49,6 +50,7 @@ pub mod paxos;
 pub mod pref_paxos;
 pub mod protected;
 pub mod robust_backup;
+pub mod sharded;
 pub mod smr;
 pub mod trusted;
 pub mod types;

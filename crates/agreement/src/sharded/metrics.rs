@@ -1,0 +1,65 @@
+//! Aggregate statistics over the sharded service's commit observations.
+//!
+//! The router records raw per-command latencies and per-group commit
+//! timelines; these helpers reduce them to the quantities the harness
+//! reports: latency percentiles (in ticks, the kernel's native unit) and
+//! the worst commit stall — the longest gap between consecutive commits,
+//! which is where a failover window shows up.
+
+use simnet::Time;
+
+/// The `p`-th percentile (0.0 ..= 100.0) of an unsorted sample, by the
+/// nearest-rank method. Returns 0 for an empty sample. Reading several
+/// percentiles of one sample? Sort it once and use
+/// [`percentile_sorted_ticks`].
+pub fn percentile_ticks(sample: &[u64], p: f64) -> u64 {
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    percentile_sorted_ticks(&sorted, p)
+}
+
+/// [`percentile_ticks`] over an already-sorted sample: no copy, no sort.
+pub fn percentile_sorted_ticks(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The longest gap between consecutive observations, in ticks (0 with
+/// fewer than two observations). On a healthy group this is one commit
+/// round; a crash shows up as the whole failover window.
+pub fn max_gap_ticks(times: &[Time]) -> u64 {
+    times
+        .windows(2)
+        .map(|w| w[1].0.saturating_sub(w[0].0))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sample = [10, 20, 30, 40, 50];
+        assert_eq!(percentile_ticks(&sample, 50.0), 30);
+        assert_eq!(percentile_ticks(&sample, 99.0), 50);
+        assert_eq!(percentile_ticks(&sample, 100.0), 50);
+        assert_eq!(percentile_ticks(&sample, 1.0), 10);
+        assert_eq!(percentile_ticks(&[], 50.0), 0);
+        // Order must not matter.
+        assert_eq!(percentile_ticks(&[50, 10, 40, 20, 30], 50.0), 30);
+    }
+
+    #[test]
+    fn max_gap_finds_the_stall() {
+        let t: Vec<Time> = [0u64, 2, 4, 40, 42].iter().map(|&d| Time(d)).collect();
+        assert_eq!(max_gap_ticks(&t), 36);
+        assert_eq!(max_gap_ticks(&t[..1]), 0);
+        assert_eq!(max_gap_ticks(&[]), 0);
+    }
+}

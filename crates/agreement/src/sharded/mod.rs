@@ -1,0 +1,159 @@
+//! Sharded multi-group SMR: a partitioned replicated-log service.
+//!
+//! The paper's protocol ([`crate::protected`], lifted to a log by
+//! [`crate::smr`]) is a *single* replication group: one leader, one
+//! permission-protected region, one totally-ordered log — and therefore
+//! one leader's write pipeline as the throughput ceiling. This module is
+//! the layer the paper's closing systems lineage (DARE, APUS, Mu) builds
+//! in practice to scale past that ceiling: **many independent groups over
+//! a partitioned key space**, all simulated on one shared kernel.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────┐
+//!            │                RouterActor                 │
+//!            │  key ─hash→ group; per-group leader table; │
+//!            │  closed-loop windows; commit observation   │
+//!            └──┬─────────────────┬─────────────────┬─────┘
+//!        Submit│           Submit │          Submit │   ▲ Decided /
+//!              ▼                  ▼                 ▼   │ DecidedMany
+//!        ┌──────────┐       ┌──────────┐      ┌──────────┐
+//!        │ group 0  │       │ group 1  │   …   │ group G-1│
+//!        │ n×SmrNode│       │ n×SmrNode│      │ n×SmrNode│
+//!        │ m×memory │       │ m×memory │      │ m×memory │
+//!        └──────────┘       └──────────┘      └──────────┘
+//! ```
+//!
+//! * **Groups.** Each group is a full instance of the paper's single-group
+//!   system: `n` [`crate::smr::SmrNode`] replicas over `m` swmr memory
+//!   replicas ([`crate::protected::memory_actor`]), with its own leader,
+//!   epochs and permission-revocation failover. Groups share nothing but
+//!   the simulation kernel — there is no cross-group coordination, which
+//!   is exactly why aggregate throughput scales with `G`.
+//! * **Router** ([`router::RouterActor`]). The client-facing layer: maps
+//!   each keyed command to its group (deterministic hash partition,
+//!   [`workload::group_of_key`]), tracks per-group leadership from the
+//!   same Ω announcements the replicas receive, keeps a bounded window of
+//!   commands in flight per group, and observes commits via the leaders'
+//!   decision notifications (it is an observer on every replica). On
+//!   failover it re-submits in-flight commands to the new leader —
+//!   at-least-once semantics, like any retrying client.
+//! * **Workload** ([`workload`]). Deterministic keyed command streams:
+//!   uniform, Zipf-skewed, or hot-shard, partitioned into per-group
+//!   backlogs up front so runs are reproducible bit-for-bit per seed.
+//! * **Metrics** ([`metrics`]). Per-group decision-latency percentiles
+//!   (ticks) and worst commit stalls (failover windows), aggregated by
+//!   [`crate::harness::run_sharded`] into a
+//!   [`crate::harness::ShardedRunReport`].
+//!
+//! # Relation to the paper
+//!
+//! Nothing here changes the per-group protocol: each group decides in one
+//! replicated-write round trip (two delays) under a stable leader and
+//! fails over by permission revocation, exactly as Theorem 5.1's protocol
+//! does. Sharding composes *instances* of that result; the interesting
+//! new behaviour is service-level — load imbalance under skew, partial
+//! failover (one group stalls while `G−1` keep committing), and the
+//! kernel-side pressure of `G·(n+m)+1` actors with deep in-flight queues.
+//!
+//! The id layout is fixed by [`GroupTopology`]: group `g` occupies the
+//! dense actor-id block `[g·(n+m), (g+1)·(n+m))` — first its `n`
+//! replicas, then its `m` memories — and the router is the single last
+//! actor. Registration order must match (the harness asserts it).
+
+use simnet::ActorId;
+
+use crate::types::Pid;
+
+pub mod metrics;
+pub mod router;
+pub mod workload;
+
+pub use router::RouterActor;
+pub use workload::{group_of_key, partition, PartitionedWorkload, WorkloadSpec};
+
+/// The fixed actor-id layout of a sharded deployment: `groups` blocks of
+/// `n` replicas + `m` memories, then the router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupTopology {
+    /// Number of groups (shards).
+    pub groups: usize,
+    /// Replicas per group.
+    pub n: usize,
+    /// Memories per group.
+    pub m: usize,
+}
+
+impl GroupTopology {
+    fn block(&self) -> usize {
+        self.n + self.m
+    }
+
+    /// Replica ids of group `g`.
+    pub fn procs(&self, g: usize) -> Vec<Pid> {
+        let base = g * self.block();
+        (base..base + self.n).map(|i| ActorId(i as u32)).collect()
+    }
+
+    /// Memory ids of group `g`.
+    pub fn mems(&self, g: usize) -> Vec<ActorId> {
+        let base = g * self.block() + self.n;
+        (base..base + self.m).map(|i| ActorId(i as u32)).collect()
+    }
+
+    /// Group `g`'s initial leader (its first replica).
+    pub fn initial_leader(&self, g: usize) -> Pid {
+        ActorId((g * self.block()) as u32)
+    }
+
+    /// The router's id (the single actor after all groups).
+    pub fn router(&self) -> ActorId {
+        ActorId((self.groups * self.block()) as u32)
+    }
+
+    /// Total actors in the deployment, router included.
+    pub fn total_actors(&self) -> usize {
+        self.groups * self.block() + 1
+    }
+
+    /// Which group's *replica* block contains `a` (`None` for memories,
+    /// the router, and out-of-range ids).
+    pub fn group_of_actor(&self, a: ActorId) -> Option<usize> {
+        let i = a.0 as usize;
+        let g = i / self.block();
+        (g < self.groups && i % self.block() < self.n).then_some(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_layout_is_dense_and_invertible() {
+        let topo = GroupTopology {
+            groups: 3,
+            n: 3,
+            m: 5,
+        };
+        assert_eq!(topo.total_actors(), 25);
+        assert_eq!(topo.router(), ActorId(24));
+        let mut next = 0u32;
+        for g in 0..3 {
+            assert_eq!(topo.initial_leader(g), ActorId(next));
+            for p in topo.procs(g) {
+                assert_eq!(p, ActorId(next));
+                assert_eq!(topo.group_of_actor(p), Some(g));
+                next += 1;
+            }
+            for mem in topo.mems(g) {
+                assert_eq!(mem, ActorId(next));
+                assert_eq!(topo.group_of_actor(mem), None);
+                next += 1;
+            }
+        }
+        assert_eq!(topo.group_of_actor(topo.router()), None);
+        assert_eq!(topo.group_of_actor(ActorId(99)), None);
+    }
+}

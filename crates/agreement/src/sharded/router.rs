@@ -1,0 +1,243 @@
+//! The router: the sharded service's client-facing actor.
+//!
+//! One router fronts all `G` groups. It owns the partitioned command
+//! backlogs, tracks each group's current leader (from the same Ω
+//! announcements the replicas receive), keeps up to `window` commands in
+//! flight per group ([`Msg::Submit`] batches to the leader), and observes
+//! commits through the leaders' `Decided`/`DecidedMany` notifications
+//! (it is registered as an observer on every replica). From those
+//! observations it derives the service-level metrics: per-command decision
+//! latency, per-group commit timelines, and completion.
+//!
+//! **Failover.** When Ω announces a new leader for a group, the router
+//! re-submits every in-flight (submitted, not yet observed committed)
+//! command of that group to the new leader. A command the crashed leader
+//! actually committed may therefore appear twice in the group's log —
+//! at-least-once delivery, the standard client-retry contract; real
+//! deployments dedup in the state machine. Latency and completion metrics
+//! count each command once, at its first observed commit, timed from its
+//! *first* submission (so failover stalls show up in the tail).
+
+use std::collections::VecDeque;
+
+use simnet::{Actor, Context, EventKind, Time};
+
+use crate::types::{Msg, Pid, Value};
+
+use super::workload::PartitionedWorkload;
+use super::GroupTopology;
+
+/// Per-group routing and progress state.
+#[derive(Debug)]
+struct GroupState {
+    /// The replica the router currently believes leads this group.
+    leader: Pid,
+    /// Commands assigned to this group, not yet submitted.
+    backlog: VecDeque<Value>,
+    /// Commands submitted at least once, in first-submission order
+    /// (append-only; commits are tracked by id, not by removal).
+    submitted: Vec<Value>,
+    /// Unique commands observed committed.
+    committed: usize,
+    /// Decision latency of each command, in ticks, first-commit order.
+    latencies_ticks: Vec<u64>,
+    /// When each unique commit was observed (the group's commit timeline).
+    commit_times: Vec<Time>,
+}
+
+impl GroupState {
+    fn in_flight(&self) -> usize {
+        self.submitted.len() - self.committed
+    }
+}
+
+/// The router actor. Build with [`RouterActor::new`], register it *after*
+/// all group replicas and memories so its id matches
+/// [`GroupTopology::router`].
+#[derive(Debug)]
+pub struct RouterActor {
+    topo: GroupTopology,
+    /// Per-group in-flight window; `0` means open-loop (the harness
+    /// preloaded every backlog into the initial leaders, and the router
+    /// only observes).
+    window: usize,
+    groups: Vec<GroupState>,
+    /// Group of command id `i` (from the partitioned workload).
+    group_of: Vec<u32>,
+    /// First-submission time of command id `i`, in ticks.
+    submit_ticks: Vec<u64>,
+    /// Whether command id `i` has been observed committed.
+    committed: Vec<bool>,
+    committed_total: usize,
+    total: usize,
+}
+
+impl RouterActor {
+    /// Creates the router for `topo`, owning `workload`'s backlogs.
+    pub fn new(topo: GroupTopology, workload: PartitionedWorkload, window: usize) -> RouterActor {
+        let total = workload.total();
+        let groups = workload
+            .backlogs
+            .iter()
+            .enumerate()
+            .map(|(g, backlog)| GroupState {
+                leader: topo.initial_leader(g),
+                backlog: backlog.iter().copied().collect(),
+                submitted: Vec::new(),
+                committed: 0,
+                latencies_ticks: Vec::new(),
+                commit_times: Vec::new(),
+            })
+            .collect();
+        RouterActor {
+            topo,
+            window,
+            groups,
+            group_of: workload.group_of,
+            submit_ticks: vec![0; total + 1],
+            committed: vec![false; total + 1],
+            committed_total: 0,
+            total,
+        }
+    }
+
+    /// Whether every command has been observed committed.
+    pub fn done(&self) -> bool {
+        self.committed_total >= self.total
+    }
+
+    /// Unique commands observed committed so far.
+    pub fn committed_total(&self) -> usize {
+        self.committed_total
+    }
+
+    /// Unique commands group `g` has committed.
+    pub fn group_committed(&self, g: usize) -> usize {
+        self.groups[g].committed
+    }
+
+    /// Decision latencies of group `g`'s commands, in ticks, in
+    /// first-commit order.
+    pub fn group_latencies_ticks(&self, g: usize) -> &[u64] {
+        &self.groups[g].latencies_ticks
+    }
+
+    /// Group `g`'s commit-observation timeline.
+    pub fn group_commit_times(&self, g: usize) -> &[Time] {
+        &self.groups[g].commit_times
+    }
+
+    /// Sends up to `window - in_flight` backlog commands of group `g` to
+    /// its current leader, as one `Submit` batch.
+    fn refill(&mut self, ctx: &mut Context<'_, Msg>, g: usize) {
+        if self.window == 0 {
+            return; // open loop: everything was preloaded at build time
+        }
+        let state = &mut self.groups[g];
+        let room = self.window.saturating_sub(state.in_flight());
+        if room == 0 || state.backlog.is_empty() {
+            return;
+        }
+        let now = ctx.now().0;
+        let mut cmds = Vec::with_capacity(room.min(state.backlog.len()));
+        for _ in 0..room {
+            let Some(v) = state.backlog.pop_front() else {
+                break;
+            };
+            self.submit_ticks[v.0 as usize] = now;
+            state.submitted.push(v);
+            cmds.push(v);
+        }
+        let leader = state.leader;
+        ctx.send(leader, Msg::Submit { cmds });
+    }
+
+    /// Marks `v` committed by group `g` (first observation only).
+    fn observe_commit(&mut self, now: Time, g: usize, v: Value) {
+        let id = v.0 as usize;
+        // No-op fillers and unknown ids carry no client command.
+        if id == 0 || id >= self.committed.len() || self.committed[id] {
+            return;
+        }
+        debug_assert_eq!(
+            self.group_of[id] as usize, g,
+            "command leaked across groups"
+        );
+        self.committed[id] = true;
+        self.committed_total += 1;
+        let state = &mut self.groups[g];
+        state.committed += 1;
+        state
+            .latencies_ticks
+            .push(now.0.saturating_sub(self.submit_ticks[id]));
+        state.commit_times.push(now);
+    }
+
+    /// Re-submits every in-flight command of group `g` to its (new)
+    /// leader: the at-least-once failover path.
+    fn resubmit_in_flight(&mut self, ctx: &mut Context<'_, Msg>, g: usize) {
+        let state = &self.groups[g];
+        let cmds: Vec<Value> = state
+            .submitted
+            .iter()
+            .copied()
+            .filter(|v| !self.committed[v.0 as usize])
+            .collect();
+        if !cmds.is_empty() {
+            let leader = state.leader;
+            ctx.send(leader, Msg::Submit { cmds });
+        }
+    }
+}
+
+impl Actor<Msg> for RouterActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                if self.window == 0 {
+                    // Open loop: the harness preloaded the backlogs into
+                    // the initial leaders; account for them as submitted
+                    // at time zero.
+                    for state in &mut self.groups {
+                        while let Some(v) = state.backlog.pop_front() {
+                            state.submitted.push(v);
+                        }
+                    }
+                } else {
+                    for g in 0..self.groups.len() {
+                        self.refill(ctx, g);
+                    }
+                }
+            }
+            EventKind::LeaderChange { leader } => {
+                let Some(g) = self.topo.group_of_actor(leader) else {
+                    return;
+                };
+                if self.groups[g].leader != leader {
+                    self.groups[g].leader = leader;
+                    self.resubmit_in_flight(ctx, g);
+                }
+            }
+            EventKind::Msg { from, msg } => {
+                let Some(g) = self.topo.group_of_actor(from) else {
+                    return;
+                };
+                match msg {
+                    Msg::Decided { value, .. } => {
+                        self.observe_commit(ctx.now(), g, value);
+                        self.refill(ctx, g);
+                    }
+                    Msg::DecidedMany { values, .. } => {
+                        let now = ctx.now();
+                        for v in values {
+                            self.observe_commit(now, g, v);
+                        }
+                        self.refill(ctx, g);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic key-space workload generation for the sharded service.
+//!
+//! A workload is a stream of keyed commands. Keys are drawn from one of
+//! three distributions — uniform, Zipf-skewed, or hot-shard — and each key
+//! is mapped to a group by a fixed hash, so the same `(spec, seed, total)`
+//! triple always produces the same per-group command backlogs. Commands
+//! themselves are dense ids packed into [`Value`] (ids start at 1; id 0 and
+//! the `u64::MAX` no-op filler are reserved), which keeps the router's
+//! bookkeeping flat arrays.
+//!
+//! The generator is self-contained (SplitMix64 for bits, inverse-CDF for
+//! Zipf) so the `agreement` crate takes no new dependency and the stream is
+//! identical on every platform the simulation runs on.
+
+use crate::types::Value;
+
+/// How the workload's keys are distributed over the key space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// Every key equally likely: the balanced-shards baseline.
+    Uniform {
+        /// Number of distinct keys.
+        keys: u64,
+    },
+    /// Zipf-skewed keys (popularity rank `i` drawn with weight
+    /// `1/(i+1)^s`): a few hot keys dominate, as in real KV traces.
+    Zipf {
+        /// Number of distinct keys.
+        keys: u64,
+        /// Skew exponent (`0.0` degenerates to uniform; `~0.99` is the
+        /// classic YCSB skew).
+        s: f64,
+    },
+    /// A fixed fraction of commands hit one designated key (and therefore
+    /// one group); the rest are uniform. The adversarial load-imbalance
+    /// case for a partitioned service.
+    HotShard {
+        /// Number of distinct keys.
+        keys: u64,
+        /// The pinned hot key.
+        hot_key: u64,
+        /// Per-mille of commands sent to `hot_key` (0..=1000).
+        hot_permille: u32,
+    },
+}
+
+impl WorkloadSpec {
+    /// A small uniform spec suitable for tests.
+    pub fn uniform() -> WorkloadSpec {
+        WorkloadSpec::Uniform { keys: 4096 }
+    }
+}
+
+/// SplitMix64: the workload generator's deterministic bit source.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The fixed key → group map: a hash partition of the key space.
+///
+/// Hashing (rather than range-splitting) keeps adjacent keys on different
+/// groups, so even strongly clustered key streams spread out unless they
+/// repeat a *single* key — which is exactly what
+/// [`WorkloadSpec::HotShard`] models.
+pub fn group_of_key(key: u64, groups: usize) -> usize {
+    debug_assert!(groups > 0);
+    let mut s = key ^ 0xD6E8_FEB8_6659_FD93;
+    (splitmix64(&mut s) % groups as u64) as usize
+}
+
+/// A workload partitioned over `groups` command backlogs.
+#[derive(Clone, Debug)]
+pub struct PartitionedWorkload {
+    /// Per-group command backlogs, each in global submission order.
+    pub backlogs: Vec<Vec<Value>>,
+    /// Group of command id `i` (index 0 unused: ids are 1-based).
+    pub group_of: Vec<u32>,
+}
+
+impl PartitionedWorkload {
+    /// Total commands across all groups.
+    pub fn total(&self) -> usize {
+        self.group_of.len().saturating_sub(1)
+    }
+}
+
+/// Draws `total` keys from `spec` (seeded by `seed`), assigns each command
+/// a dense 1-based id, and routes it to its group.
+pub fn partition(
+    spec: &WorkloadSpec,
+    seed: u64,
+    total: usize,
+    groups: usize,
+) -> PartitionedWorkload {
+    assert!(groups > 0, "need at least one group");
+    let mut state = seed ^ 0x5EED_CAFE_F00D_D00D;
+    // Zipf inverse-CDF table, built once. `cdf[i]` is the cumulative
+    // probability of ranks 0..=i.
+    let cdf: Vec<f64> = match spec {
+        WorkloadSpec::Zipf { keys, s } => {
+            let k = (*keys).max(1) as usize;
+            let mut weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*s)).collect();
+            let sum: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &mut weights {
+                acc += *w / sum;
+                *w = acc;
+            }
+            weights
+        }
+        _ => Vec::new(),
+    };
+    let mut backlogs: Vec<Vec<Value>> = vec![Vec::new(); groups];
+    let mut group_of: Vec<u32> = Vec::with_capacity(total + 1);
+    group_of.push(u32::MAX); // id 0 is reserved
+    for id in 1..=total as u64 {
+        let key = match spec {
+            WorkloadSpec::Uniform { keys } => splitmix64(&mut state) % (*keys).max(1),
+            WorkloadSpec::Zipf { keys, .. } => {
+                let u = unit(&mut state);
+                let rank = cdf.partition_point(|&c| c < u);
+                (rank as u64).min(keys.saturating_sub(1))
+            }
+            WorkloadSpec::HotShard {
+                keys,
+                hot_key,
+                hot_permille,
+            } => {
+                if splitmix64(&mut state) % 1000 < *hot_permille as u64 {
+                    *hot_key
+                } else {
+                    splitmix64(&mut state) % (*keys).max(1)
+                }
+            }
+        };
+        let g = group_of_key(key, groups);
+        backlogs[g].push(Value(id));
+        group_of.push(g as u32);
+    }
+    PartitionedWorkload { backlogs, group_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_deterministic() {
+        let spec = WorkloadSpec::Zipf {
+            keys: 1024,
+            s: 0.99,
+        };
+        let a = partition(&spec, 7, 500, 8);
+        let b = partition(&spec, 7, 500, 8);
+        assert_eq!(a.backlogs, b.backlogs);
+        assert_eq!(a.group_of, b.group_of);
+        let c = partition(&spec, 8, 500, 8);
+        assert_ne!(a.backlogs, c.backlogs, "seed must matter");
+    }
+
+    #[test]
+    fn every_command_lands_in_exactly_one_group() {
+        let pw = partition(&WorkloadSpec::uniform(), 3, 1000, 5);
+        assert_eq!(pw.total(), 1000);
+        let spread: usize = pw.backlogs.iter().map(Vec::len).sum();
+        assert_eq!(spread, 1000);
+        for (g, backlog) in pw.backlogs.iter().enumerate() {
+            for v in backlog {
+                assert_eq!(pw.group_of[v.0 as usize] as usize, g);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_spread_is_roughly_even() {
+        let pw = partition(&WorkloadSpec::uniform(), 1, 10_000, 4);
+        for backlog in &pw.backlogs {
+            assert!(
+                (2_000..3_000).contains(&backlog.len()),
+                "skewed uniform spread: {}",
+                backlog.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hot_shard_concentrates_on_one_group() {
+        let spec = WorkloadSpec::HotShard {
+            keys: 4096,
+            hot_key: 42,
+            hot_permille: 800,
+        };
+        let pw = partition(&spec, 9, 10_000, 8);
+        let hot = group_of_key(42, 8);
+        assert!(
+            pw.backlogs[hot].len() > 8_000,
+            "hot group got only {} of 10k",
+            pw.backlogs[hot].len()
+        );
+    }
+
+    #[test]
+    fn zipf_is_more_skewed_than_uniform() {
+        let max_of = |spec: &WorkloadSpec| {
+            partition(spec, 5, 10_000, 8)
+                .backlogs
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap()
+        };
+        let uni = max_of(&WorkloadSpec::Uniform { keys: 4096 });
+        let zipf = max_of(&WorkloadSpec::Zipf { keys: 4096, s: 1.2 });
+        assert!(
+            zipf > uni,
+            "zipf max group {zipf} should exceed uniform max group {uni}"
+        );
+    }
+
+    #[test]
+    fn key_hash_covers_all_groups() {
+        let mut seen = [false; 16];
+        for key in 0..1000 {
+            seen[group_of_key(key, 16)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -20,9 +20,20 @@
 //! `DecidedMany` message per follower — amortized over `batch` log
 //! entries. `batch = 1` (the default) takes the exact single-write wire
 //! path and is schedule-identical to the pre-batching implementation; the
-//! golden-schedule tests pin that. Recovery is untouched: takeover scans
-//! see batched entries as ordinary per-instance slot registers, and
-//! recovered values are always re-proposed one instance at a time.
+//! golden-schedule tests pin that. Takeover scans see batched entries as
+//! ordinary per-instance slot registers; runs of *consecutive* recovered
+//! instances are re-committed as one scatter-gather round (each instance
+//! still carries its own highest-accepted value, so Paxos safety is
+//! untouched), and followers apply a `DecidedMany` batch in one pass —
+//! one log resize, one decided-prefix walk and one decision mark per
+//! batch rather than per entry.
+//!
+//! **Sharded service hooks.** A node may also receive commands at run time
+//! ([`Msg::Submit`], routed by the sharded service layer in
+//! [`crate::sharded`]) and may carry *observers* — actors outside the
+//! replica ring (the sharded router) that receive the same decision
+//! notifications followers do. Both default to off and change nothing for
+//! single-group deployments.
 //!
 //! Failure handling: when Ω nominates a new leader, it runs the full
 //! three-step acquisition (permission grab, ballot write, **whole-log slot
@@ -42,6 +53,9 @@ use crate::protected::{slot_reg, REGION};
 use crate::types::{Ballot, Instance, Msg, PaxSlot, Pid, RegVal, Value};
 
 const RETRY_TAG: u64 = 50;
+
+/// Max scan-row buffers kept in the per-node scratch pool.
+const SLOT_POOL_CAP: usize = 8;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum StepKind {
@@ -77,6 +91,10 @@ pub struct SmrNode {
     me: Pid,
     procs: Vec<Pid>,
     mems: Vec<ActorId>,
+    /// Actors outside the replica ring (e.g. the sharded router) that also
+    /// receive `Decided`/`DecidedMany` notifications from this node when it
+    /// commits as leader.
+    observers: Vec<ActorId>,
     f_m: usize,
     retry_every: Duration,
     /// Max log entries committed per replicated write (≥ 1).
@@ -116,6 +134,11 @@ pub struct SmrNode {
     /// In-flight op → (attempt, memory, step). Linear small-vec for the
     /// same reason; at most a few entries per memory.
     op_map: Vec<(rdma_sim::OpId, (u64, ActorId, StepKind))>,
+    /// Scratch pool for takeover-scan row buffers (the swmr recycle
+    /// pattern): `Vec<ScannedSlot>` capacity is returned here when a round
+    /// ends instead of being dropped, so repeated takeover scans stop
+    /// allocating per response.
+    spare_slots: Vec<Vec<ScannedSlot>>,
     /// `(instance, time)` each log slot was decided at this node, in
     /// decision order (instance order under a stable leader).
     pub decided_at: Vec<(u64, Time)>,
@@ -139,6 +162,7 @@ impl SmrNode {
             me,
             procs,
             mems,
+            observers: Vec::new(),
             f_m,
             retry_every,
             batch: 1,
@@ -160,6 +184,7 @@ impl SmrNode {
             proposing_own: false,
             iters: Vec::new(),
             op_map: Vec::new(),
+            spare_slots: Vec::new(),
             decided_at: Vec::new(),
         }
     }
@@ -169,6 +194,15 @@ impl SmrNode {
     /// exactly, down to the wire.
     pub fn with_batch(mut self, batch: usize) -> SmrNode {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Registers an observer: an actor outside the replica ring that
+    /// receives this node's `Decided`/`DecidedMany` notifications when it
+    /// commits as leader (the sharded router tracks per-group commit
+    /// progress this way).
+    pub fn with_observer(mut self, observer: ActorId) -> SmrNode {
+        self.observers.push(observer);
         self
     }
 
@@ -199,6 +233,49 @@ impl SmrNode {
         self.mems.len() - self.f_m
     }
 
+    /// Fills `values` for the round starting at `self.instance`. Recovered
+    /// values (from the takeover scan) take precedence over new commands:
+    /// a run of *consecutive* recovered instances is re-committed as one
+    /// batch — each instance still carries its own highest-accepted value,
+    /// so this is ordinary per-instance Paxos phase 2, just amortized onto
+    /// one scatter-gather write. Fresh commands fill a batch but stop
+    /// before any recovered instance (which must head its own round). When
+    /// neither is available but the caller decided to propose anyway (a
+    /// hole below pending recovered values), a no-op fills the slot.
+    fn fill_values(&mut self) {
+        self.values.clear();
+        if self.recover.contains_key(&self.instance) {
+            self.proposing_own = false;
+            for j in 0..self.batch as u64 {
+                match self.recover.get(&(self.instance + j)) {
+                    Some((_, v)) => self.values.push(*v),
+                    None => break,
+                }
+            }
+        } else {
+            self.proposing_own = true;
+            let available = self.workload.len() - self.next_cmd;
+            for j in 0..self.batch.min(available) {
+                // A recovered value downstream ends the batch: it must
+                // head its own round.
+                if self.recover.contains_key(&(self.instance + j as u64)) {
+                    break;
+                }
+                self.values.push(self.workload[self.next_cmd + j]);
+            }
+            if self.values.is_empty() {
+                // No command of our own: commit a no-op filler.
+                self.values.push(Value(u64::MAX));
+            }
+        }
+    }
+
+    /// Whether the takeover scan left values at or above the current
+    /// instance still waiting to be re-committed.
+    fn recovery_pending(&self) -> bool {
+        self.recover.range(self.instance..).next_back().is_some()
+    }
+
     /// Picks the next undecided instance and proposes (leader only).
     fn drive(&mut self, ctx: &mut Context<'_, Msg>) {
         if !self.is_leader || self.phase != Phase::Idle {
@@ -208,41 +285,25 @@ impl SmrNode {
         while self.decided(self.instance).is_some() {
             self.instance += 1;
         }
-        if self.next_cmd >= self.workload.len() && self.holds_permission {
-            // Nothing left to propose; stay quiet. (A fuller system would
-            // no-op-fill holes; our workload model always proposes.)
+        if self.next_cmd >= self.workload.len() && self.holds_permission && !self.recovery_pending()
+        {
+            // Nothing left to propose and nothing to recover; stay quiet.
+            // (A fuller system would no-op-fill holes; our workload model
+            // always proposes.) Without the recovery check a leader whose
+            // own workload drained — e.g. a sharded follower promoted
+            // before the router re-submits — would stall mid-recovery.
             return;
         }
         self.attempt += 1;
-        self.iters.clear();
+        self.reset_iters();
         if self.holds_permission {
-            // Steady state: straight to phase 2. Recovered values (from
-            // the takeover scan) take precedence over new commands and are
-            // always re-proposed singly; fresh commands fill a batch.
+            // Steady state: straight to phase 2.
             let b = Ballot {
                 round: self.epoch,
                 pid: self.me,
             };
             self.ballot = Some(b);
-            self.values.clear();
-            match self.recover.get(&self.instance) {
-                Some((_, v)) => {
-                    self.values.push(*v);
-                    self.proposing_own = false;
-                }
-                None => {
-                    self.proposing_own = true;
-                    let available = self.workload.len() - self.next_cmd;
-                    for j in 0..self.batch.min(available) {
-                        // A recovered value downstream ends the batch: it
-                        // must head its own round.
-                        if self.recover.contains_key(&(self.instance + j as u64)) {
-                            break;
-                        }
-                        self.values.push(self.workload[self.next_cmd + j]);
-                    }
-                }
-            }
+            self.fill_values();
             self.phase = Phase::Two;
             self.send_phase2(ctx);
             return;
@@ -273,10 +334,25 @@ impl SmrNode {
         }
     }
 
+    /// Ends the current round's per-memory progress, returning scan-row
+    /// buffers to the scratch pool instead of dropping them.
+    fn reset_iters(&mut self) {
+        let mut iters = std::mem::take(&mut self.iters);
+        for (_, it) in iters.drain(..) {
+            if let Some(mut s) = it.slots {
+                if self.spare_slots.len() < SLOT_POOL_CAP {
+                    s.clear();
+                    self.spare_slots.push(s);
+                }
+            }
+        }
+        self.iters = iters;
+    }
+
     fn send_phase2(&mut self, ctx: &mut Context<'_, Msg>) {
         let b = self.ballot.expect("phase 2 without ballot");
         assert!(!self.values.is_empty(), "phase 2 without values");
-        self.iters.clear();
+        self.reset_iters();
         for i in 0..self.mems.len() {
             let mem = self.mems[i];
             self.iters.push((mem, MemIter::default()));
@@ -351,22 +427,7 @@ impl SmrNode {
             self.abandon();
             return;
         }
-        self.values.clear();
-        match self.recover.get(&self.instance) {
-            Some((_, v)) => {
-                self.values.push(*v);
-                self.proposing_own = false;
-            }
-            None => {
-                self.proposing_own = true;
-                self.values.push(if self.next_cmd < self.workload.len() {
-                    self.workload[self.next_cmd]
-                } else {
-                    // No command of our own: commit a no-op filler.
-                    Value(u64::MAX)
-                });
-            }
-        }
+        self.fill_values();
         // The acquisition succeeded on a quorum; phase-2 writes will tell
         // us if anyone raced us.
         self.holds_permission = true;
@@ -392,15 +453,17 @@ impl SmrNode {
         assert!(!self.values.is_empty(), "phase 2 without values");
         let first = self.instance;
         let values = std::mem::take(&mut self.values);
-        for (j, &v) in values.iter().enumerate() {
-            self.settle(ctx, first + j as u64, v);
-            if self.proposing_own && v != Value(u64::MAX) {
-                self.next_cmd += 1;
-            }
+        self.settle_many(ctx, first, &values);
+        if self.proposing_own {
+            self.next_cmd += values.iter().filter(|&&v| v != Value(u64::MAX)).count();
         }
         self.phase = Phase::Idle;
-        for i in 0..self.procs.len() {
-            let q = self.procs[i];
+        for i in 0..self.procs.len() + self.observers.len() {
+            let q = if i < self.procs.len() {
+                self.procs[i]
+            } else {
+                self.observers[i - self.procs.len()]
+            };
             if q == self.me {
                 continue;
             }
@@ -437,6 +500,34 @@ impl SmrNode {
                 self.prefix_len += 1;
             }
             self.decided_at.push((instance, ctx.now()));
+            ctx.mark_decided();
+        }
+    }
+
+    /// Applies a contiguous decided run `first .. first + values.len()` in
+    /// one pass: one log resize, one decided-prefix walk and one decision
+    /// mark for the whole batch, instead of per-entry bookkeeping. Slots
+    /// already decided (a raced `Decided` from another path) are skipped,
+    /// exactly as per-entry [`SmrNode::settle`] would.
+    fn settle_many(&mut self, ctx: &mut Context<'_, Msg>, first: u64, values: &[Value]) {
+        let end = first as usize + values.len();
+        if end > self.slots.len() {
+            self.slots.resize(end, None);
+        }
+        self.decided_at.reserve(values.len());
+        let mut any_new = false;
+        for (j, &v) in values.iter().enumerate() {
+            let idx = first as usize + j;
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(v);
+                self.decided_at.push((idx as u64, ctx.now()));
+                any_new = true;
+            }
+        }
+        if any_new {
+            while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
+                self.prefix_len += 1;
+            }
             ctx.mark_decided();
         }
     }
@@ -487,19 +578,23 @@ impl Actor<Msg> for SmrNode {
                     (StepKind::Write1, MemResponse::Ack) => iter.write1 = Some(true),
                     (StepKind::Write1, _) => iter.write1 = Some(false),
                     (StepKind::Scan, MemResponse::Range(rows)) => {
-                        iter.slots = Some(
-                            rows.into_iter()
-                                .filter_map(|(reg, v)| match v {
-                                    RegVal::Slot(s) => Some(ScannedSlot {
-                                        instance: reg.a,
-                                        slot: s,
-                                    }),
-                                    _ => None,
-                                })
-                                .collect(),
-                        );
+                        // Reuse a pooled row buffer: takeover scans arrive
+                        // once per memory per attempt and their capacity
+                        // recurs, so the pool makes them allocation-free
+                        // once warm.
+                        let mut slots = self.spare_slots.pop().unwrap_or_default();
+                        slots.extend(rows.into_iter().filter_map(|(reg, v)| match v {
+                            RegVal::Slot(s) => Some(ScannedSlot {
+                                instance: reg.a,
+                                slot: s,
+                            }),
+                            _ => None,
+                        }));
+                        iter.slots = Some(slots);
                     }
-                    (StepKind::Scan, _) => iter.slots = Some(Vec::new()),
+                    (StepKind::Scan, _) => {
+                        iter.slots = Some(self.spare_slots.pop().unwrap_or_default())
+                    }
                     (StepKind::Write2, MemResponse::Ack) => iter.write2 = Some(true),
                     (StepKind::Write2, _) => iter.write2 = Some(false),
                 }
@@ -522,9 +617,19 @@ impl Actor<Msg> for SmrNode {
                 msg: Msg::DecidedMany { first, values },
                 ..
             } => {
-                for (j, &v) in values.iter().enumerate() {
-                    self.settle(ctx, first.0 + j as u64, v);
+                self.settle_many(ctx, first.0, &values);
+                if self.is_leader && self.phase == Phase::Idle {
+                    self.drive(ctx);
                 }
+            }
+            EventKind::Msg {
+                msg: Msg::Submit { mut cmds },
+                ..
+            } => {
+                // Routed client commands (sharded service): append to the
+                // proposal workload and, if we lead and are idle, propose
+                // immediately.
+                self.workload.append(&mut cmds);
                 if self.is_leader && self.phase == Phase::Idle {
                     self.drive(ctx);
                 }
@@ -661,6 +766,138 @@ mod tests {
         assert_eq!(l1[..common], l2[..common]);
         // The crashed leader's first batch survived the takeover scan.
         assert_eq!(l1[0], Value(1000));
+    }
+
+    #[test]
+    fn takeover_recommits_consecutive_recovered_entries_in_one_round() {
+        // The leader's first batch lands on the memories but the leader
+        // crashes before learning; the successor's takeover scan recovers
+        // all four entries and re-commits them as ONE scatter-gather round.
+        let (mut sim, procs, _) = build_batched(3, 3, 4, 4, 4);
+        sim.crash_at(ActorId(0), Time::from_delays(2));
+        sim.announce_leader(Time::from_delays(20), &procs, ActorId(1));
+        sim.run_until(Time::from_delays(2000), |s| {
+            s.actor_as::<SmrNode>(procs[1]).unwrap().log_len() >= 8
+        });
+        let l1 = sim.actor_as::<SmrNode>(procs[1]).unwrap();
+        let log = l1.log();
+        assert_eq!(
+            &log[..4],
+            &[Value(1000), Value(1001), Value(1002), Value(1003)],
+            "crashed leader's batch survived"
+        );
+        let at = |inst: u64| {
+            l1.decided_at
+                .iter()
+                .find(|&&(i, _)| i == inst)
+                .expect("instance decided")
+                .1
+        };
+        // A single decision timestamp covers instances 0..4 on the new
+        // leader: the recovery was batched, not one instance at a time.
+        for i in 1..4 {
+            assert_eq!(at(i), at(0), "instance {i} recovered in a later round");
+        }
+        // The successor's own four commands follow in the next rounds.
+        assert_eq!(
+            &log[4..8],
+            &(0..4).map(|c| Value(2000 + c)).collect::<Vec<_>>()[..]
+        );
+    }
+
+    #[test]
+    fn submitted_commands_are_proposed_and_batched() {
+        // Nodes start with empty workloads; a scripted Submit supplies the
+        // leader's commands at run time (the sharded router's path).
+        let (mut sim, procs, _) = build_batched(3, 3, 1, 0, 4);
+        sim.schedule(
+            Time::from_delays(5),
+            procs[0],
+            EventKind::Msg {
+                from: ActorId(99),
+                msg: Msg::Submit {
+                    cmds: vec![Value(7), Value(8), Value(9)],
+                },
+            },
+        );
+        sim.run_until(Time::from_delays(100), |s| {
+            s.actor_as::<SmrNode>(procs[0]).unwrap().log_len() >= 3
+        });
+        let leader = sim.actor_as::<SmrNode>(procs[0]).unwrap();
+        assert_eq!(leader.log(), vec![Value(7), Value(8), Value(9)]);
+        // All three commands fit one batch: one shared decision timestamp.
+        assert_eq!(leader.decided_at.len(), 3);
+        let t0 = leader.decided_at[0].1;
+        assert!(leader.decided_at.iter().all(|&(_, t)| t == t0));
+    }
+
+    /// Records decision notifications, standing in for the sharded router.
+    struct Observer {
+        decided: Vec<(u64, Vec<Value>)>,
+    }
+    impl simnet::Actor<Msg> for Observer {
+        fn on_event(&mut self, _ctx: &mut simnet::Context<'_, Msg>, ev: EventKind<Msg>) {
+            match ev {
+                EventKind::Msg {
+                    msg: Msg::Decided { instance, value },
+                    ..
+                } => self.decided.push((instance.0, vec![value])),
+                EventKind::Msg {
+                    msg: Msg::DecidedMany { first, values },
+                    ..
+                } => self.decided.push((first.0, values)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn observers_receive_decision_notifications() {
+        let n = 3u32;
+        let m = 3u32;
+        let mut sim = Simulation::new(9);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let observer_id = ActorId(n + m);
+        for i in 0..n {
+            let workload: Vec<Value> = (0..6).map(|c| Value(1000 * (i as u64 + 1) + c)).collect();
+            sim.add(
+                SmrNode::new(
+                    ActorId(i),
+                    procs.clone(),
+                    mems.clone(),
+                    ActorId(0),
+                    workload,
+                    1,
+                    Duration::from_delays(25),
+                )
+                .with_batch(3)
+                .with_observer(observer_id),
+            );
+        }
+        for _ in 0..m {
+            sim.add(memory_actor(ActorId(0)));
+        }
+        let obs = sim.add(Observer {
+            decided: Vec::new(),
+        });
+        assert_eq!(obs, observer_id);
+        sim.run_until(Time::from_delays(200), |s| {
+            s.actor_as::<Observer>(obs)
+                .unwrap()
+                .decided
+                .iter()
+                .map(|(_, vs)| vs.len())
+                .sum::<usize>()
+                >= 6
+        });
+        let observer = sim.actor_as::<Observer>(obs).unwrap();
+        let seen: Vec<Value> = observer
+            .decided
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        assert_eq!(seen, (0..6).map(|c| Value(1000 + c)).collect::<Vec<_>>());
     }
 
     #[test]

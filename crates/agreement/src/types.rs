@@ -238,6 +238,14 @@ pub enum Msg {
         /// The decided values, in instance order.
         values: Vec<Value>,
     },
+    /// A batch of client commands routed to a group leader by the sharded
+    /// service's router ([`crate::sharded`]). The receiving replica appends
+    /// them to its proposal workload; commands are committed at-least-once
+    /// (the router re-submits in-flight commands on failover).
+    Submit {
+        /// The routed commands, in submission order.
+        cmds: Vec<Value>,
+    },
 }
 
 impl MemEmbed<RegVal> for Msg {

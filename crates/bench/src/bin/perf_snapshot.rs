@@ -1,7 +1,12 @@
 //! Headless perf-trajectory recorder: runs the E10 cost table, the E10b
-//! replicated-log workload, and a kernel queue-stress microbench on both
-//! kernel profiles, then writes machine-readable `BENCH_PR1.json` at the
-//! repo root.
+//! replicated-log workload, the sharded multi-group log service at
+//! G ∈ {1, 4, 16, 64}, and a kernel queue-stress microbench on both kernel
+//! profiles, then writes machine-readable `BENCH_PR2.json` at the repo
+//! root — and gates against the newest prior `BENCH_PR*.json` (same
+//! workload size): >10% worsening of a deterministic virtual-time metric
+//! or >50% wall-clock entries/sec drop exits non-zero; wall-clock drops
+//! of 10–50% warn (cross-machine noise band). `PERF_GATE=strict` fails
+//! the whole >10% band, `warn` never fails, `off` skips the gate.
 //!
 //! Reported quantities:
 //!
@@ -33,12 +38,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use agreement::harness::{
-    run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, run_robust_backup, run_smr,
-    RunReport, Scenario, SmrRunReport,
+    run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, run_robust_backup, run_sharded,
+    run_smr, RunReport, Scenario, ShardedRunReport, ShardedScenario, SmrRunReport,
 };
+use agreement::sharded::WorkloadSpec;
 use simnet::{
     Actor, ActorId, Context, DelayModel, Duration, EventKind, KernelProfile, Simulation, Time,
 };
+
+/// This snapshot's PR number (names the output file and anchors the gate).
+const PR: u32 = 2;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -82,6 +91,17 @@ impl Measured {
     }
 }
 
+/// Measured runs repeat `trials()` times and keep the fastest: the gate
+/// compares against a committed snapshot from a possibly quieter moment,
+/// so each configuration's noise *floor* is the comparable quantity.
+fn trials() -> usize {
+    std::env::var("PERF_SNAPSHOT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
 fn measure_smr(label: &'static str, kernel: KernelProfile, batch: usize, cmds: usize) -> Measured {
     let mut s = Scenario::common_case(3, 3, 5);
     s.kernel = kernel;
@@ -90,22 +110,106 @@ fn measure_smr(label: &'static str, kernel: KernelProfile, batch: usize, cmds: u
     // batched write round) plus slack, so the run measures the commit
     // pipeline rather than a post-workload timer tail.
     s.max_delays = 2 * (cmds as u64).div_ceil(batch as u64) + 50;
-    let before = ALLOCS.load(Ordering::Relaxed);
-    let start = Instant::now();
-    let report = run_smr(&s, cmds);
-    let wall_secs = start.elapsed().as_secs_f64();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
-    assert_eq!(
-        report.entries, cmds,
-        "{label}: workload did not fully commit"
-    );
-    assert!(report.logs_agree, "{label}: replicas diverged");
-    Measured {
-        label,
-        report,
-        wall_secs,
-        allocs,
+    let mut best: Option<Measured> = None;
+    for _ in 0..trials() {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let report = run_smr(&s, cmds);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            report.entries, cmds,
+            "{label}: workload did not fully commit"
+        );
+        assert!(report.logs_agree, "{label}: replicas diverged");
+        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+            best = Some(Measured {
+                label,
+                report,
+                wall_secs,
+                allocs,
+            });
+        }
     }
+    best.expect("at least one trial")
+}
+
+/// One measured sharded-service run.
+struct MeasuredShard {
+    label: String,
+    groups: usize,
+    report: ShardedRunReport,
+    wall_secs: f64,
+    allocs: u64,
+}
+
+impl MeasuredShard {
+    fn entries_per_sec(&self) -> f64 {
+        self.report.committed as f64 / self.wall_secs
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.report.events_dispatched as f64 / self.wall_secs
+    }
+}
+
+/// Runs the sharded service (n=3, m=3 per group) and asserts the run was
+/// complete and safe before reporting it.
+fn measure_sharded(
+    label: String,
+    kernel: KernelProfile,
+    groups: usize,
+    batch: usize,
+    window: usize,
+    workload: WorkloadSpec,
+    total_cmds: usize,
+) -> MeasuredShard {
+    let mut sc = ShardedScenario::common_case(groups, 3, 3, 5);
+    sc.kernel = kernel;
+    sc.batch = batch;
+    sc.window = window;
+    sc.workload = workload;
+    sc.total_cmds = total_cmds;
+    // Generous budget: the run stops at completion, not at the cap.
+    sc.max_delays = 8 * (total_cmds as u64) / (groups as u64 * batch as u64).max(1) + 5_000;
+    let mut best: Option<MeasuredShard> = None;
+    for _ in 0..trials() {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let report = run_sharded(&sc);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert!(report.all_committed, "{label}: workload did not complete");
+        assert!(report.all_logs_agree, "{label}: replica logs diverged");
+        assert!(report.no_cross_group_leak, "{label}: partition violated");
+        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+            best = Some(MeasuredShard {
+                label: label.clone(),
+                groups,
+                report,
+                wall_secs,
+                allocs,
+            });
+        }
+    }
+    best.expect("at least one trial")
+}
+
+fn sharded_json(m: &MeasuredShard) -> String {
+    format!(
+        "{{ \"label\": \"{}\", \"groups\": {}, \"entries\": {}, \"total_log_entries\": {}, \"wall_secs\": {:.6}, \"entries_per_sec\": {:.0}, \"committed_per_delay\": {:.3}, \"elapsed_delays\": {:.1}, \"events_dispatched\": {}, \"events_per_sec\": {:.0}, \"peak_queue_len\": {}, \"allocations\": {} }}",
+        m.label,
+        m.groups,
+        m.report.committed,
+        m.report.total_entries,
+        m.wall_secs,
+        m.entries_per_sec(),
+        m.report.committed_per_delay,
+        m.report.elapsed_delays,
+        m.report.events_dispatched,
+        m.events_per_sec(),
+        m.report.peak_queue_len,
+        m.allocs,
+    )
 }
 
 /// Queue-stress gossip: `n` actors, deep in-flight queues (tens of
@@ -283,6 +387,69 @@ fn main() {
     println!("  workload speedup (entries/sec, batch=8):  {speedup_b8:.2}x");
     println!("  workload speedup (entries/sec, batch=32): {speedup_b32:.2}x");
 
+    println!(
+        "\nperf_snapshot: sharded log service, {cmds} total commands (3x3 per group, batch=8)"
+    );
+    let mut sharded: Vec<MeasuredShard> = Vec::new();
+    for &groups in &[1usize, 4, 16, 64] {
+        for kernel in [KernelProfile::Legacy, KernelProfile::Optimized] {
+            let kname = match kernel {
+                KernelProfile::Legacy => "legacy",
+                KernelProfile::Optimized => "optimized",
+            };
+            sharded.push(measure_sharded(
+                format!("sharded_g{groups}_{kname}"),
+                kernel,
+                groups,
+                8,
+                0, // open loop: the max-throughput configuration
+                WorkloadSpec::uniform(),
+                cmds,
+            ));
+        }
+    }
+    // One closed-loop skewed config: the service-latency story.
+    let zipf = measure_sharded(
+        "sharded_g4_zipf_closed_loop".to_string(),
+        KernelProfile::Optimized,
+        4,
+        8,
+        16,
+        WorkloadSpec::Zipf {
+            keys: 4096,
+            s: 0.99,
+        },
+        cmds,
+    );
+    for m in sharded.iter().chain([&zipf]) {
+        println!(
+            "  {:<28} {:>11.0} entries/s {:>8.2} cmds/delay {:>10.0} events/s  peak-q {:>6} ({:.3}s)",
+            m.label,
+            m.entries_per_sec(),
+            m.report.committed_per_delay,
+            m.events_per_sec(),
+            m.report.peak_queue_len,
+            m.wall_secs,
+        );
+    }
+    let shard_of = |groups: usize, kernel: &str| {
+        sharded
+            .iter()
+            .find(|m| m.label == format!("sharded_g{groups}_{kernel}"))
+            .expect("measured")
+    };
+    let g1_ratio = shard_of(1, "optimized").entries_per_sec() / batched8.entries_per_sec();
+    println!("\n  G=1 open loop vs E10b batch=8 (entries/sec):  {g1_ratio:.2}x");
+    for &groups in &[1usize, 4, 16, 64] {
+        let speedup = shard_of(groups, "optimized").entries_per_sec()
+            / shard_of(groups, "legacy").entries_per_sec();
+        let scaling = shard_of(groups, "optimized").report.committed_per_delay
+            / shard_of(1, "optimized").report.committed_per_delay;
+        println!(
+            "  G={groups:<2} kernel speedup {speedup:.2}x, virtual-time scaling {scaling:.2}x vs G=1"
+        );
+    }
+
     println!("\nperf_snapshot: kernel queue stress (gossip, deep in-flight queues)");
     let stress: Vec<StressResult> = vec![measure_stress(5_000, 40), measure_stress(20_000, 60)];
     for r in &stress {
@@ -299,7 +466,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bench-snapshot-v1\",\n");
-    json.push_str("  \"pr\": 1,\n");
+    let _ = writeln!(json, "  \"pr\": {PR},");
     json.push_str(&format!("  \"workload_commands\": {cmds},\n"));
     json.push_str("  \"e10_common_case\": [\n");
     let rows: Vec<String> = table
@@ -338,6 +505,51 @@ fn main() {
         "    \"speedup_entries_per_sec_batch32\": {speedup_b32:.3}"
     );
     json.push_str("  },\n");
+    json.push_str("  \"sharded_log\": {\n");
+    let _ = writeln!(json, "    \"total_commands\": {cmds},");
+    json.push_str("    \"configs\": [\n");
+    let rows: Vec<String> = sharded
+        .iter()
+        .chain([&zipf])
+        .map(|m| format!("      {}", sharded_json(m)))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"g1_open_loop_vs_e10b_batch8_ratio\": {g1_ratio:.3},"
+    );
+    let scaling: Vec<String> = [1usize, 4, 16, 64]
+        .iter()
+        .map(|&g| {
+            format!(
+                "\"g{g}\": {:.3}",
+                shard_of(g, "optimized").report.committed_per_delay
+                    / shard_of(1, "optimized").report.committed_per_delay
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "    \"scaling_committed_per_delay_vs_g1\": {{ {} }},",
+        scaling.join(", ")
+    );
+    let speedups: Vec<String> = [1usize, 4, 16, 64]
+        .iter()
+        .map(|&g| {
+            format!(
+                "\"g{g}\": {:.3}",
+                shard_of(g, "optimized").entries_per_sec()
+                    / shard_of(g, "legacy").entries_per_sec()
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "    \"kernel_speedup_entries_per_sec\": {{ {} }}",
+        speedups.join(", ")
+    );
+    json.push_str("  },\n");
     json.push_str("  \"kernel_queue_stress\": [\n");
     let rows: Vec<String> = stress
         .iter()
@@ -355,7 +567,71 @@ fn main() {
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]\n}\n");
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
-    std::fs::write(out, &json).expect("write BENCH_PR1.json");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = format!("{root}/BENCH_PR{PR}.json");
+    std::fs::write(&out, &json).expect("write bench snapshot");
     println!("\nwrote {out}");
+
+    // Per-PR regression gate (ROADMAP next-target (d)): compare against
+    // the newest prior snapshot. Two tiers, matching what each metric can
+    // prove:
+    //
+    // * Virtual-time metrics (committed_per_delay, delays_per_entry) are
+    //   deterministic per seed and machine-independent — any worsening
+    //   >10% is a real schedule regression and FAILS.
+    // * Wall-clock entries/sec swings tens of percent between runs for
+    //   byte-identical code on shared/virtualized hosts (measured on this
+    //   repo's own seed: 582k -> 362k entries/sec minutes apart), so
+    //   drops in the 10–50% band only WARN by default; >50% is beyond
+    //   plausible noise and FAILS. `PERF_GATE=strict` hard-fails the
+    //   whole >10% band (quiet same-machine comparisons); `warn` never
+    //   fails; `off` skips.
+    let gate_mode = std::env::var("PERF_GATE").unwrap_or_default();
+    if gate_mode == "off" {
+        println!("perf gate: PERF_GATE=off, skipping");
+        return;
+    }
+    match bench::gate::latest_prior_snapshot(std::path::Path::new(root), PR) {
+        None => println!("perf gate: no prior BENCH_PR*.json to compare against"),
+        Some((k, path)) => {
+            let prior = std::fs::read_to_string(&path).expect("read prior snapshot");
+            let prior_cmds = bench::gate::top_field(&prior, "workload_commands");
+            if prior_cmds != Some(cmds as f64) {
+                println!(
+                    "perf gate: BENCH_PR{k}.json measured {prior_cmds:?} commands, this run {cmds}; \
+                     snapshots are incomparable, skipping"
+                );
+                return;
+            }
+            let regs = bench::gate::regressions(&prior, &json, 0.10);
+            if regs.is_empty() {
+                println!("perf gate: no >10% regression vs BENCH_PR{k}.json");
+                return;
+            }
+            let mut failed = false;
+            for r in &regs {
+                let wall_clock = r.metric == "entries_per_sec";
+                let hard = !wall_clock || r.drop_frac > 0.50 || gate_mode == "strict";
+                failed |= hard && gate_mode != "warn";
+                println!(
+                    "perf gate: {} {} {}: {:.3} -> {:.3} ({:.1}% worse{})",
+                    if hard { "REGRESSION" } else { "warning" },
+                    r.label,
+                    r.metric,
+                    r.prior,
+                    r.current,
+                    100.0 * r.drop_frac,
+                    if hard {
+                        ""
+                    } else {
+                        "; within cross-machine wall-clock noise"
+                    },
+                );
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            println!("perf gate: no hard regression vs BENCH_PR{k}.json");
+        }
+    }
 }

@@ -31,6 +31,12 @@ pub struct MemoryActor<V, M> {
     /// scans) sort their rows, preserving the deterministic RegId-ordered
     /// responses an ordered map used to give.
     registers: HashMap<RegId, V>,
+    /// Scratch buffer for assembling range-read rows (the swmr
+    /// scratch-pool pattern): matching rows are collected and sorted here,
+    /// whose capacity persists across scans, then cloned once into the
+    /// wire payload — a single exact-size allocation per scan instead of
+    /// the collect-and-grow churn of building the payload directly.
+    row_scratch: Vec<(RegId, V)>,
     legal: LegalChange,
     _msg: PhantomData<M>,
 }
@@ -56,6 +62,7 @@ where
         MemoryActor {
             regions: BTreeMap::new(),
             registers: HashMap::new(),
+            row_scratch: Vec::new(),
             legal,
             _msg: PhantomData,
         }
@@ -113,18 +120,20 @@ where
             },
             MemRequest::ReadRange { region, within } => match self.regions.get(&region) {
                 Some((spec, perm)) if perm.allows_read(from) => {
-                    let mut rows: Vec<(RegId, V)> = self
-                        .registers
-                        .iter()
-                        .filter(|(r, _)| {
-                            spec.contains(**r) && within.is_none_or(|w| w.contains(**r))
-                        })
-                        .map(|(r, v)| (*r, v.clone()))
-                        .collect();
+                    let rows = &mut self.row_scratch;
+                    rows.clear();
+                    rows.extend(
+                        self.registers
+                            .iter()
+                            .filter(|(r, _)| {
+                                spec.contains(**r) && within.is_none_or(|w| w.contains(**r))
+                            })
+                            .map(|(r, v)| (*r, v.clone())),
+                    );
                     // RegId order, as the ordered register store used to
                     // produce: responses stay deterministic.
                     rows.sort_unstable_by_key(|(r, _)| *r);
-                    MemResponse::Range(rows)
+                    MemResponse::Range(rows.clone())
                 }
                 _ => MemResponse::Nak,
             },

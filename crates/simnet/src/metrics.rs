@@ -31,6 +31,11 @@ pub struct Metrics {
     pub mem_range_reads: u64,
     /// Permission-change operations submitted.
     pub perm_changes: u64,
+    /// Deepest the kernel event queue ever got, in scheduled events. Large
+    /// multi-group workloads (many actors, many in-flight messages) are
+    /// where queue depth — and the calendar queue's O(1) advantage over the
+    /// legacy heap — shows up; this exposes it to the perf snapshots.
+    pub peak_queue_len: u64,
     /// When each actor first reported a decision, in event order.
     decisions: BTreeMap<ActorId, Time>,
     /// When each actor reported aborting (Cheap Quorum panic path).

@@ -507,6 +507,10 @@ impl<M: 'static> Simulation<M> {
     /// Dispatches the next event. Returns false if the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
+        let depth = self.queue.len() as u64;
+        if depth > self.core.metrics.peak_queue_len {
+            self.core.metrics.peak_queue_len = depth;
+        }
         let Some(sched) = self.queue.pop() else {
             return false;
         };
@@ -922,6 +926,15 @@ mod tests {
         sim.run_to_quiescence(Time::from_delays(10));
         assert_eq!(sim.actor_as::<Churn>(a).unwrap().fired, 1);
         assert_eq!(sim.live_timers(), 0);
+    }
+
+    #[test]
+    fn peak_queue_len_is_recorded() {
+        let (mut sim, _, _) = build(5);
+        assert_eq!(sim.metrics().peak_queue_len, 0);
+        sim.run_to_quiescence(Time::from_delays(100));
+        // Both Start events were queued before the first dispatch.
+        assert!(sim.metrics().peak_queue_len >= 2);
     }
 
     #[test]
