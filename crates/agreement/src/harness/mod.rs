@@ -8,7 +8,9 @@
 use std::collections::BTreeMap;
 
 use sigsim::SigAuthority;
-use simnet::{ActorId, DelayModel, Duration, KernelProfile, Simulation, Time};
+use simnet::{
+    ActorId, DelayModel, Duration, KernelProfile, Metrics, ParSimulation, Simulation, Time,
+};
 
 use crate::aligned::{self, AlignedPaxosActor, MemoryMode};
 use crate::cheap_quorum::{self, CheapQuorumActor};
@@ -511,6 +513,18 @@ pub struct ShardedScenario {
     pub announce: Vec<(usize, usize, u64)>,
     /// Virtual-time budget, in delays.
     pub max_delays: u64,
+    /// Kernel partitions the deployment is split into. `1` (the default)
+    /// runs the monolithic kernel exactly as before. `> 1` runs the
+    /// partitioned parallel kernel ([`simnet::ParSimulation`]): groups are
+    /// placed in contiguous blocks via
+    /// [`GroupTopology::partition_of_group`] (each group's replicas and
+    /// memories co-located), the router on partition 0. The partition
+    /// count is part of the determinism contract — `(seed, partitions)`
+    /// pins the run bit-for-bit; `threads` never affects results.
+    pub partitions: usize,
+    /// Worker threads executing the partitioned kernel (ignored when
+    /// `partitions == 1`). Changes wall-clock time only, never the run.
+    pub threads: usize,
 }
 
 impl ShardedScenario {
@@ -531,6 +545,8 @@ impl ShardedScenario {
             crash_leaders: Vec::new(),
             announce: Vec::new(),
             max_delays: 50_000,
+            partitions: 1,
+            threads: 1,
         }
     }
 
@@ -593,8 +609,17 @@ pub struct ShardedRunReport {
     pub messages: u64,
     /// Memory operations issued.
     pub mem_ops: u64,
-    /// Deepest the kernel event queue got during the run.
+    /// Deepest any kernel event queue got during the run (on the
+    /// partitioned kernel: the max across partitions — there is no single
+    /// global queue; see `partition_peak_queue_lens` for the breakdown).
     pub peak_queue_len: u64,
+    /// Per-partition peak event-queue depths, indexed by partition (a
+    /// single entry on the monolithic kernel).
+    pub partition_peak_queue_lens: Vec<u64>,
+    /// Duplicate proposals suppressed by client-session dedup across all
+    /// replicas (the at-least-once failover re-submissions that did *not*
+    /// become duplicate log entries; 0 in failure-free runs).
+    pub duplicates_suppressed: u64,
 }
 
 /// Runs the sharded multi-group replicated-log service.
@@ -613,42 +638,93 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
         scenario.groups,
     );
     let group_of = workload.group_of.clone();
+    if scenario.partitions > 1 {
+        run_sharded_partitioned(scenario, &topo, workload, &group_of)
+    } else {
+        run_sharded_monolithic(scenario, &topo, workload, &group_of)
+    }
+}
+
+/// Builds one replica of group `g` for a sharded run (both kernel paths).
+fn sharded_node(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    backlog: &[Value],
+    g: usize,
+    i: usize,
+) -> SmrNode {
+    let procs = topo.procs(g);
+    let mems = topo.mems(g);
+    let leader = topo.initial_leader(g);
+    let f_m = (scenario.m.max(1) - 1) / 2;
+    // Open loop preloads the whole backlog into the initial leader;
+    // closed loop starts everyone empty and the router submits.
+    let preload = if scenario.window == 0 && i == 0 {
+        backlog.to_vec()
+    } else {
+        Vec::new()
+    };
+    SmrNode::new(
+        procs[i],
+        procs,
+        mems,
+        leader,
+        preload,
+        f_m,
+        Duration::from_delays(20),
+    )
+    .with_batch(scenario.batch)
+    .with_observer(topo.router())
+    .with_session_dedup()
+}
+
+/// Collects every replica's post-run state for the report reduction:
+/// per-group replica logs plus the total dedup-suppression count. One
+/// implementation for both kernel paths — `node` resolves a replica id on
+/// whichever view (monolithic `Simulation` or partitioned `ParActors`)
+/// the run finished on, so a new report field only needs wiring once.
+fn collect_replica_state(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    node: impl Fn(Pid) -> (Vec<Value>, u64),
+) -> (Vec<Vec<Vec<Value>>>, u64) {
+    let mut duplicates_suppressed = 0u64;
+    let logs = (0..scenario.groups)
+        .map(|g| {
+            topo.procs(g)
+                .iter()
+                .map(|&p| {
+                    let (log, dups) = node(p);
+                    duplicates_suppressed += dups;
+                    log
+                })
+                .collect()
+        })
+        .collect();
+    (logs, duplicates_suppressed)
+}
+
+/// The classic single-kernel path (`partitions == 1`); honours
+/// [`ShardedScenario::kernel`].
+fn run_sharded_monolithic(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    workload: sharded::PartitionedWorkload,
+    group_of: &[u32],
+) -> ShardedRunReport {
     let mut sim: Simulation<Msg> = Simulation::with_profile(scenario.seed, scenario.kernel);
     sim.set_default_delay(scenario.delay.clone());
-    let f_m = (scenario.m.max(1) - 1) / 2;
     for g in 0..scenario.groups {
-        let procs = topo.procs(g);
-        let mems = topo.mems(g);
-        let leader = topo.initial_leader(g);
-        for (i, &p) in procs.iter().enumerate() {
-            // Open loop preloads the whole backlog into the initial
-            // leader; closed loop starts everyone empty and the router
-            // submits.
-            let preload = if scenario.window == 0 && i == 0 {
-                workload.backlogs[g].clone()
-            } else {
-                Vec::new()
-            };
-            let node = SmrNode::new(
-                p,
-                procs.clone(),
-                mems.clone(),
-                leader,
-                preload,
-                f_m,
-                Duration::from_delays(20),
-            )
-            .with_batch(scenario.batch)
-            .with_observer(topo.router());
-            let id = sim.add(node);
-            debug_assert_eq!(id, p);
+        for i in 0..scenario.n {
+            let id = sim.add(sharded_node(scenario, topo, &workload.backlogs[g], g, i));
+            debug_assert_eq!(id, topo.procs(g)[i]);
         }
-        for &mem in &mems {
-            let id = sim.add(protected::memory_actor(leader));
+        for &mem in &topo.mems(g) {
+            let id = sim.add(protected::memory_actor(topo.initial_leader(g)));
             debug_assert_eq!(id, mem);
         }
     }
-    let router_id = sim.add(RouterActor::new(topo, workload, scenario.window));
+    let router_id = sim.add(RouterActor::new(*topo, workload, scenario.window));
     assert_eq!(router_id, topo.router(), "router must be the last actor");
 
     for &(g, t) in &scenario.crash_leaders {
@@ -666,17 +742,123 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
             .is_some_and(RouterActor::done)
     });
 
+    let (logs, duplicates_suppressed) = collect_replica_state(scenario, topo, |p| {
+        let node = sim.actor_as::<SmrNode>(p).expect("replica exists");
+        (node.log(), node.duplicates_suppressed())
+    });
     let router = sim
         .actor_as::<RouterActor>(router_id)
         .expect("router exists");
+    let peak = sim.metrics().peak_queue_len;
+    reduce_sharded(
+        scenario,
+        group_of,
+        router,
+        &logs,
+        duplicates_suppressed,
+        sim.now(),
+        sim.metrics(),
+        vec![peak],
+    )
+}
+
+/// The partitioned parallel path (`partitions > 1`): groups in contiguous
+/// partition blocks, router on partition 0, conservative-window execution
+/// on [`ShardedScenario::threads`] worker threads. Same seed + partition
+/// count ⇒ bit-identical reports for any thread count.
+fn run_sharded_partitioned(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    workload: sharded::PartitionedWorkload,
+    group_of: &[u32],
+) -> ShardedRunReport {
+    assert_eq!(
+        scenario.kernel,
+        KernelProfile::Optimized,
+        "the partitioned kernel has no legacy profile"
+    );
+    let lookahead = scenario.delay.min_delay();
+    assert!(
+        lookahead > Duration::ZERO,
+        "partitioned execution needs links with a positive minimum delay"
+    );
+    let parts = scenario.partitions.clamp(1, scenario.groups.max(1));
+    let mut sim: ParSimulation<Msg> = ParSimulation::new(scenario.seed, parts, lookahead);
+    sim.set_threads(scenario.threads);
+    sim.set_default_delay(scenario.delay.clone());
+    for g in 0..scenario.groups {
+        let part = topo.partition_of_group(g, parts);
+        for i in 0..scenario.n {
+            let id = sim.add_to(
+                part,
+                sharded_node(scenario, topo, &workload.backlogs[g], g, i),
+            );
+            debug_assert_eq!(id, topo.procs(g)[i]);
+        }
+        for &mem in &topo.mems(g) {
+            let id = sim.add_to(part, protected::memory_actor(topo.initial_leader(g)));
+            debug_assert_eq!(id, mem);
+        }
+    }
+    let router_id = sim.add_to(0, RouterActor::new(*topo, workload, scenario.window));
+    assert_eq!(router_id, topo.router(), "router must be the last actor");
+
+    for &(g, t) in &scenario.crash_leaders {
+        sim.crash_at(topo.initial_leader(g), Time::from_delays(t));
+    }
+    for &(g, i, t) in &scenario.announce {
+        let mut targets = topo.procs(g);
+        targets.push(topo.router());
+        sim.announce_leader(Time::from_delays(t), &targets, topo.procs(g)[i]);
+    }
+
+    let deadline = Time::from_delays(scenario.max_delays);
+    sim.run_until(deadline, |view| {
+        view.actor_as::<RouterActor>(router_id)
+            .is_some_and(RouterActor::done)
+    });
+
+    let elapsed = sim.now();
+    let metrics = sim.merged_metrics();
+    let partition_peaks = sim.partition_peak_queue_lens();
+    sim.with_actors(|view| {
+        let (logs, duplicates_suppressed) = collect_replica_state(scenario, topo, |p| {
+            let node = view.actor_as::<SmrNode>(p).expect("replica exists");
+            (node.log(), node.duplicates_suppressed())
+        });
+        let router = view
+            .actor_as::<RouterActor>(router_id)
+            .expect("router exists");
+        reduce_sharded(
+            scenario,
+            group_of,
+            router,
+            &logs,
+            duplicates_suppressed,
+            elapsed,
+            &metrics,
+            partition_peaks,
+        )
+    })
+}
+
+/// Reduces one sharded run's raw outcome (per-replica logs + the router's
+/// observations + merged kernel metrics) to a [`ShardedRunReport`]; shared
+/// by the monolithic and partitioned kernel paths.
+#[allow(clippy::too_many_arguments)]
+fn reduce_sharded(
+    scenario: &ShardedScenario,
+    group_of: &[u32],
+    router: &RouterActor,
+    replica_logs: &[Vec<Vec<Value>>],
+    duplicates_suppressed: u64,
+    elapsed: Time,
+    metrics: &Metrics,
+    partition_peak_queue_lens: Vec<u64>,
+) -> ShardedRunReport {
     let mut groups = Vec::with_capacity(scenario.groups);
     let mut no_cross_group_leak = true;
-    for g in 0..scenario.groups {
-        let logs: Vec<Vec<Value>> = topo
-            .procs(g)
-            .iter()
-            .map(|&p| sim.actor_as::<SmrNode>(p).expect("replica exists").log())
-            .collect();
+    for (g, logs) in replica_logs.iter().enumerate() {
         let longest = logs
             .iter()
             .max_by_key(|l| l.len())
@@ -702,7 +884,7 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
         });
     }
     let committed = router.committed_total();
-    let elapsed_delays = sim.now().as_delays();
+    let elapsed_delays = elapsed.as_delays();
     ShardedRunReport {
         total_entries: groups.iter().map(|g| g.entries).sum(),
         committed,
@@ -711,10 +893,12 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
         no_cross_group_leak,
         elapsed_delays,
         committed_per_delay: committed as f64 / elapsed_delays.max(f64::MIN_POSITIVE),
-        events_dispatched: sim.metrics().events_dispatched,
-        messages: sim.metrics().messages_sent,
-        mem_ops: sim.metrics().mem_ops(),
-        peak_queue_len: sim.metrics().peak_queue_len,
+        events_dispatched: metrics.events_dispatched,
+        messages: metrics.messages_sent,
+        mem_ops: metrics.mem_ops(),
+        peak_queue_len: partition_peak_queue_lens.iter().copied().max().unwrap_or(0),
+        partition_peak_queue_lens,
+        duplicates_suppressed,
         groups,
     }
 }

@@ -71,7 +71,7 @@ pub mod router;
 pub mod workload;
 
 pub use router::RouterActor;
-pub use workload::{group_of_key, partition, PartitionedWorkload, WorkloadSpec};
+pub use workload::{group_of_key, partition, sample_keys, PartitionedWorkload, WorkloadSpec};
 
 /// The fixed actor-id layout of a sharded deployment: `groups` blocks of
 /// `n` replicas + `m` memories, then the router.
@@ -123,6 +123,20 @@ impl GroupTopology {
         let i = a.0 as usize;
         let g = i / self.block();
         (g < self.groups && i % self.block() < self.n).then_some(g)
+    }
+
+    /// The kernel partition group `g` lives on when the deployment runs on
+    /// the partitioned kernel split `partitions` ways: groups are placed in
+    /// contiguous, balanced blocks so each group's replicas and memories
+    /// are always co-located (their dense intra-group traffic never crosses
+    /// a partition boundary), and group 0's block lands on partition 0 —
+    /// the partition that also hosts the router. Only router traffic
+    /// (`Submit` batches and decision observations, both ≥ one link delay)
+    /// crosses partitions, which is exactly what the kernel's lookahead
+    /// synchronization requires.
+    pub fn partition_of_group(&self, g: usize, partitions: usize) -> usize {
+        let parts = partitions.clamp(1, self.groups.max(1));
+        g * parts / self.groups.max(1)
     }
 }
 

@@ -13,10 +13,19 @@
 //! re-submits every in-flight (submitted, not yet observed committed)
 //! command of that group to the new leader. A command the crashed leader
 //! actually committed may therefore appear twice in the group's log —
-//! at-least-once delivery, the standard client-retry contract; real
-//! deployments dedup in the state machine. Latency and completion metrics
-//! count each command once, at its first observed commit, timed from its
-//! *first* submission (so failover stalls show up in the tail).
+//! at-least-once delivery, the standard client-retry contract; the state
+//! machine dedups. Latency and completion metrics count each command
+//! once, at its first observed commit, timed from its *first* submission
+//! (so failover stalls show up in the tail).
+//!
+//! **Session tagging.** Every command carries its client-session tag
+//! `(client_id, seq)` in the value itself: the router is the service's
+//! single client (`client_id` is implicitly 0) and the dense 1-based
+//! command id assigned by the workload generator is the session sequence
+//! number. Replicas with [`crate::smr::SmrNode::with_session_dedup`]
+//! enabled use that tag to suppress re-proposals of already-decided
+//! commands, upgrading the failover path to exactly-once application; the
+//! harness surfaces the count as `duplicates_suppressed`.
 
 use std::collections::VecDeque;
 

@@ -77,6 +77,63 @@ pub fn group_of_key(key: u64, groups: usize) -> usize {
     (splitmix64(&mut s) % groups as u64) as usize
 }
 
+/// The Zipf inverse-CDF table for `spec`, if it needs one. `cdf[i]` is
+/// the cumulative probability of ranks `0..=i`.
+fn zipf_cdf(spec: &WorkloadSpec) -> Vec<f64> {
+    match spec {
+        WorkloadSpec::Zipf { keys, s } => {
+            let k = (*keys).max(1) as usize;
+            let mut weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*s)).collect();
+            let sum: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &mut weights {
+                acc += *w / sum;
+                *w = acc;
+            }
+            weights
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Draws the next key of `spec`'s stream, advancing `state`. The single
+/// source of keys for both [`partition`] and [`sample_keys`], so the two
+/// always agree draw-for-draw.
+fn next_key(spec: &WorkloadSpec, cdf: &[f64], state: &mut u64) -> u64 {
+    match spec {
+        WorkloadSpec::Uniform { keys } => splitmix64(state) % (*keys).max(1),
+        WorkloadSpec::Zipf { keys, .. } => {
+            let u = unit(state);
+            let rank = cdf.partition_point(|&c| c < u);
+            (rank as u64).min(keys.saturating_sub(1))
+        }
+        WorkloadSpec::HotShard {
+            keys,
+            hot_key,
+            hot_permille,
+        } => {
+            if splitmix64(state) % 1000 < *hot_permille as u64 {
+                *hot_key
+            } else {
+                splitmix64(state) % (*keys).max(1)
+            }
+        }
+    }
+}
+
+/// The raw key stream `partition` routes: `total` keys drawn from `spec`,
+/// seeded by `seed`. Exposed so the generators' statistical contracts
+/// (seed determinism, Zipf head mass, hot-shard hit ratio) are testable
+/// directly; `partition(spec, seed, total, g)` assigns command id `i+1`
+/// the group `group_of_key(sample_keys(spec, seed, total)[i], g)`.
+pub fn sample_keys(spec: &WorkloadSpec, seed: u64, total: usize) -> Vec<u64> {
+    let mut state = seed ^ 0x5EED_CAFE_F00D_D00D;
+    let cdf = zipf_cdf(spec);
+    (0..total)
+        .map(|_| next_key(spec, &cdf, &mut state))
+        .collect()
+}
+
 /// A workload partitioned over `groups` command backlogs.
 #[derive(Clone, Debug)]
 pub struct PartitionedWorkload {
@@ -103,45 +160,12 @@ pub fn partition(
 ) -> PartitionedWorkload {
     assert!(groups > 0, "need at least one group");
     let mut state = seed ^ 0x5EED_CAFE_F00D_D00D;
-    // Zipf inverse-CDF table, built once. `cdf[i]` is the cumulative
-    // probability of ranks 0..=i.
-    let cdf: Vec<f64> = match spec {
-        WorkloadSpec::Zipf { keys, s } => {
-            let k = (*keys).max(1) as usize;
-            let mut weights: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*s)).collect();
-            let sum: f64 = weights.iter().sum();
-            let mut acc = 0.0;
-            for w in &mut weights {
-                acc += *w / sum;
-                *w = acc;
-            }
-            weights
-        }
-        _ => Vec::new(),
-    };
+    let cdf = zipf_cdf(spec);
     let mut backlogs: Vec<Vec<Value>> = vec![Vec::new(); groups];
     let mut group_of: Vec<u32> = Vec::with_capacity(total + 1);
     group_of.push(u32::MAX); // id 0 is reserved
     for id in 1..=total as u64 {
-        let key = match spec {
-            WorkloadSpec::Uniform { keys } => splitmix64(&mut state) % (*keys).max(1),
-            WorkloadSpec::Zipf { keys, .. } => {
-                let u = unit(&mut state);
-                let rank = cdf.partition_point(|&c| c < u);
-                (rank as u64).min(keys.saturating_sub(1))
-            }
-            WorkloadSpec::HotShard {
-                keys,
-                hot_key,
-                hot_permille,
-            } => {
-                if splitmix64(&mut state) % 1000 < *hot_permille as u64 {
-                    *hot_key
-                } else {
-                    splitmix64(&mut state) % (*keys).max(1)
-                }
-            }
-        };
+        let key = next_key(spec, &cdf, &mut state);
         let g = group_of_key(key, groups);
         backlogs[g].push(Value(id));
         group_of.push(g as u32);

@@ -44,7 +44,7 @@
 //! Multi-Paxos discipline that keeps a deposed leader's in-flight writes
 //! below every later term.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use rdma_sim::{MemResponse, MemoryClient, Permission};
 use simnet::{Actor, ActorId, Context, Duration, EventKind, Time};
@@ -103,6 +103,23 @@ pub struct SmrNode {
     /// Commands this node wants committed (its client workload).
     workload: Vec<Value>,
     next_cmd: usize,
+    /// Client-session dedup (sharded service): when enabled, a leader
+    /// skips proposing commands whose ids it has already seen decided —
+    /// the at-least-once duplicates a retrying client (the router) creates
+    /// by re-submitting in-flight commands on failover. Commands carry
+    /// their session tag in the value itself (the router's dense 1-based
+    /// command id = the single client's sequence number), so the seen-set
+    /// is just the decided ids.
+    dedup: bool,
+    /// Ids observed decided (populated only when `dedup` is on).
+    seen_cmds: HashSet<u64>,
+    /// Workload slots consumed by the in-flight round (proposed + skipped).
+    own_consumed: usize,
+    /// Duplicates skipped by the in-flight round.
+    own_suppressed: u64,
+    /// Total duplicate proposals suppressed over the run (committed
+    /// rounds only; abandoned rounds re-evaluate from scratch).
+    duplicates_suppressed: u64,
     /// Decided log entries, dense by instance (`None` = hole). Instances
     /// are contiguous from 0 in steady state, so a vector beats a map on
     /// the per-entry hot path; the log is the `Some`-prefix.
@@ -169,6 +186,11 @@ impl SmrNode {
             client: MemoryClient::new(),
             workload,
             next_cmd: 0,
+            dedup: false,
+            seen_cmds: HashSet::new(),
+            own_consumed: 0,
+            own_suppressed: 0,
+            duplicates_suppressed: 0,
             slots: Vec::new(),
             prefix_len: 0,
             is_leader: me == initial_leader,
@@ -195,6 +217,30 @@ impl SmrNode {
     pub fn with_batch(mut self, batch: usize) -> SmrNode {
         self.batch = batch.max(1);
         self
+    }
+
+    /// Enables client-session dedup: this node, when leading, suppresses
+    /// proposals of command ids it has already seen decided. Upgrades the
+    /// sharded router's at-least-once re-submission to exactly-once *in
+    /// the log* for the common failover path (a command committed by the
+    /// crashed leader, learned by the successor through its takeover
+    /// scan, then re-submitted by the router). A narrow race remains —
+    /// a command recovered-but-not-yet-recommitted can be proposed into
+    /// an earlier hole before its recovered copy settles — so the state
+    /// machine contract stays "observably exactly-once, log may rarely
+    /// duplicate"; [`SmrNode::duplicates_suppressed`] counts the
+    /// suppressions. Off by default: single-group deployments have no
+    /// retrying client, and dedup off reproduces the pre-dedup schedule
+    /// bit-for-bit.
+    pub fn with_session_dedup(mut self) -> SmrNode {
+        self.dedup = true;
+        self
+    }
+
+    /// Duplicate proposals suppressed so far (see
+    /// [`SmrNode::with_session_dedup`]).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
     }
 
     /// Registers an observer: an actor outside the replica ring that
@@ -254,17 +300,34 @@ impl SmrNode {
             }
         } else {
             self.proposing_own = true;
-            let available = self.workload.len() - self.next_cmd;
-            for j in 0..self.batch.min(available) {
+            self.own_consumed = 0;
+            self.own_suppressed = 0;
+            while self.values.len() < self.batch
+                && self.next_cmd + self.own_consumed < self.workload.len()
+            {
                 // A recovered value downstream ends the batch: it must
                 // head its own round.
-                if self.recover.contains_key(&(self.instance + j as u64)) {
+                if self
+                    .recover
+                    .contains_key(&(self.instance + self.values.len() as u64))
+                {
                     break;
                 }
-                self.values.push(self.workload[self.next_cmd + j]);
+                let v = self.workload[self.next_cmd + self.own_consumed];
+                self.own_consumed += 1;
+                // Session dedup: skip commands already seen decided (the
+                // router's at-least-once failover re-submissions). The
+                // skipped slot is still consumed from the workload — on
+                // commit, `next_cmd` advances past it.
+                if self.dedup && v != Value(u64::MAX) && self.seen_cmds.contains(&v.0) {
+                    self.own_suppressed += 1;
+                    continue;
+                }
+                self.values.push(v);
             }
             if self.values.is_empty() {
-                // No command of our own: commit a no-op filler.
+                // No command of our own (or all remaining were
+                // duplicates): commit a no-op filler.
                 self.values.push(Value(u64::MAX));
             }
         }
@@ -455,7 +518,14 @@ impl SmrNode {
         let values = std::mem::take(&mut self.values);
         self.settle_many(ctx, first, &values);
         if self.proposing_own {
-            self.next_cmd += values.iter().filter(|&&v| v != Value(u64::MAX)).count();
+            // Every consumed workload slot advances the cursor: proposed
+            // values equal consumed slots minus dedup-suppressed ones
+            // (without dedup the two counts coincide, reproducing the
+            // pre-dedup accounting exactly).
+            self.next_cmd += self.own_consumed;
+            self.duplicates_suppressed += self.own_suppressed;
+            self.own_consumed = 0;
+            self.own_suppressed = 0;
         }
         self.phase = Phase::Idle;
         for i in 0..self.procs.len() + self.observers.len() {
@@ -496,6 +566,9 @@ impl SmrNode {
         }
         if self.slots[idx].is_none() {
             self.slots[idx] = Some(v);
+            if self.dedup && v != Value(u64::MAX) {
+                self.seen_cmds.insert(v.0);
+            }
             while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
                 self.prefix_len += 1;
             }
@@ -520,6 +593,9 @@ impl SmrNode {
             let idx = first as usize + j;
             if self.slots[idx].is_none() {
                 self.slots[idx] = Some(v);
+                if self.dedup && v != Value(u64::MAX) {
+                    self.seen_cmds.insert(v.0);
+                }
                 self.decided_at.push((idx as u64, ctx.now()));
                 any_new = true;
             }

@@ -439,6 +439,12 @@ macro_rules! prop_assert_ne {
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    }};
 }
 
 /// Uniform choice between alternative strategies of a common value type.

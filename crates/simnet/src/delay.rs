@@ -45,6 +45,18 @@ impl DelayModel {
         DelayModel::Constant(Duration::DELAY)
     }
 
+    /// The smallest duration this model can ever sample — the conservative
+    /// *lookahead* bound the partitioned kernel ([`crate::ParSimulation`])
+    /// synchronizes on: events executed concurrently within a window of
+    /// this width cannot causally affect each other across partitions.
+    pub fn min_delay(&self) -> Duration {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, .. } => lo,
+            DelayModel::PartialSynchrony { lo, after, .. } => lo.min(after),
+        }
+    }
+
     /// Samples the in-flight duration for a message sent at `now`.
     pub fn sample(&self, now: Time, rng: &mut StdRng) -> Duration {
         match *self {

@@ -61,6 +61,19 @@
 //!   and differential testing: the golden-schedule suite asserts both
 //!   kernels produce bit-identical decisions, metrics, and traces.
 //!
+//! ## Partitioned parallel execution
+//!
+//! For workloads made of loosely-coupled actor clusters (the sharded SMR
+//! service's disjoint replication groups), [`ParSimulation`] splits the
+//! kernel into per-partition sub-kernels — each with its own calendar
+//! queue, timer table, metrics, and RNG stream — executed on a scoped
+//! thread pool under conservative window synchronization: partitions run
+//! independently for one *lookahead* (the minimum cross-partition link
+//! delay) of virtual time, then exchange staged cross-partition messages
+//! at a barrier in a fixed merge order. Results are bit-identical for any
+//! worker-thread count; see the [`partition`](ParSimulation) module docs
+//! for the protocol and the determinism argument.
+//!
 //! ## Example
 //!
 //! ```
@@ -88,6 +101,7 @@ mod delay;
 mod event;
 mod ids;
 mod metrics;
+mod partition;
 mod queue;
 mod sim;
 mod time;
@@ -98,6 +112,7 @@ pub use delay::DelayModel;
 pub use event::EventKind;
 pub use ids::{ActorId, TimerId};
 pub use metrics::Metrics;
+pub use partition::{ParActors, ParSimulation, Partitioning};
 pub use sim::{Context, DelayHook, KernelProfile, RunOutcome, Simulation};
 pub use time::{Duration, Time, TICKS_PER_DELAY};
 pub use trace::{Trace, TraceEntry};

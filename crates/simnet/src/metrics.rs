@@ -91,6 +91,37 @@ impl Metrics {
     pub fn mem_ops(&self) -> u64 {
         self.mem_reads + self.mem_writes + self.mem_range_reads + self.perm_changes
     }
+
+    /// Folds another partition's metrics into this record (the partitioned
+    /// kernel keeps one [`Metrics`] per sub-kernel and merges at the end):
+    /// event/message/memory counters sum; `peak_queue_len` takes the max —
+    /// under partitioning there is no single global queue, so the merged
+    /// value means "deepest any partition's queue got" and the per-partition
+    /// peaks are reported alongside it; decision and abort instants union,
+    /// keeping the earliest per actor (decisions are irrevocable).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.events_dispatched += other.events_dispatched;
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.timers_fired += other.timers_fired;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.mem_range_reads += other.mem_range_reads;
+        self.perm_changes += other.perm_changes;
+        self.peak_queue_len = self.peak_queue_len.max(other.peak_queue_len);
+        for (&actor, &at) in &other.decisions {
+            self.decisions
+                .entry(actor)
+                .and_modify(|t| *t = (*t).min(at))
+                .or_insert(at);
+        }
+        for (&actor, &at) in &other.aborts {
+            self.aborts
+                .entry(actor)
+                .and_modify(|t| *t = (*t).min(at))
+                .or_insert(at);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,11 @@ use crate::trace::Trace;
 /// This is how the Theorem 6.1 adversary delays a victim's writes while
 /// letting everything else flow: the asynchronous model permits *any* finite
 /// delay, so any hook-constructed schedule is a legal execution.
-pub type DelayHook<M> = Box<dyn Fn(Time, ActorId, ActorId, &M) -> Option<Duration>>;
+///
+/// Hooks are `Send` so kernel state can move onto worker threads in the
+/// partitioned kernel ([`crate::ParSimulation`]); adversary hooks capture
+/// only plain data, so this costs nothing in practice.
+pub type DelayHook<M> = Box<dyn Fn(Time, ActorId, ActorId, &M) -> Option<Duration> + Send>;
 
 /// Which kernel implementation a [`Simulation`] runs on.
 ///
@@ -49,7 +53,7 @@ pub enum KernelProfile {
 /// legacy kernel's `BTreeSet<TimerId>` leaked an entry per cancel-after-
 /// fire, growing without bound in long adversary runs).
 #[derive(Debug, Default)]
-struct TimerTable {
+pub(crate) struct TimerTable {
     gens: Vec<u32>,
     free: Vec<u32>,
 }
@@ -94,21 +98,54 @@ impl TimerTable {
     }
 }
 
-struct Core<M> {
-    profile: KernelProfile,
-    rng: StdRng,
-    metrics: Metrics,
-    trace: Trace,
-    default_delay: DelayModel,
-    link_overrides: BTreeMap<(ActorId, ActorId), DelayModel>,
-    delay_hook: Option<DelayHook<M>>,
+/// The per-kernel dispatch state shared by [`Simulation`] (one instance)
+/// and the partitioned kernel (one instance per partition, each with its
+/// own RNG stream): randomness, metrics, trace, link models, timers, and
+/// the pending-effects buffer a [`Context`] writes into.
+pub(crate) struct Core<M> {
+    pub(crate) profile: KernelProfile,
+    pub(crate) rng: StdRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) trace: Trace,
+    pub(crate) default_delay: DelayModel,
+    pub(crate) link_overrides: BTreeMap<(ActorId, ActorId), DelayModel>,
+    pub(crate) delay_hook: Option<DelayHook<M>>,
     /// Optimized-profile timers.
-    timers: TimerTable,
+    pub(crate) timers: TimerTable,
     /// Legacy-profile timers: monotone ids plus a cancellation set.
     timer_seq: u64,
     cancelled: BTreeSet<TimerId>,
     /// Events emitted by the currently-dispatching actor, applied afterwards.
-    pending: Vec<(Time, ActorId, EventKind<M>)>,
+    pub(crate) pending: Vec<(Time, ActorId, EventKind<M>)>,
+}
+
+impl<M> Core<M> {
+    /// A fresh dispatch core on `profile` drawing randomness from `rng`.
+    pub(crate) fn new(profile: KernelProfile, rng: StdRng) -> Core<M> {
+        Core {
+            profile,
+            rng,
+            metrics: Metrics::new(),
+            trace: Trace::new(),
+            default_delay: DelayModel::synchronous(),
+            link_overrides: BTreeMap::new(),
+            delay_hook: None,
+            timers: TimerTable::default(),
+            timer_seq: 0,
+            cancelled: BTreeSet::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Retires a timer slot on the optimized profile (used by partitioned
+    /// dispatch when dropping events to crashed actors).
+    pub(crate) fn retire_timer(&mut self, id: TimerId) -> bool {
+        if self.profile == KernelProfile::Legacy {
+            !self.cancelled.remove(&id)
+        } else {
+            self.timers.retire(id)
+        }
+    }
 }
 
 /// The handle through which an actor affects the simulated world during one
@@ -120,6 +157,12 @@ pub struct Context<'a, M> {
 }
 
 impl<'a, M> Context<'a, M> {
+    /// Builds the dispatch handle for one event delivery (kernel-internal;
+    /// both the monolithic and the partitioned kernel construct these).
+    pub(crate) fn new(me: ActorId, now: Time, core: &'a mut Core<M>) -> Context<'a, M> {
+        Context { me, now, core }
+    }
+
     /// The actor currently executing.
     pub fn me(&self) -> ActorId {
         self.me
@@ -326,19 +369,7 @@ impl<M: 'static> Simulation<M> {
             now: Time::ZERO,
             started: false,
             pending_scratch: Vec::new(),
-            core: Core {
-                profile,
-                rng: StdRng::seed_from_u64(seed),
-                metrics: Metrics::new(),
-                trace: Trace::new(),
-                default_delay: DelayModel::synchronous(),
-                link_overrides: BTreeMap::new(),
-                delay_hook: None,
-                timers: TimerTable::default(),
-                timer_seq: 0,
-                cancelled: BTreeSet::new(),
-                pending: Vec::new(),
-            },
+            core: Core::new(profile, StdRng::seed_from_u64(seed)),
         }
     }
 

@@ -64,6 +64,33 @@ fn main() {
         "  kernel: {} events, peak queue depth {}",
         r.events_dispatched, r.peak_queue_len
     );
+    println!(
+        "  failover duplicates suppressed: {}",
+        r.duplicates_suppressed
+    );
 
     assert!(r.all_committed && r.all_logs_agree && r.no_cross_group_leak);
+
+    // The same service on the partitioned parallel kernel: one partition
+    // per group, router on partition 0, and — the kernel's contract —
+    // bit-identical reports whether 1 or 2 worker threads execute it.
+    println!("\nsharded_log: partitioned kernel (4 partitions), thread sweep");
+    let mut base = sc.clone();
+    base.partitions = 4;
+    let mut single = base.clone();
+    single.threads = 1;
+    let r1 = run_sharded(&single);
+    let mut dual = base.clone();
+    dual.threads = 2;
+    let r2 = run_sharded(&dual);
+    for (label, rp) in [("threads=1", &r1), ("threads=2", &r2)] {
+        println!(
+            "  {label}: committed {} in {:.0} delays ({:.2} cmds/delay), \
+             partition queue peaks {:?}",
+            rp.committed, rp.elapsed_delays, rp.committed_per_delay, rp.partition_peak_queue_lens,
+        );
+    }
+    assert!(r1.all_committed && r1.all_logs_agree && r1.no_cross_group_leak);
+    assert_eq!(r1, r2, "thread count changed the partitioned run");
+    println!("  thread sweep: reports bit-identical across thread counts");
 }

@@ -108,6 +108,102 @@ fn per_group_safety_holds_under_crash_and_failover() {
 }
 
 #[test]
+fn partitioned_kernel_is_thread_count_invariant() {
+    // The tentpole differential: a fixed (seed, partitions) pins the run
+    // bit-for-bit; the worker-thread count must change wall-clock time
+    // only. Includes mid-stream leader crashes + failover in two groups,
+    // so the invariance covers re-submission, takeover scans, and dedup.
+    let mut sc = crashy_scenario(59);
+    sc.partitions = 4;
+    let reports: Vec<ShardedRunReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut s = sc.clone();
+            s.threads = threads;
+            run_sharded(&s)
+        })
+        .collect();
+    assert!(reports[0].all_committed, "{:?}", reports[0]);
+    assert!(reports[0].all_logs_agree && reports[0].no_cross_group_leak);
+    assert_reports_identical(&reports[0], &reports[1]);
+    assert_reports_identical(&reports[0], &reports[2]);
+}
+
+#[test]
+fn partitioned_kernel_is_thread_count_invariant_under_jitter() {
+    // Jittered links drive every partition's RNG stream on every send;
+    // thread-count invariance must survive that too (lookahead = the
+    // model's 1-delay minimum).
+    let mut sc = crashy_scenario(61);
+    sc.delay = DelayModel::Uniform {
+        lo: Duration::from_delays(1),
+        hi: Duration::from_delays(3),
+    };
+    sc.max_delays = 40_000;
+    sc.partitions = 2;
+    let mut a = sc.clone();
+    a.threads = 1;
+    let mut b = sc.clone();
+    b.threads = 4;
+    let ra = run_sharded(&a);
+    let rb = run_sharded(&b);
+    assert!(ra.all_committed, "{ra:?}");
+    assert_reports_identical(&ra, &rb);
+}
+
+#[test]
+fn partitioned_run_is_reproducible_and_seed_sensitive() {
+    let mut sc = crashy_scenario(71);
+    sc.partitions = 4;
+    sc.threads = 2;
+    let a = run_sharded(&sc);
+    let b = run_sharded(&sc);
+    assert_reports_identical(&a, &b);
+    let mut other = sc.clone();
+    other.seed = 72;
+    let c = run_sharded(&other);
+    assert_ne!(a, c, "partitioned runs ignored the seed");
+    // The report carries one queue peak per partition.
+    assert_eq!(a.partition_peak_queue_lens.len(), 4);
+    assert_eq!(
+        a.peak_queue_len,
+        a.partition_peak_queue_lens.iter().copied().max().unwrap()
+    );
+}
+
+#[test]
+fn session_dedup_suppresses_failover_duplicates() {
+    // A crashed leader with a full window in flight forces the router's
+    // at-least-once re-submission; dedup must keep those commands from
+    // becoming duplicate log entries, on both kernel paths identically.
+    for partitions in [1usize, 4] {
+        let mut sc = crashy_scenario(33);
+        sc.partitions = partitions;
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "partitions={partitions}: {r:?}");
+        assert!(
+            r.duplicates_suppressed > 0,
+            "partitions={partitions}: failover produced no re-submissions \
+             to suppress: {r:?}"
+        );
+        // Exactly-once in the log for this schedule: no client command id
+        // appears twice within a group's log (no-op fillers excluded).
+        for (g, group) in r.groups.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for v in &group.log {
+                if v.0 != u64::MAX {
+                    assert!(
+                        seen.insert(v.0),
+                        "partitions={partitions} group {g}: command {} duplicated",
+                        v.0
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn seeds_actually_change_the_schedule() {
     // Guard against a degenerate "deterministic because constant" world.
     let a = run_sharded(&crashy_scenario(100));

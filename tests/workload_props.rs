@@ -1,0 +1,146 @@
+//! Statistical contracts of the sharded workload generators.
+//!
+//! The uniform / Zipf / hot-shard key streams drive every sharded
+//! benchmark and determinism test, so their two contracts get property
+//! coverage of their own:
+//!
+//! 1. **Seed determinism** — `(spec, seed, total)` pins the key stream
+//!    (and therefore the partitioned backlogs) exactly; different seeds
+//!    produce different streams.
+//! 2. **Intended skew** — uniform spreads evenly, Zipf concentrates mass
+//!    on head ranks (more, the larger `s`), and hot-shard hits its pinned
+//!    key at the configured rate within tolerance.
+
+use agreement::sharded::{group_of_key, partition, sample_keys, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Frequency of `key` in a sample, as a fraction.
+fn frequency(keys: &[u64], key: u64) -> f64 {
+    keys.iter().filter(|&&k| k == key).count() as f64 / keys.len().max(1) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generator's stream — and the backlogs built from it — is a
+    /// pure function of (spec, seed, total).
+    #[test]
+    fn streams_are_seed_deterministic(
+        seed in 0u64..1_000_000,
+        total in 1usize..2_000,
+        groups in 1usize..9,
+        which in 0usize..3,
+        skew_centi in 50u64..150,
+        hot_permille in 0u32..1_000,
+    ) {
+        let spec = match which {
+            0 => WorkloadSpec::Uniform { keys: 1024 },
+            1 => WorkloadSpec::Zipf { keys: 1024, s: skew_centi as f64 / 100.0 },
+            _ => WorkloadSpec::HotShard { keys: 1024, hot_key: 7, hot_permille },
+        };
+        let a = sample_keys(&spec, seed, total);
+        let b = sample_keys(&spec, seed, total);
+        prop_assert_eq!(&a, &b, "same seed, different stream");
+        let pa = partition(&spec, seed, total, groups);
+        let pb = partition(&spec, seed, total, groups);
+        prop_assert_eq!(&pa.backlogs, &pb.backlogs);
+        prop_assert_eq!(&pa.group_of, &pb.group_of);
+        // partition() routes exactly the sample_keys stream.
+        for (i, &key) in a.iter().enumerate() {
+            prop_assert_eq!(
+                pa.group_of[i + 1] as usize,
+                group_of_key(key, groups),
+                "command {} routed off its key", i + 1
+            );
+        }
+        // A different seed moves at least one key (overwhelmingly likely
+        // at these sizes; checked so "deterministic" can't degenerate to
+        // "constant").
+        if total >= 64 {
+            let c = sample_keys(&spec, seed ^ 0x5555_AAAA, total);
+            if spec != (WorkloadSpec::HotShard { keys: 1024, hot_key: 7, hot_permille })
+                || hot_permille < 900
+            {
+                prop_assert_ne!(&a, &c, "seed did not matter");
+            }
+        }
+    }
+
+    /// Uniform keys spread evenly over hash groups: each group's share of
+    /// a 10k-command stream stays within ±35% of fair.
+    #[test]
+    fn uniform_spread_is_balanced(seed in 0u64..1_000_000, groups in 2usize..9) {
+        let total = 10_000;
+        let pw = partition(&WorkloadSpec::Uniform { keys: 4096 }, seed, total, groups);
+        let fair = total as f64 / groups as f64;
+        for (g, backlog) in pw.backlogs.iter().enumerate() {
+            let share = backlog.len() as f64;
+            prop_assert!(
+                (share - fair).abs() < 0.35 * fair,
+                "group {g} got {share} of a fair {fair}"
+            );
+        }
+    }
+
+    /// Zipf head mass: rank 0 draws ≈ 1/(H_{keys,s}) of the stream — far
+    /// above the uniform share — and mass grows with the skew exponent.
+    #[test]
+    fn zipf_concentrates_head_mass(seed in 0u64..1_000_000) {
+        let total = 20_000;
+        let keys = 1024u64;
+        let mild = sample_keys(&WorkloadSpec::Zipf { keys, s: 0.99 }, seed, total);
+        let sharp = sample_keys(&WorkloadSpec::Zipf { keys, s: 1.30 }, seed, total);
+        let uniform_share = 1.0 / keys as f64;
+        let mild_head = frequency(&mild, 0);
+        let sharp_head = frequency(&sharp, 0);
+        // s=0.99, 1024 keys: H ≈ 7.5, so rank 0 carries ≈ 13% of draws.
+        prop_assert!(
+            mild_head > 0.08 && mild_head < 0.20,
+            "zipf(0.99) head mass {mild_head} outside [0.08, 0.20]"
+        );
+        prop_assert!(
+            mild_head > 20.0 * uniform_share,
+            "zipf head {mild_head} not clearly above uniform {uniform_share}"
+        );
+        prop_assert!(
+            sharp_head > mild_head,
+            "skew did not increase head mass: s=1.3 {sharp_head} <= s=0.99 {mild_head}"
+        );
+        // Top-8 ranks of the mild stream hold a solid plurality.
+        let top8: f64 = (0..8).map(|k| frequency(&mild, k)).sum();
+        prop_assert!(top8 > 0.30, "zipf(0.99) top-8 mass only {top8}");
+    }
+
+    /// Hot-shard hit ratio: the pinned key's frequency tracks
+    /// `hot_permille` within ±50‰ (plus the tiny uniform leakage onto the
+    /// hot key itself), and the hot group's backlog dominates accordingly.
+    #[test]
+    fn hot_shard_hits_at_the_configured_rate(
+        seed in 0u64..1_000_000,
+        hot_permille in 100u32..950,
+    ) {
+        let total = 20_000;
+        let spec = WorkloadSpec::HotShard {
+            keys: 4096,
+            hot_key: 42,
+            hot_permille,
+        };
+        let keys = sample_keys(&spec, seed, total);
+        let hit = frequency(&keys, 42);
+        let want = hot_permille as f64 / 1000.0;
+        prop_assert!(
+            (hit - want).abs() < 0.05,
+            "hot-key hit ratio {hit} vs configured {want}"
+        );
+        // And the backlogs see it: the hot key's group holds at least its
+        // hot share of commands.
+        let groups = 8;
+        let pw = partition(&spec, seed, total, groups);
+        let hot_group = group_of_key(42, groups);
+        let share = pw.backlogs[hot_group].len() as f64 / total as f64;
+        prop_assert!(
+            share > want - 0.05,
+            "hot group share {share} below configured {want}"
+        );
+    }
+}
