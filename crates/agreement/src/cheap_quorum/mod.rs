@@ -5,7 +5,7 @@
 //! (one replicated write — two delays) and decides: dynamic permissions
 //! guarantee that a successful write means nobody revoked it, so no
 //! read-back is needed, and the fast path costs **one signature** (versus
-//! `6·f_P + 2` for the best prior 2-deciding protocol [7]).
+//! `6·f_P + 2` for the best prior 2-deciding protocol \[7\]).
 //!
 //! Followers copy the leader's signed value into their own region, wait for
 //! all `n` copies, assemble a **unanimity proof** (the value signed by every

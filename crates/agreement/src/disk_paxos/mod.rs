@@ -1,4 +1,4 @@
-//! Disk Paxos (Gafni–Lamport [28]) — the shared-memory baseline.
+//! Disk Paxos (Gafni–Lamport \[28\]) — the shared-memory baseline.
 //!
 //! The paper positions Disk Paxos as the high-resilience/low-speed corner of
 //! the trade-off: it needs only `n ≥ f_P + 1` processes and `m ≥ 2·f_M + 1`

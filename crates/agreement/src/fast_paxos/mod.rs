@@ -1,4 +1,4 @@
-//! Fast Paxos (Lamport [38]) — the message-passing baseline the paper's
+//! Fast Paxos (Lamport \[38\]) — the message-passing baseline the paper's
 //! introduction contrasts with: it decides in **two delays** in common
 //! executions, but "it requires n ≥ 2·f_P + 1 processes" (and its fast path
 //! needs larger quorums, so it tolerates fewer failures while staying fast).

@@ -2,7 +2,7 @@
 //! Byzantine result — a **2-deciding** weak Byzantine agreement protocol
 //! with only `n ≥ 2·f_P + 1` processes and `m ≥ 2·f_M + 1` memories.
 //!
-//! Composition (after the Abstract framework [7]):
+//! Composition (after the Abstract framework \[7\]):
 //!
 //! ```text
 //!                 commit value                       commit value

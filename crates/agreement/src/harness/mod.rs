@@ -21,7 +21,10 @@ use crate::nebcast;
 use crate::paxos::PaxosActor;
 use crate::protected::{self, ProtectedPaxosActor};
 use crate::robust_backup::RobustPaxosActor;
-use crate::sharded::{self, GroupTopology, RouterActor, WorkloadSpec};
+use crate::sharded::{
+    self, GroupTopology, RebalanceConfig, RebalancePolicy, RouterActor, RoutingTable,
+    ScriptedMigration, WorkloadSpec,
+};
 use crate::smr::SmrNode;
 use crate::types::{Instance, Msg, Pid, Value};
 
@@ -525,6 +528,26 @@ pub struct ShardedScenario {
     /// Worker threads executing the partitioned kernel (ignored when
     /// `partitions == 1`). Changes wall-clock time only, never the run.
     pub threads: usize,
+    /// Route by the versioned key-range table
+    /// ([`sharded::RoutingTable::even`]) instead of the static key hash.
+    /// Implied by `migrations` / `rebalance`; set it alone to measure
+    /// static range routing (the rebalancer's baseline). Requires a
+    /// closed-loop `window`.
+    pub range_routing: bool,
+    /// Scripted one-shot key-range migrations (each fires at its virtual
+    /// time; implies `range_routing`).
+    pub migrations: Vec<ScriptedMigration>,
+    /// Automatic rebalancing policy: watch per-group/per-key load and
+    /// migrate hot ranges (implies `range_routing`).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Offered load, in commands per delay. `0.0` (the default) is the
+    /// classic drain-the-backlog run: every command is eligible at time
+    /// zero and latency starts at submission. `> 0.0` paces arrivals:
+    /// command `i` arrives at `i / rate` and its latency clock starts at
+    /// *arrival* — router-queue wait counts, so a hot shard's growing
+    /// backlog shows up in the latency tail, as it would for real
+    /// clients. Requires a closed-loop `window`.
+    pub arrival_rate_per_delay: f64,
 }
 
 impl ShardedScenario {
@@ -547,6 +570,10 @@ impl ShardedScenario {
             max_delays: 50_000,
             partitions: 1,
             threads: 1,
+            range_routing: false,
+            migrations: Vec::new(),
+            rebalance: None,
+            arrival_rate_per_delay: 0.0,
         }
     }
 
@@ -557,6 +584,12 @@ impl ShardedScenario {
             n: self.n,
             m: self.m,
         }
+    }
+
+    /// Whether this scenario routes by the versioned range table (and may
+    /// therefore migrate ranges at run time).
+    pub fn dynamic_routing(&self) -> bool {
+        self.range_routing || !self.migrations.is_empty() || self.rebalance.is_some()
     }
 }
 
@@ -595,14 +628,22 @@ pub struct ShardedRunReport {
     pub all_committed: bool,
     /// Whether every group's replica logs agree.
     pub all_logs_agree: bool,
-    /// Whether every committed command landed in the group the key-hash
-    /// assigned it to (no cross-group leakage).
+    /// Whether every committed command landed in the group the routing
+    /// (key hash, or the range table's final assignment) maps it to — no
+    /// cross-group leakage. Runs with `cross_epoch_commits > 0` tolerate
+    /// that many mismatches: a commit notification racing an epoch flip
+    /// legitimately leaves one entry under the pre-flip assignment.
     pub no_cross_group_leak: bool,
     /// Virtual time when the run stopped, in delays.
     pub elapsed_delays: f64,
     /// Aggregate virtual-time throughput: unique committed commands per
     /// delay — the quantity that scales with `groups`.
     pub committed_per_delay: f64,
+    /// Throughput over the run's last virtual-time quartile. For a
+    /// rebalancing run this is the *post-convergence* rate — what the
+    /// service sustains once the hot range has split — where the whole-run
+    /// average still carries the skewed transient.
+    pub tail_committed_per_delay: f64,
     /// Kernel events dispatched (wall-clock denominator).
     pub events_dispatched: u64,
     /// Messages put on the network.
@@ -620,6 +661,26 @@ pub struct ShardedRunReport {
     /// replicas (the at-least-once failover re-submissions that did *not*
     /// become duplicate log entries; 0 in failure-free runs).
     pub duplicates_suppressed: u64,
+    /// Service-level median decision latency, in ticks (all groups' raw
+    /// latencies pooled — the hot group weighs in by its command count).
+    pub service_p50_latency_ticks: u64,
+    /// Service-level 99th-percentile decision latency, in ticks. The
+    /// headline number rebalancing is judged by: per-group p99s can look
+    /// healthy while the hot group drags the service tail.
+    pub service_p99_latency_ticks: u64,
+    /// Key-range migrations completed (0 without rebalancing).
+    pub migrations_completed: usize,
+    /// Trigger → epoch-flip duration of each completed migration, in
+    /// ticks (the window during which the migrating range was held).
+    pub migration_windows_ticks: Vec<u64>,
+    /// Final routing-table version (0: the static partition never flips).
+    pub routing_table_version: u64,
+    /// Commands re-routed across epoch flips (straddling in-flight
+    /// commands replayed at the destination + held/backlog moves).
+    pub rerouted_commands: u64,
+    /// Commits observed in a group the command was no longer assigned to
+    /// (late notifications racing an epoch flip; 0 on FIFO schedules).
+    pub cross_epoch_commits: u64,
 }
 
 /// Runs the sharded multi-group replicated-log service.
@@ -631,18 +692,74 @@ pub struct ShardedRunReport {
 /// to a [`ShardedRunReport`].
 pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
     let topo = scenario.topology();
-    let workload = sharded::partition(
-        &scenario.workload,
-        scenario.seed,
-        scenario.total_cmds,
-        scenario.groups,
-    );
-    let group_of = workload.group_of.clone();
-    if scenario.partitions > 1 {
-        run_sharded_partitioned(scenario, &topo, workload, &group_of)
+    let workload = if scenario.dynamic_routing() {
+        let table = RoutingTable::even(scenario.workload.key_space(), scenario.groups);
+        sharded::partition_with_table(
+            &scenario.workload,
+            scenario.seed,
+            scenario.total_cmds,
+            &table,
+            scenario.groups,
+        )
     } else {
-        run_sharded_monolithic(scenario, &topo, workload, &group_of)
+        sharded::partition(
+            &scenario.workload,
+            scenario.seed,
+            scenario.total_cmds,
+            scenario.groups,
+        )
+    };
+    if scenario.partitions > 1 {
+        run_sharded_partitioned(scenario, &topo, workload)
+    } else {
+        run_sharded_monolithic(scenario, &topo, workload)
     }
+}
+
+/// Builds the router for a sharded run, wiring in dynamic routing when
+/// the scenario migrates (scripted or policy-driven).
+fn build_router(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    workload: sharded::PartitionedWorkload,
+) -> RouterActor {
+    let paced = scenario.arrival_rate_per_delay > 0.0;
+    if paced {
+        assert!(
+            scenario.window > 0,
+            "paced arrivals need a closed-loop window (router-mediated submission)"
+        );
+    }
+    let interval_ticks = (simnet::TICKS_PER_DELAY as f64
+        / scenario.arrival_rate_per_delay.max(f64::MIN_POSITIVE))
+    .round()
+    .max(1.0) as u64;
+    if !scenario.dynamic_routing() {
+        let mut router = RouterActor::new(*topo, workload, scenario.window);
+        if paced {
+            router = router.with_paced_arrivals(interval_ticks);
+        }
+        return router;
+    }
+    assert!(
+        scenario.window > 0,
+        "rebalancing needs a closed-loop window (router-mediated submission)"
+    );
+    let table = RoutingTable::even(scenario.workload.key_space(), scenario.groups);
+    let keys = workload.keys.clone();
+    let policy = scenario
+        .rebalance
+        .map(|cfg| RebalancePolicy::new(cfg, scenario.groups));
+    let mut router = RouterActor::new(*topo, workload, scenario.window).with_rebalance(
+        table,
+        keys,
+        policy,
+        scenario.migrations.clone(),
+    );
+    if paced {
+        router = router.with_paced_arrivals(interval_ticks);
+    }
+    router
 }
 
 /// Builds one replica of group `g` for a sharded run (both kernel paths).
@@ -710,7 +827,6 @@ fn run_sharded_monolithic(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
-    group_of: &[u32],
 ) -> ShardedRunReport {
     let mut sim: Simulation<Msg> = Simulation::with_profile(scenario.seed, scenario.kernel);
     sim.set_default_delay(scenario.delay.clone());
@@ -724,7 +840,7 @@ fn run_sharded_monolithic(
             debug_assert_eq!(id, mem);
         }
     }
-    let router_id = sim.add(RouterActor::new(*topo, workload, scenario.window));
+    let router_id = sim.add(build_router(scenario, topo, workload));
     assert_eq!(router_id, topo.router(), "router must be the last actor");
 
     for &(g, t) in &scenario.crash_leaders {
@@ -752,7 +868,6 @@ fn run_sharded_monolithic(
     let peak = sim.metrics().peak_queue_len;
     reduce_sharded(
         scenario,
-        group_of,
         router,
         &logs,
         duplicates_suppressed,
@@ -770,7 +885,6 @@ fn run_sharded_partitioned(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
-    group_of: &[u32],
 ) -> ShardedRunReport {
     assert_eq!(
         scenario.kernel,
@@ -800,7 +914,7 @@ fn run_sharded_partitioned(
             debug_assert_eq!(id, mem);
         }
     }
-    let router_id = sim.add_to(0, RouterActor::new(*topo, workload, scenario.window));
+    let router_id = sim.add_to(0, build_router(scenario, topo, workload));
     assert_eq!(router_id, topo.router(), "router must be the last actor");
 
     for &(g, t) in &scenario.crash_leaders {
@@ -831,7 +945,6 @@ fn run_sharded_partitioned(
             .expect("router exists");
         reduce_sharded(
             scenario,
-            group_of,
             router,
             &logs,
             duplicates_suppressed,
@@ -848,7 +961,6 @@ fn run_sharded_partitioned(
 #[allow(clippy::too_many_arguments)]
 fn reduce_sharded(
     scenario: &ShardedScenario,
-    group_of: &[u32],
     router: &RouterActor,
     replica_logs: &[Vec<Vec<Value>>],
     duplicates_suppressed: u64,
@@ -856,8 +968,18 @@ fn reduce_sharded(
     metrics: &Metrics,
     partition_peak_queue_lens: Vec<u64>,
 ) -> ShardedRunReport {
+    // The router's *final* assignment: migrated ids point at their
+    // destination group, everything else at its workload partition. A
+    // migrated id may legitimately sit in its old source log too — if it
+    // committed there pre-flip the router usually never re-assigned it,
+    // but a commit notification racing the flip (counted as
+    // `cross_epoch_commits`) re-assigns an id whose source commit was
+    // legitimate. Each such race explains at most one mismatched log
+    // entry, so the leak verdict tolerates exactly that many.
+    let group_of = router.group_assignment();
     let mut groups = Vec::with_capacity(scenario.groups);
-    let mut no_cross_group_leak = true;
+    let mut assignment_mismatches = 0u64;
+    let mut all_latencies: Vec<Vec<u64>> = Vec::with_capacity(scenario.groups);
     for (g, logs) in replica_logs.iter().enumerate() {
         let longest = logs
             .iter()
@@ -867,8 +989,11 @@ fn reduce_sharded(
         let logs_agree = logs.iter().all(|l| longest[..l.len()] == l[..]);
         for v in &longest {
             let id = v.0 as usize;
+            if sharded::rebalance::decode_ctrl(*v).is_some() {
+                continue; // migration seal/install entries live off-partition
+            }
             if id != 0 && id < group_of.len() && group_of[id] as usize != g {
-                no_cross_group_leak = false;
+                assignment_mismatches += 1;
             }
         }
         let mut lat = router.group_latencies_ticks(g).to_vec();
@@ -882,23 +1007,44 @@ fn reduce_sharded(
             logs_agree,
             log: longest,
         });
+        all_latencies.push(lat);
     }
+    let service = sharded::metrics::merged_sorted_ticks(&all_latencies);
     let committed = router.committed_total();
     let elapsed_delays = elapsed.as_delays();
+    // Last-quartile throughput: commits observed after 3/4 of the run's
+    // virtual time, over the remaining quarter.
+    let tail_start = Time(elapsed.0 - elapsed.0 / 4);
+    let tail_commits: usize = (0..scenario.groups)
+        .map(|g| {
+            let times = router.group_commit_times(g);
+            times.len() - times.partition_point(|&t| t < tail_start)
+        })
+        .sum();
+    let tail_committed_per_delay =
+        tail_commits as f64 / (elapsed_delays / 4.0).max(f64::MIN_POSITIVE);
     ShardedRunReport {
         total_entries: groups.iter().map(|g| g.entries).sum(),
         committed,
         all_committed: committed >= scenario.total_cmds,
         all_logs_agree: groups.iter().all(|g| g.logs_agree),
-        no_cross_group_leak,
+        no_cross_group_leak: assignment_mismatches <= router.cross_epoch_commits(),
         elapsed_delays,
         committed_per_delay: committed as f64 / elapsed_delays.max(f64::MIN_POSITIVE),
+        tail_committed_per_delay,
         events_dispatched: metrics.events_dispatched,
         messages: metrics.messages_sent,
         mem_ops: metrics.mem_ops(),
         peak_queue_len: partition_peak_queue_lens.iter().copied().max().unwrap_or(0),
         partition_peak_queue_lens,
         duplicates_suppressed,
+        service_p50_latency_ticks: sharded::metrics::percentile_sorted_ticks(&service, 50.0),
+        service_p99_latency_ticks: sharded::metrics::percentile_sorted_ticks(&service, 99.0),
+        migrations_completed: router.migrations_completed(),
+        migration_windows_ticks: router.migration_windows_ticks(),
+        routing_table_version: router.routing_version(),
+        rerouted_commands: router.rerouted_commands(),
+        cross_epoch_commits: router.cross_epoch_commits(),
         groups,
     }
 }

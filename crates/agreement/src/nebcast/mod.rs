@@ -24,7 +24,7 @@
 //!
 //! The engine below is a sub-state-machine (like [`swmr::RepEngine`]):
 //! actors call [`NebEngine::poll`] periodically, feed every replication
-//! event through [`NebEngine::on_rep_event`], and drain deliveries.
+//! event through `NebEngine::on_rep_event`, and drain deliveries.
 
 use std::collections::{BTreeMap, VecDeque};
 

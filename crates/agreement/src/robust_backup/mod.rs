@@ -6,7 +6,7 @@
 //! result solves **weak Byzantine agreement** with `n ≥ 2·f_P + 1`
 //! processes and `m ≥ 2·f_M + 1` memories — impossible for pure message
 //! passing, where even with signatures asynchronous Byzantine agreement
-//! needs `n ≥ 3·f_P + 1` [15].
+//! needs `n ≥ 3·f_P + 1` \[15\].
 //!
 //! Everything here rides on the `trusted` layer; the Paxos engine runs with
 //! `trust_decide = false` (decisions only from self-observed `Accepted`

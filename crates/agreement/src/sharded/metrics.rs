@@ -28,6 +28,17 @@ pub fn percentile_sorted_ticks(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Flattens per-group latency samples into one sorted service-level pool,
+/// ready for [`percentile_sorted_ticks`]: the sharded report's service
+/// percentiles come from here (a per-group p99 can look healthy while the
+/// hot group drags the *service* p99 — this is the metric rebalancing is
+/// judged by).
+pub fn merged_sorted_ticks(groups: &[Vec<u64>]) -> Vec<u64> {
+    let mut all: Vec<u64> = groups.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all
+}
+
 /// The longest gap between consecutive observations, in ticks (0 with
 /// fewer than two observations). On a healthy group this is one commit
 /// round; a crash shows up as the whole failover window.
@@ -53,6 +64,14 @@ mod tests {
         assert_eq!(percentile_ticks(&[], 50.0), 0);
         // Order must not matter.
         assert_eq!(percentile_ticks(&[50, 10, 40, 20, 30], 50.0), 30);
+    }
+
+    #[test]
+    fn merged_pool_is_sorted_across_groups() {
+        let merged = merged_sorted_ticks(&[vec![30, 10], vec![], vec![20, 40]]);
+        assert_eq!(merged, vec![10, 20, 30, 40]);
+        assert_eq!(percentile_sorted_ticks(&merged, 50.0), 20);
+        assert_eq!(merged_sorted_ticks(&[]), Vec::<u64>::new());
     }
 
     #[test]

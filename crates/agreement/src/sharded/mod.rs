@@ -67,11 +67,17 @@ use simnet::ActorId;
 use crate::types::Pid;
 
 pub mod metrics;
+pub mod rebalance;
 pub mod router;
 pub mod workload;
 
+pub use rebalance::{
+    KeyRange, MigrationSpec, RebalanceConfig, RebalancePolicy, RoutingTable, ScriptedMigration,
+};
 pub use router::RouterActor;
-pub use workload::{group_of_key, partition, sample_keys, PartitionedWorkload, WorkloadSpec};
+pub use workload::{
+    group_of_key, partition, partition_with_table, sample_keys, PartitionedWorkload, WorkloadSpec,
+};
 
 /// The fixed actor-id layout of a sharded deployment: `groups` blocks of
 /// `n` replicas + `m` memories, then the router.

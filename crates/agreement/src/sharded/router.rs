@@ -26,15 +26,43 @@
 //! enabled use that tag to suppress re-proposals of already-decided
 //! commands, upgrading the failover path to exactly-once application; the
 //! harness surfaces the count as `duplicates_suppressed`.
+//!
+//! **Rebalancing** ([`RouterActor::with_rebalance`]). Instead of the
+//! static key hash, routing follows a versioned
+//! [`rebalance::RoutingTable`] the router mutates at run time: scripted
+//! and policy-triggered key-range migrations run the seal → snapshot →
+//! install → flip protocol described in [`rebalance`], with the control
+//! entries committed through the source and destination groups' own
+//! replicated logs. During a migration the router holds back the
+//! migrating range's commands; at the epoch flip it re-routes them — plus
+//! any in-flight commands that straddled the epoch — to the destination,
+//! preserving per-key order and (via the session-dedup ids) exactly-once
+//! application. Off by default: without it the router is bit-identical to
+//! the static-hash service.
 
 use std::collections::VecDeque;
 
-use simnet::{Actor, Context, EventKind, Time};
+use simnet::{Actor, Context, Duration, EventKind, Time};
 
 use crate::types::{Msg, Pid, Value};
 
+use super::rebalance::{
+    self, CtrlEntry, KeyRange, MigrationSpec, RebalancePolicy, RoutingTable, ScriptedMigration,
+};
 use super::workload::PartitionedWorkload;
 use super::GroupTopology;
+
+/// Timer tag of the rebalance policy's periodic load check.
+const POLICY_TAG: u64 = 1;
+/// Timer tag of the arrival pump (paced-arrival mode only).
+const ARRIVAL_TAG: u64 = 2;
+/// Timer tags `SCRIPT_TAG_BASE + i` fire scripted migration `i`.
+const SCRIPT_TAG_BASE: u64 = 16;
+
+/// How often the arrival pump wakes the router to release newly arrived
+/// commands, in ticks (a quarter network delay: fine-grained enough that
+/// pacing granularity never shows in whole-delay metrics).
+const ARRIVAL_PUMP_TICKS: u64 = simnet::TICKS_PER_DELAY / 4;
 
 /// Per-group routing and progress state.
 #[derive(Debug)]
@@ -44,8 +72,13 @@ struct GroupState {
     /// Commands assigned to this group, not yet submitted.
     backlog: VecDeque<Value>,
     /// Commands submitted at least once, in first-submission order
-    /// (append-only; commits are tracked by id, not by removal).
+    /// (append-only except for epoch flips, which move straddling
+    /// commands out; commits are tracked by id, not by removal).
     submitted: Vec<Value>,
+    /// Migration control entries (seal/install) submitted to this group
+    /// and not yet observed committed; re-sent on failover like any
+    /// in-flight command.
+    ctrl_in_flight: Vec<Value>,
     /// Unique commands observed committed.
     committed: usize,
     /// Decision latency of each command, in ticks, first-commit order.
@@ -60,6 +93,56 @@ impl GroupState {
     }
 }
 
+/// One completed migration, for the run report.
+#[derive(Clone, Copy, Debug)]
+struct MigrationRecord {
+    #[allow(dead_code)]
+    spec: MigrationSpec,
+    triggered: Time,
+    completed: Time,
+}
+
+/// The in-progress migration.
+#[derive(Debug)]
+struct ActiveMigration {
+    spec: MigrationSpec,
+    /// Sealing: waiting for the seal to commit at the source.
+    /// Installing (`sealed == true`): waiting for the install at the
+    /// destination.
+    sealed: bool,
+    triggered: Time,
+    /// Commands for the migrating range encountered (and held) while the
+    /// migration runs, in id order.
+    held: Vec<Value>,
+}
+
+/// Dynamic-routing state: present iff the router was built
+/// [`RouterActor::with_rebalance`].
+#[derive(Debug)]
+struct RebalanceState {
+    table: RoutingTable,
+    /// Key of command id `i` (from the partitioned workload).
+    keys: Vec<u64>,
+    policy: Option<RebalancePolicy>,
+    scripted: Vec<ScriptedMigration>,
+    active: Option<ActiveMigration>,
+    /// Triggers that arrived while another migration was active.
+    queued: VecDeque<(KeyRange, usize)>,
+    next_mig_id: u64,
+    completed: Vec<MigrationRecord>,
+    /// Commands re-routed across an epoch flip (straddlers + held +
+    /// backlog moves).
+    rerouted: u64,
+    /// Commits observed in a group the command was no longer assigned to
+    /// (a late notification racing the epoch flip; 0 on FIFO schedules).
+    /// Each such race may leave one duplicate log entry at the
+    /// destination (its replicas' dedup was never primed with the id)
+    /// and shrinks the destination's effective window by one — the
+    /// documented residue of router-side snapshots; the counter bounds
+    /// both effects.
+    cross_epoch_commits: u64,
+}
+
 /// The router actor. Build with [`RouterActor::new`], register it *after*
 /// all group replicas and memories so its id matches
 /// [`GroupTopology::router`].
@@ -71,7 +154,8 @@ pub struct RouterActor {
     /// only observes).
     window: usize,
     groups: Vec<GroupState>,
-    /// Group of command id `i` (from the partitioned workload).
+    /// Current group assignment of command id `i` (from the partitioned
+    /// workload; epoch flips re-assign migrated ids).
     group_of: Vec<u32>,
     /// First-submission time of command id `i`, in ticks.
     submit_ticks: Vec<u64>,
@@ -79,6 +163,11 @@ pub struct RouterActor {
     committed: Vec<bool>,
     committed_total: usize,
     total: usize,
+    rebalance: Option<RebalanceState>,
+    /// Paced-arrival mode: command `i` arrives (becomes eligible, and
+    /// starts its latency clock) at tick `(i - 1) · interval`. `0` is the
+    /// classic everything-at-time-zero run.
+    arrival_interval_ticks: u64,
 }
 
 impl RouterActor {
@@ -93,6 +182,7 @@ impl RouterActor {
                 leader: topo.initial_leader(g),
                 backlog: backlog.iter().copied().collect(),
                 submitted: Vec::new(),
+                ctrl_in_flight: Vec::new(),
                 committed: 0,
                 latencies_ticks: Vec::new(),
                 commit_times: Vec::new(),
@@ -107,7 +197,62 @@ impl RouterActor {
             committed: vec![false; total + 1],
             committed_total: 0,
             total,
+            rebalance: None,
+            arrival_interval_ticks: 0,
         }
+    }
+
+    /// Enables paced arrivals: command `i` becomes eligible for
+    /// submission at tick `(i - 1) · interval_ticks`, and its decision
+    /// latency is measured from that arrival — so time spent queued in
+    /// the router (e.g. behind a hot shard) lands in the latency tail.
+    /// Requires a closed-loop window.
+    pub fn with_paced_arrivals(mut self, interval_ticks: u64) -> RouterActor {
+        assert!(self.window > 0, "paced arrivals need a closed-loop window");
+        self.arrival_interval_ticks = interval_ticks.max(1);
+        self
+    }
+
+    /// Paced-arrival tick of command id `i` (0 when pacing is off).
+    fn arrival_tick(&self, id: u64) -> u64 {
+        self.arrival_interval_ticks * id.saturating_sub(1)
+    }
+
+    /// Enables dynamic routing: `table` must be the (version 0) table the
+    /// workload was partitioned with ([`super::partition_with_table`]) and
+    /// `keys` the workload's id → key map. `scripted` migrations fire at
+    /// their scripted times; `policy`, if any, watches the commit stream
+    /// and triggers its own. Requires a closed-loop window (the router
+    /// must mediate every submission to hold a sealing range back).
+    pub fn with_rebalance(
+        mut self,
+        table: RoutingTable,
+        keys: Vec<u64>,
+        policy: Option<RebalancePolicy>,
+        scripted: Vec<ScriptedMigration>,
+    ) -> RouterActor {
+        assert!(
+            self.window > 0,
+            "rebalancing needs a closed-loop window (router-mediated submission)"
+        );
+        assert_eq!(
+            keys.len(),
+            self.total + 1,
+            "id → key map must cover the workload"
+        );
+        self.rebalance = Some(RebalanceState {
+            table,
+            keys,
+            policy,
+            scripted,
+            active: None,
+            queued: VecDeque::new(),
+            next_mig_id: 0,
+            completed: Vec::new(),
+            rerouted: 0,
+            cross_epoch_commits: 0,
+        });
+        self
     }
 
     /// Whether every command has been observed committed.
@@ -136,12 +281,61 @@ impl RouterActor {
         &self.groups[g].commit_times
     }
 
+    /// The current (post-migration) group assignment of every command id
+    /// (index 0 unused). Without rebalancing this is the workload's static
+    /// partition.
+    pub fn group_assignment(&self) -> &[u32] {
+        &self.group_of
+    }
+
+    /// Completed migrations so far.
+    pub fn migrations_completed(&self) -> usize {
+        self.rebalance.as_ref().map_or(0, |rb| rb.completed.len())
+    }
+
+    /// Trigger → epoch-flip duration of each completed migration, in ticks.
+    pub fn migration_windows_ticks(&self) -> Vec<u64> {
+        self.rebalance.as_ref().map_or_else(Vec::new, |rb| {
+            rb.completed
+                .iter()
+                .map(|m| m.completed.0.saturating_sub(m.triggered.0))
+                .collect()
+        })
+    }
+
+    /// The routing table's current version (0 without rebalancing: the
+    /// static partition never flips an epoch).
+    pub fn routing_version(&self) -> u64 {
+        self.rebalance.as_ref().map_or(0, |rb| rb.table.version())
+    }
+
+    /// Commands re-routed across epoch flips.
+    pub fn rerouted_commands(&self) -> u64 {
+        self.rebalance.as_ref().map_or(0, |rb| rb.rerouted)
+    }
+
+    /// Commits observed in a group the command was no longer assigned to
+    /// (late notifications racing an epoch flip; 0 on FIFO schedules).
+    pub fn cross_epoch_commits(&self) -> u64 {
+        self.rebalance
+            .as_ref()
+            .map_or(0, |rb| rb.cross_epoch_commits)
+    }
+
     /// Sends up to `window - in_flight` backlog commands of group `g` to
-    /// its current leader, as one `Submit` batch.
+    /// its current leader, as one `Submit` batch. Commands of a range
+    /// that is mid-migration are held back instead (released at the flip).
     fn refill(&mut self, ctx: &mut Context<'_, Msg>, g: usize) {
         if self.window == 0 {
             return; // open loop: everything was preloaded at build time
         }
+        // The sealing range, if this group is a migration's source.
+        let sealing: Option<KeyRange> = self.rebalance.as_ref().and_then(|rb| {
+            rb.active
+                .as_ref()
+                .filter(|m| m.spec.from == g)
+                .map(|m| m.spec.range)
+        });
         let state = &mut self.groups[g];
         let room = self.window.saturating_sub(state.in_flight());
         if room == 0 || state.backlog.is_empty() {
@@ -149,16 +343,56 @@ impl RouterActor {
         }
         let now = ctx.now().0;
         let mut cmds = Vec::with_capacity(room.min(state.backlog.len()));
-        for _ in 0..room {
+        while cmds.len() < room {
+            // Paced arrivals: the backlog is released front-gated — the
+            // group submits nothing past its first not-yet-arrived
+            // command (the backlog is id-ordered up to epoch-flip moves,
+            // and a key's ids arrive in order, so this never reorders a
+            // key).
+            if self.arrival_interval_ticks > 0 {
+                match state.backlog.front() {
+                    Some(v) if self.arrival_interval_ticks * (v.0 - 1) > now => break,
+                    _ => {}
+                }
+            }
             let Some(v) = state.backlog.pop_front() else {
                 break;
             };
-            self.submit_ticks[v.0 as usize] = now;
+            if let Some(range) = sealing {
+                let rb = self.rebalance.as_ref().expect("sealing implies rebalance");
+                if range.contains(rb.keys[v.0 as usize]) {
+                    // Mid-migration: hold the command for the destination.
+                    self.rebalance
+                        .as_mut()
+                        .expect("checked")
+                        .active
+                        .as_mut()
+                        .expect("checked")
+                        .held
+                        .push(v);
+                    continue;
+                }
+            }
+            // First submission stamps the latency clock — at the
+            // command's *arrival* when pacing is on (queue wait counts),
+            // at submission otherwise. Straddlers re-routed through a
+            // later backlog keep their original stamp.
+            if self.submit_ticks[v.0 as usize] == 0 {
+                self.submit_ticks[v.0 as usize] = if self.arrival_interval_ticks > 0 {
+                    self.arrival_interval_ticks * (v.0 - 1)
+                } else {
+                    now
+                };
+            }
             state.submitted.push(v);
             cmds.push(v);
         }
-        let leader = state.leader;
-        ctx.send(leader, Msg::Submit { cmds });
+        // `state` was reborrowed away by the hold path; fetch it again.
+        let state = &mut self.groups[g];
+        if !cmds.is_empty() {
+            let leader = state.leader;
+            ctx.send(leader, Msg::Submit { cmds });
+        }
     }
 
     /// Marks `v` committed by group `g` (first observation only).
@@ -168,10 +402,31 @@ impl RouterActor {
         if id == 0 || id >= self.committed.len() || self.committed[id] {
             return;
         }
-        debug_assert_eq!(
-            self.group_of[id] as usize, g,
-            "command leaked across groups"
-        );
+        match &mut self.rebalance {
+            None => debug_assert_eq!(
+                self.group_of[id] as usize, g,
+                "command leaked across groups"
+            ),
+            Some(rb) => {
+                if self.group_of[id] as usize != g {
+                    // A late source-side commit racing the epoch flip: the
+                    // command was re-assigned to the destination but the
+                    // source committed it first (or its notification was
+                    // in flight at the flip). Count it once for the
+                    // service, drop the stale copy from the destination's
+                    // backlog, and keep per-group accounting out of it.
+                    rb.cross_epoch_commits += 1;
+                    self.committed[id] = true;
+                    self.committed_total += 1;
+                    let dest = self.group_of[id] as usize;
+                    self.groups[dest].backlog.retain(|&b| b != v);
+                    return;
+                }
+                if let Some(policy) = &mut rb.policy {
+                    policy.observe(rb.keys[id], g);
+                }
+            }
+        }
         self.committed[id] = true;
         self.committed_total += 1;
         let state = &mut self.groups[g];
@@ -183,18 +438,173 @@ impl RouterActor {
     }
 
     /// Re-submits every in-flight command of group `g` to its (new)
-    /// leader: the at-least-once failover path.
+    /// leader: the at-least-once failover path. Pending migration control
+    /// entries ride along, after the commands they were queued behind.
     fn resubmit_in_flight(&mut self, ctx: &mut Context<'_, Msg>, g: usize) {
         let state = &self.groups[g];
-        let cmds: Vec<Value> = state
+        let mut cmds: Vec<Value> = state
             .submitted
             .iter()
             .copied()
             .filter(|v| !self.committed[v.0 as usize])
             .collect();
+        cmds.extend(state.ctrl_in_flight.iter().copied());
         if !cmds.is_empty() {
             let leader = state.leader;
             ctx.send(leader, Msg::Submit { cmds });
+        }
+    }
+
+    /// Submits a migration control entry through group `g`'s log.
+    fn send_ctrl(&mut self, ctx: &mut Context<'_, Msg>, g: usize, v: Value) {
+        self.groups[g].ctrl_in_flight.push(v);
+        let leader = self.groups[g].leader;
+        ctx.send(leader, Msg::Submit { cmds: vec![v] });
+    }
+
+    /// Starts (or queues) a migration of `range` to group `to`. Silently
+    /// drops triggers the routing table rejects (no single owner, or the
+    /// range already lives on `to`).
+    fn trigger_migration(&mut self, ctx: &mut Context<'_, Msg>, range: KeyRange, to: usize) {
+        let Some(rb) = &mut self.rebalance else {
+            return;
+        };
+        if to >= self.groups.len() {
+            return;
+        }
+        if rb.active.is_some() {
+            rb.queued.push_back((range, to));
+            return;
+        }
+        let Some(from) = rb.table.owner_of(range) else {
+            return;
+        };
+        if from == to {
+            return;
+        }
+        let spec = MigrationSpec {
+            id: rb.next_mig_id,
+            range,
+            from,
+            to,
+        };
+        rb.next_mig_id += 1;
+        rb.active = Some(ActiveMigration {
+            spec,
+            sealed: false,
+            triggered: ctx.now(),
+            held: Vec::new(),
+        });
+        self.send_ctrl(ctx, from, rebalance::seal_value(spec.id));
+    }
+
+    /// Handles an observed migration control-entry commit in group `g`.
+    fn observe_ctrl(&mut self, ctx: &mut Context<'_, Msg>, g: usize, ctrl: CtrlEntry, v: Value) {
+        self.groups[g].ctrl_in_flight.retain(|&c| c != v);
+        let Some(rb) = &mut self.rebalance else {
+            return;
+        };
+        let Some(active) = &mut rb.active else {
+            return; // stale re-commit of a finished migration
+        };
+        let spec = active.spec;
+        match ctrl {
+            CtrlEntry::Seal { mig } if mig == spec.id && g == spec.from && !active.sealed => {
+                active.sealed = true;
+                // The deterministic snapshot of decided state for the
+                // sealed keys: every range command observed committed at
+                // the source, in id order.
+                let seen: Vec<u64> = (1..=self.total as u64)
+                    .filter(|&id| {
+                        self.committed[id as usize] && spec.range.contains(rb.keys[id as usize])
+                    })
+                    .collect();
+                for &p in &self.topo.procs(spec.to) {
+                    ctx.send(
+                        p,
+                        Msg::InstallSnapshot {
+                            mig: spec.id,
+                            seen: seen.clone(),
+                        },
+                    );
+                }
+                self.send_ctrl(ctx, spec.to, rebalance::install_value(spec.id));
+            }
+            CtrlEntry::Install { mig } if mig == spec.id && g == spec.to && active.sealed => {
+                self.flip_epoch(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// The epoch flip: bump the routing table, move everything the
+    /// migration displaced to the destination, and resume both groups.
+    fn flip_epoch(&mut self, ctx: &mut Context<'_, Msg>) {
+        let rb = self.rebalance.as_mut().expect("flip without rebalance");
+        let active = rb.active.take().expect("flip without active migration");
+        let spec = active.spec;
+        rb.table
+            .migrate(spec.range, spec.to)
+            .expect("owner validated at trigger time");
+
+        // Straddlers: submitted to the source, never observed committed.
+        // The seal commit proves the source will not decide them as ours
+        // anymore (their history there ended at the seal), so they replay
+        // at the destination — exactly-once via the session-dedup ids.
+        let src = &mut self.groups[spec.from];
+        let mut straddlers: Vec<Value> = Vec::new();
+        src.submitted.retain(|&v| {
+            let straddles =
+                !self.committed[v.0 as usize] && spec.range.contains(rb.keys[v.0 as usize]);
+            if straddles {
+                straddlers.push(v);
+            }
+            !straddles
+        });
+        // Backlog commands for the range that were never submitted.
+        let mut moved: Vec<Value> = Vec::new();
+        src.backlog.retain(|&v| {
+            let moves = spec.range.contains(rb.keys[v.0 as usize]);
+            if moves {
+                moved.push(v);
+            }
+            !moves
+        });
+
+        // Destination receives: straddlers (oldest), held (skipped during
+        // sealing), then the unsubmitted backlog — per-key id order is
+        // preserved because each class is in id order and a key's ids
+        // never interleave across classes out of order.
+        let dest = &mut self.groups[spec.to];
+        for v in straddlers
+            .iter()
+            .chain(active.held.iter())
+            .chain(moved.iter())
+        {
+            self.group_of[v.0 as usize] = spec.to as u32;
+            rb.rerouted += 1;
+            dest.backlog.push_back(*v);
+        }
+        // A straddler first submitted at tick 0 carries the stamp refill
+        // uses as its "never stamped" sentinel; nudge it to tick 1 (a
+        // thousandth of a delay) so the re-submission keeps the original
+        // clock instead of restarting it.
+        for v in &straddlers {
+            if self.submit_ticks[v.0 as usize] == 0 {
+                self.submit_ticks[v.0 as usize] = 1;
+            }
+        }
+
+        rb.completed.push(MigrationRecord {
+            spec,
+            triggered: active.triggered,
+            completed: ctx.now(),
+        });
+        let queued = rb.queued.pop_front();
+        self.refill(ctx, spec.from);
+        self.refill(ctx, spec.to);
+        if let Some((range, to)) = queued {
+            self.trigger_migration(ctx, range, to);
         }
     }
 }
@@ -203,6 +613,20 @@ impl Actor<Msg> for RouterActor {
     fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
         match ev {
             EventKind::Start => {
+                if let Some(rb) = &self.rebalance {
+                    for (i, m) in rb.scripted.iter().enumerate() {
+                        ctx.set_timer(
+                            Duration::from_delays(m.at_delays),
+                            SCRIPT_TAG_BASE + i as u64,
+                        );
+                    }
+                    if let Some(policy) = &rb.policy {
+                        ctx.set_timer(
+                            Duration::from_delays(policy.check_every_delays()),
+                            POLICY_TAG,
+                        );
+                    }
+                }
                 if self.window == 0 {
                     // Open loop: the harness preloaded the backlogs into
                     // the initial leaders; account for them as submitted
@@ -216,8 +640,62 @@ impl Actor<Msg> for RouterActor {
                     for g in 0..self.groups.len() {
                         self.refill(ctx, g);
                     }
+                    if self.arrival_interval_ticks > 0 {
+                        ctx.set_timer(Duration(ARRIVAL_PUMP_TICKS), ARRIVAL_TAG);
+                    }
                 }
             }
+            EventKind::Timer {
+                tag: ARRIVAL_TAG, ..
+            } => {
+                // The arrival pump: release newly arrived commands into
+                // idle groups; runs until the last command has arrived
+                // (after that, commit-driven refills cover everything).
+                for g in 0..self.groups.len() {
+                    self.refill(ctx, g);
+                }
+                if self.arrival_tick(self.total as u64) > ctx.now().0 {
+                    ctx.set_timer(Duration(ARRIVAL_PUMP_TICKS), ARRIVAL_TAG);
+                }
+            }
+            EventKind::Timer {
+                tag: POLICY_TAG, ..
+            } => {
+                let Some(rb) = &mut self.rebalance else {
+                    return;
+                };
+                let migrating = rb.active.is_some();
+                let decision = match &mut rb.policy {
+                    Some(policy) => {
+                        let next = Duration::from_delays(policy.check_every_delays());
+                        ctx.set_timer(next, POLICY_TAG);
+                        // One migration at a time: while one runs, the
+                        // window still resets but nothing triggers — and
+                        // no cooldown is consumed on the dropped check.
+                        if migrating {
+                            policy.skip_window();
+                            None
+                        } else {
+                            policy.decide(&rb.table, ctx.now())
+                        }
+                    }
+                    None => None,
+                };
+                if let Some((range, to)) = decision {
+                    self.trigger_migration(ctx, range, to);
+                }
+            }
+            EventKind::Timer { tag, .. } if tag >= SCRIPT_TAG_BASE => {
+                let idx = (tag - SCRIPT_TAG_BASE) as usize;
+                let scripted = self
+                    .rebalance
+                    .as_ref()
+                    .and_then(|rb| rb.scripted.get(idx).copied());
+                if let Some(m) = scripted {
+                    self.trigger_migration(ctx, m.range, m.to);
+                }
+            }
+            EventKind::Timer { .. } => {}
             EventKind::LeaderChange { leader } => {
                 let Some(g) = self.topo.group_of_actor(leader) else {
                     return;
@@ -233,20 +711,29 @@ impl Actor<Msg> for RouterActor {
                 };
                 match msg {
                     Msg::Decided { value, .. } => {
-                        self.observe_commit(ctx.now(), g, value);
+                        self.observe_value(ctx, g, value);
                         self.refill(ctx, g);
                     }
                     Msg::DecidedMany { values, .. } => {
-                        let now = ctx.now();
                         for v in values {
-                            self.observe_commit(now, g, v);
+                            self.observe_value(ctx, g, v);
                         }
                         self.refill(ctx, g);
                     }
                     _ => {}
                 }
             }
-            _ => {}
+        }
+    }
+}
+
+impl RouterActor {
+    /// Routes one observed decided value: migration control entries drive
+    /// the migration state machine, everything else is a client commit.
+    fn observe_value(&mut self, ctx: &mut Context<'_, Msg>, g: usize, v: Value) {
+        match rebalance::decode_ctrl(v) {
+            Some(ctrl) => self.observe_ctrl(ctx, g, ctrl, v),
+            None => self.observe_commit(ctx.now(), g, v),
         }
     }
 }

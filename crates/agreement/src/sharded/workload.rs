@@ -42,12 +42,45 @@ pub enum WorkloadSpec {
         /// Per-mille of commands sent to `hot_key` (0..=1000).
         hot_permille: u32,
     },
+    /// A fixed fraction of commands spread evenly over a designated *set*
+    /// of hot keys; the rest are uniform. With the hot keys chosen to
+    /// collide onto one group, this is the load pattern no *static*
+    /// placement (hash or range) survives but per-key migration splits:
+    /// each hot key can be isolated onto its own group.
+    HotSet {
+        /// Number of distinct keys.
+        keys: u64,
+        /// The pinned hot keys (hit uniformly; must be non-empty).
+        hot_keys: Vec<u64>,
+        /// Per-mille of commands sent to the hot set (0..=1000).
+        hot_permille: u32,
+    },
 }
 
 impl WorkloadSpec {
     /// A small uniform spec suitable for tests.
     pub fn uniform() -> WorkloadSpec {
         WorkloadSpec::Uniform { keys: 4096 }
+    }
+
+    /// Fails fast on specs that cannot draw keys (entry-point check, so
+    /// the panic names the mistake instead of surfacing as an
+    /// index-out-of-bounds mid-stream).
+    fn validate(&self) {
+        if let WorkloadSpec::HotSet { hot_keys, .. } = self {
+            assert!(!hot_keys.is_empty(), "HotSet needs at least one hot key");
+        }
+    }
+
+    /// The number of distinct keys the spec draws from (its key space;
+    /// every drawn key is below this).
+    pub fn key_space(&self) -> u64 {
+        match *self {
+            WorkloadSpec::Uniform { keys }
+            | WorkloadSpec::Zipf { keys, .. }
+            | WorkloadSpec::HotShard { keys, .. }
+            | WorkloadSpec::HotSet { keys, .. } => keys.max(1),
+        }
     }
 }
 
@@ -118,6 +151,17 @@ fn next_key(spec: &WorkloadSpec, cdf: &[f64], state: &mut u64) -> u64 {
                 splitmix64(state) % (*keys).max(1)
             }
         }
+        WorkloadSpec::HotSet {
+            keys,
+            hot_keys,
+            hot_permille,
+        } => {
+            if splitmix64(state) % 1000 < *hot_permille as u64 {
+                hot_keys[(splitmix64(state) % hot_keys.len().max(1) as u64) as usize]
+            } else {
+                splitmix64(state) % (*keys).max(1)
+            }
+        }
     }
 }
 
@@ -127,6 +171,7 @@ fn next_key(spec: &WorkloadSpec, cdf: &[f64], state: &mut u64) -> u64 {
 /// directly; `partition(spec, seed, total, g)` assigns command id `i+1`
 /// the group `group_of_key(sample_keys(spec, seed, total)[i], g)`.
 pub fn sample_keys(spec: &WorkloadSpec, seed: u64, total: usize) -> Vec<u64> {
+    spec.validate();
     let mut state = seed ^ 0x5EED_CAFE_F00D_D00D;
     let cdf = zipf_cdf(spec);
     (0..total)
@@ -141,6 +186,10 @@ pub struct PartitionedWorkload {
     pub backlogs: Vec<Vec<Value>>,
     /// Group of command id `i` (index 0 unused: ids are 1-based).
     pub group_of: Vec<u32>,
+    /// Key of command id `i` (index 0 unused). The router needs this for
+    /// dynamic routing: migrations re-route commands by *key* at run
+    /// time, after the backlogs were cut.
+    pub keys: Vec<u64>,
 }
 
 impl PartitionedWorkload {
@@ -151,26 +200,58 @@ impl PartitionedWorkload {
 }
 
 /// Draws `total` keys from `spec` (seeded by `seed`), assigns each command
-/// a dense 1-based id, and routes it to its group.
+/// a dense 1-based id, and routes it to its group by the static key hash.
 pub fn partition(
     spec: &WorkloadSpec,
     seed: u64,
     total: usize,
     groups: usize,
 ) -> PartitionedWorkload {
+    partition_by(spec, seed, total, groups, |key| group_of_key(key, groups))
+}
+
+/// [`partition`], but routed by `table` (the rebalancing deployments'
+/// version-0 range table) instead of the static key hash.
+pub fn partition_with_table(
+    spec: &WorkloadSpec,
+    seed: u64,
+    total: usize,
+    table: &super::rebalance::RoutingTable,
+    groups: usize,
+) -> PartitionedWorkload {
+    partition_by(spec, seed, total, groups, |key| table.group_of(key))
+}
+
+/// The shared partitioner: one key stream, one pluggable key → group map.
+fn partition_by(
+    spec: &WorkloadSpec,
+    seed: u64,
+    total: usize,
+    groups: usize,
+    route: impl Fn(u64) -> usize,
+) -> PartitionedWorkload {
     assert!(groups > 0, "need at least one group");
+    spec.validate();
     let mut state = seed ^ 0x5EED_CAFE_F00D_D00D;
     let cdf = zipf_cdf(spec);
     let mut backlogs: Vec<Vec<Value>> = vec![Vec::new(); groups];
     let mut group_of: Vec<u32> = Vec::with_capacity(total + 1);
+    let mut keys: Vec<u64> = Vec::with_capacity(total + 1);
     group_of.push(u32::MAX); // id 0 is reserved
+    keys.push(u64::MAX);
     for id in 1..=total as u64 {
         let key = next_key(spec, &cdf, &mut state);
-        let g = group_of_key(key, groups);
+        let g = route(key);
+        assert!(g < groups, "router mapped key {key} to missing group {g}");
         backlogs[g].push(Value(id));
         group_of.push(g as u32);
+        keys.push(key);
     }
-    PartitionedWorkload { backlogs, group_of }
+    PartitionedWorkload {
+        backlogs,
+        group_of,
+        keys,
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +311,27 @@ mod tests {
             "hot group got only {} of 10k",
             pw.backlogs[hot].len()
         );
+    }
+
+    #[test]
+    fn hot_set_spreads_over_its_keys_and_pins_their_groups() {
+        let hot_keys = vec![11, 42, 97];
+        let spec = WorkloadSpec::HotSet {
+            keys: 4096,
+            hot_keys: hot_keys.clone(),
+            hot_permille: 900,
+        };
+        let keys = sample_keys(&spec, 3, 30_000);
+        let hits = |k: u64| keys.iter().filter(|&&x| x == k).count();
+        for &k in &hot_keys {
+            let h = hits(k);
+            assert!(
+                (7_000..13_000).contains(&h),
+                "hot key {k} drew {h} of 30k (want ~9k)"
+            );
+        }
+        let hot_total: usize = hot_keys.iter().map(|&k| hits(k)).sum();
+        assert!(hot_total > 26_000, "hot set mass only {hot_total}");
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //! notifications followers do. Both default to off and change nothing for
 //! single-group deployments.
 //!
+//! **Migration control entries.** Key-range migrations
+//! ([`crate::sharded::rebalance`]) ride the log as ordinary values: the
+//! source group commits a *seal* entry ending the range's history there,
+//! the destination commits an *install* entry starting it. Replicas treat
+//! them as opaque ids — total order is all the protocol owes them. The
+//! migration's state snapshot arrives out of the log
+//! ([`Msg::InstallSnapshot`]) and lands in the session-dedup seen-set, so
+//! a command the source already committed is suppressed if it is ever
+//! re-proposed at the destination.
+//!
 //! Failure handling: when Ω nominates a new leader, it runs the full
 //! three-step acquisition (permission grab, ballot write, **whole-log slot
 //! scan**); every value a previous leader may have accepted anywhere in the
@@ -696,6 +706,17 @@ impl Actor<Msg> for SmrNode {
                 self.settle_many(ctx, first.0, &values);
                 if self.is_leader && self.phase == Phase::Idle {
                     self.drive(ctx);
+                }
+            }
+            EventKind::Msg {
+                msg: Msg::InstallSnapshot { seen, .. },
+                ..
+            } => {
+                // A key-range migration's snapshot (this node is in the
+                // destination group): prime session dedup with the ids the
+                // source group already committed for the sealed range.
+                if self.dedup {
+                    self.seen_cmds.extend(seen);
                 }
             }
             EventKind::Msg {

@@ -1,5 +1,5 @@
 //! Trusted message passing — T-send / T-receive (Algorithm 3, after
-//! Clement et al. [20]).
+//! Clement et al. \[20\]).
 //!
 //! The Robust Backup transformation needs channels over which a Byzantine
 //! process is *confined to crash behaviour*: it can stay silent, but it

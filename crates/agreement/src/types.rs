@@ -246,6 +246,18 @@ pub enum Msg {
         /// The routed commands, in submission order.
         cmds: Vec<Value>,
     },
+    /// A key-range migration's state snapshot, sent by the router to every
+    /// replica of the *destination* group once the source group committed
+    /// the seal entry (see [`crate::sharded::rebalance`]). Carries the ids
+    /// of the migrating range's commands already observed committed at the
+    /// source; replicas fold them into their session-dedup seen-set so a
+    /// source-committed command is never re-applied at the destination.
+    InstallSnapshot {
+        /// The migration this snapshot belongs to.
+        mig: u64,
+        /// Sorted ids decided at the source for the sealed range.
+        seen: Vec<u64>,
+    },
 }
 
 impl MemEmbed<RegVal> for Msg {

@@ -41,13 +41,14 @@ use agreement::harness::{
     run_disk_paxos, run_fast_robust, run_mp_paxos, run_protected, run_robust_backup, run_sharded,
     run_smr, RunReport, Scenario, ShardedRunReport, ShardedScenario, SmrRunReport,
 };
-use agreement::sharded::WorkloadSpec;
+use agreement::sharded::{group_of_key, RebalanceConfig, WorkloadSpec};
 use simnet::{
     Actor, ActorId, Context, DelayModel, Duration, EventKind, KernelProfile, Simulation, Time,
+    TICKS_PER_DELAY,
 };
 
 /// This snapshot's PR number (names the output file and anchors the gate).
-const PR: u32 = 3;
+const PR: u32 = 4;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -153,6 +154,33 @@ impl MeasuredShard {
     }
 }
 
+/// Best-of-`trials()` measurement of one sharded scenario; asserts every
+/// trial completed safely before reporting it.
+fn measure_scenario(label: String, sc: &ShardedScenario) -> MeasuredShard {
+    let mut best: Option<MeasuredShard> = None;
+    for _ in 0..trials() {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let report = run_sharded(sc);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert!(report.all_committed, "{label}: workload did not complete");
+        assert!(report.all_logs_agree, "{label}: replica logs diverged");
+        assert!(report.no_cross_group_leak, "{label}: partition violated");
+        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
+            best = Some(MeasuredShard {
+                label: label.clone(),
+                groups: sc.groups,
+                threads: sc.threads,
+                report,
+                wall_secs,
+                allocs,
+            });
+        }
+    }
+    best.expect("at least one trial")
+}
+
 /// Runs the sharded service (n=3, m=3 per group) and asserts the run was
 /// complete and safe before reporting it. `partitions > 1` selects the
 /// partitioned parallel kernel with `threads` workers.
@@ -178,28 +206,7 @@ fn measure_sharded(
     sc.threads = threads;
     // Generous budget: the run stops at completion, not at the cap.
     sc.max_delays = 8 * (total_cmds as u64) / (groups as u64 * batch as u64).max(1) + 5_000;
-    let mut best: Option<MeasuredShard> = None;
-    for _ in 0..trials() {
-        let before = ALLOCS.load(Ordering::Relaxed);
-        let start = Instant::now();
-        let report = run_sharded(&sc);
-        let wall_secs = start.elapsed().as_secs_f64();
-        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
-        assert!(report.all_committed, "{label}: workload did not complete");
-        assert!(report.all_logs_agree, "{label}: replica logs diverged");
-        assert!(report.no_cross_group_leak, "{label}: partition violated");
-        if best.as_ref().is_none_or(|b| wall_secs < b.wall_secs) {
-            best = Some(MeasuredShard {
-                label: label.clone(),
-                groups,
-                threads,
-                report,
-                wall_secs,
-                allocs,
-            });
-        }
-    }
-    best.expect("at least one trial")
+    measure_scenario(label, &sc)
 }
 
 fn sharded_json(m: &MeasuredShard) -> String {
@@ -322,6 +329,30 @@ fn smr_json(m: &Measured) -> String {
         m.report.mem_ops,
         m.report.elapsed_delays,
         m.report.delays_per_entry,
+    )
+}
+
+/// One measured rebalance configuration, with the migration quantities
+/// next to the usual service metrics (latencies reported in delays).
+fn rebalance_json(m: &MeasuredShard) -> String {
+    format!(
+        "{{ \"label\": \"{}\", \"groups\": {}, \"threads\": {}, \"entries\": {}, \"wall_secs\": {:.6}, \"entries_per_sec\": {:.0}, \"committed_per_delay\": {:.3}, \"tail_committed_per_delay\": {:.3}, \"elapsed_delays\": {:.1}, \"service_p50_delays\": {:.1}, \"service_p99_delays\": {:.1}, \"migrations\": {}, \"rerouted_commands\": {}, \"routing_table_version\": {}, \"events_dispatched\": {}, \"allocations\": {} }}",
+        m.label,
+        m.groups,
+        m.threads,
+        m.report.committed,
+        m.wall_secs,
+        m.entries_per_sec(),
+        m.report.committed_per_delay,
+        m.report.tail_committed_per_delay,
+        m.report.elapsed_delays,
+        m.report.service_p50_latency_ticks as f64 / TICKS_PER_DELAY as f64,
+        m.report.service_p99_latency_ticks as f64 / TICKS_PER_DELAY as f64,
+        m.report.migrations_completed,
+        m.report.rerouted_commands,
+        m.report.routing_table_version,
+        m.report.events_dispatched,
+        m.allocs,
     )
 }
 
@@ -562,6 +593,186 @@ fn main() {
     // after the snapshot is written and the main regression gate has run,
     // so a failing run still leaves BENCH_PR*.json behind for diagnosis.
 
+    // Rebalancing under skew. Two adversarial key streams, each measured
+    // under the three placements (static hash, static range table, range
+    // table + auto-rebalancer):
+    //
+    // * **zipf(0.99)** — the head ranks are *adjacent small keys*, so the
+    //   even version-0 range table pins the whole head onto group 0
+    //   (static hash dodges this one by scattering adjacent keys).
+    // * **hot set** — 80% of traffic on 8 hot keys picked to collide on
+    //   ONE group under the hash AND to sit inside one group's range: no
+    //   static placement survives it; only per-key migration can isolate
+    //   each hot key onto its own group ("the hot range splits").
+    //
+    // `tail_committed_per_delay` (the run's last virtual-time quartile)
+    // is the post-convergence rate — recovery after the splits — while
+    // committed_per_delay still averages in the skewed transient.
+    let rebal_cmds = (cmds / 2).max(1_000);
+    println!(
+        "\nperf_snapshot: shard rebalancing, {rebal_cmds} commands \
+         (G=8, batch=8, window=64)"
+    );
+    let rebal_scenario = |workload: WorkloadSpec| -> ShardedScenario {
+        let mut sc = ShardedScenario::common_case(8, 3, 3, 5);
+        sc.batch = 8;
+        // A deep window lets queueing delay reach the hot leader (and
+        // therefore the latency percentiles) instead of hiding entirely
+        // in the router's backlog.
+        sc.window = 64;
+        sc.workload = workload;
+        sc.total_cmds = rebal_cmds;
+        // Offered load at half the balanced capacity (G·batch/2 = 32
+        // cmds/delay): a balanced placement absorbs it easily, while a
+        // group fed a hot set's 80%+ share saturates and its queue — and
+        // therefore the service latency tail — grows until the hot range
+        // splits.
+        sc.arrival_rate_per_delay = 16.0;
+        // The skewed static runs serialize most commands through one
+        // group; budget for that worst case.
+        sc.max_delays = rebal_cmds as u64 + 10_000;
+        sc
+    };
+    let auto_cfg = RebalanceConfig {
+        check_every_delays: 40,
+        cooldown_delays: 15,
+        hot_group_permille: 250,
+        hot_key_permille: 30,
+        min_window_commits: 64,
+    };
+    let zipf_wl = WorkloadSpec::Zipf {
+        keys: 4096,
+        s: 0.99,
+    };
+    // Eight keys inside the even table's group-0 range [0, 512) that all
+    // hash to one group: hot under both static placements.
+    let hash_target = group_of_key(0, 8);
+    let hot_keys: Vec<u64> = (0..512)
+        .filter(|&k| group_of_key(k, 8) == hash_target)
+        .take(8)
+        .collect();
+    assert_eq!(hot_keys.len(), 8, "not enough hash-colliding keys");
+    let hotset_wl = WorkloadSpec::HotSet {
+        keys: 4096,
+        hot_keys,
+        hot_permille: 800,
+    };
+    let mut rebal: Vec<MeasuredShard> = Vec::new();
+    for (wl_name, wl) in [("zipf", &zipf_wl), ("hotset", &hotset_wl)] {
+        let sc = rebal_scenario(wl.clone());
+        rebal.push(measure_scenario(
+            format!("rebalance_{wl_name}_hash_static"),
+            &sc,
+        ));
+        let mut sc = rebal_scenario(wl.clone());
+        sc.range_routing = true;
+        rebal.push(measure_scenario(
+            format!("rebalance_{wl_name}_range_static"),
+            &sc,
+        ));
+        let mut sc = rebal_scenario(wl.clone());
+        sc.rebalance = Some(auto_cfg);
+        rebal.push(measure_scenario(
+            format!("rebalance_{wl_name}_range_auto"),
+            &sc,
+        ));
+    }
+    // Determinism with migrations in flight: the hot-set auto config on
+    // the partitioned kernel must be bit-identical across worker threads.
+    let mut rebal_sweep: Vec<MeasuredShard> = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let mut sc = rebal_scenario(hotset_wl.clone());
+        sc.rebalance = Some(auto_cfg);
+        sc.partitions = 4;
+        sc.threads = threads;
+        rebal_sweep.push(measure_scenario(
+            format!("rebalance_auto_p4_t{threads}"),
+            &sc,
+        ));
+    }
+    for m in rebal.iter().chain(&rebal_sweep) {
+        println!(
+            "  {:<30} {:>7.2} cmds/delay {:>7.2} tail {:>7.1} p99(d) {:>6.0} delays {:>3} migrations {:>5} rerouted ({:.3}s)",
+            m.label,
+            m.report.committed_per_delay,
+            m.report.tail_committed_per_delay,
+            m.report.service_p99_latency_ticks as f64 / TICKS_PER_DELAY as f64,
+            m.report.elapsed_delays,
+            m.report.migrations_completed,
+            m.report.rerouted_commands,
+            m.wall_secs,
+        );
+    }
+    for (a, b) in [
+        (&rebal_sweep[0], &rebal_sweep[1]),
+        (&rebal_sweep[0], &rebal_sweep[2]),
+    ] {
+        assert_eq!(
+            (
+                a.report.committed,
+                a.report.elapsed_delays,
+                a.report.events_dispatched
+            ),
+            (
+                b.report.committed,
+                b.report.elapsed_delays,
+                b.report.events_dispatched
+            ),
+            "rebalance: thread count changed the migrating run"
+        );
+        assert_eq!(
+            (
+                a.report.migrations_completed,
+                a.report.routing_table_version
+            ),
+            (
+                b.report.migrations_completed,
+                b.report.routing_table_version
+            ),
+            "rebalance: thread count changed the migration history"
+        );
+    }
+    let rebal_of = |label: &str| {
+        rebal
+            .iter()
+            .find(|m| m.label == label)
+            .expect("measured rebalance config")
+    };
+    let zipf_auto = rebal_of("rebalance_zipf_range_auto");
+    let zipf_static = rebal_of("rebalance_zipf_range_static");
+    let hot_auto = rebal_of("rebalance_hotset_range_auto");
+    let hot_hash = rebal_of("rebalance_hotset_hash_static");
+    assert!(
+        zipf_auto.report.migrations_completed >= 1 && hot_auto.report.migrations_completed >= 1,
+        "rebalance: the policy never triggered"
+    );
+    let zipf_recovery =
+        zipf_auto.report.committed_per_delay / zipf_static.report.committed_per_delay;
+    let hot_recovery = hot_auto.report.committed_per_delay / hot_hash.report.committed_per_delay;
+    let hot_tail_recovery =
+        hot_auto.report.tail_committed_per_delay / hot_hash.report.tail_committed_per_delay;
+    let hot_p99_recovery = hot_hash.report.service_p99_latency_ticks as f64
+        / hot_auto.report.service_p99_latency_ticks.max(1) as f64;
+    println!(
+        "\n  zipf: auto vs static range table {zipf_recovery:.2}x cmds/delay \
+         ({} migrations)",
+        zipf_auto.report.migrations_completed
+    );
+    println!(
+        "  hot set: auto-rebalance vs static hash {hot_recovery:.2}x cmds/delay, \
+         {hot_tail_recovery:.2}x tail, {hot_p99_recovery:.2}x p99 \
+         ({} migrations, thread-sweep bit-identical)",
+        hot_auto.report.migrations_completed
+    );
+    assert!(
+        zipf_recovery > 1.10,
+        "rebalance regressed: zipf auto only {zipf_recovery:.2}x of static range routing"
+    );
+    assert!(
+        hot_recovery > 1.10,
+        "rebalance regressed: hot-set auto only {hot_recovery:.2}x of static hashing"
+    );
+
     println!("\nperf_snapshot: kernel queue stress (gossip, deep in-flight queues)");
     let stress: Vec<StressResult> = vec![measure_stress(5_000, 40), measure_stress(20_000, 60)];
     for r in &stress {
@@ -707,6 +918,25 @@ fn main() {
         json,
         "    \"wall_speedup_vs_1_thread\": {{ {} }}",
         sweep_speedups.join(", ")
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"rebalance\": {\n");
+    let _ = writeln!(json, "    \"total_commands\": {rebal_cmds},");
+    json.push_str("    \"configs\": [\n");
+    let rows: Vec<String> = rebal
+        .iter()
+        .chain(&rebal_sweep)
+        .map(|m| format!("      {}", rebalance_json(m)))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"zipf_auto_vs_static_range_committed_per_delay\": {zipf_recovery:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"hotset_auto_vs_static_hash\": {{ \"committed_per_delay\": {hot_recovery:.3}, \"tail_committed_per_delay\": {hot_tail_recovery:.3}, \"service_p99\": {hot_p99_recovery:.3} }}"
     );
     json.push_str("  },\n");
     json.push_str("  \"kernel_queue_stress\": [\n");

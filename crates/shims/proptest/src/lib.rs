@@ -3,7 +3,7 @@
 //! Supports the surface this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
 //! `prop_assert!` / `prop_assert_eq!`, integer-range and tuple strategies,
-//! [`Just`], [`prop_oneof!`], `any::<T>()`, `.prop_map(..)`, and
+//! [`strategy::Just`], [`prop_oneof!`], `any::<T>()`, `.prop_map(..)`, and
 //! `collection::{vec, btree_set}`.
 //!
 //! Cases are sampled deterministically: the RNG for case `i` of test `t` is

@@ -93,4 +93,52 @@ fn main() {
     assert!(r1.all_committed && r1.all_logs_agree && r1.no_cross_group_leak);
     assert_eq!(r1, r2, "thread count changed the partitioned run");
     println!("  thread sweep: reports bit-identical across thread counts");
+
+    // Online key-range migration: the same service on the versioned range
+    // table, with the auto-rebalancer watching the commit stream. Zipf
+    // head ranks are adjacent keys, so the even table pins the hot head
+    // onto group 0 until the rebalancer splits it off, one key-range
+    // migration (seal → snapshot → install → epoch flip, all through the
+    // groups' own logs) at a time.
+    println!("\nsharded_log: auto-rebalancing the zipf head off group 0");
+    let mut rebal = sc.clone();
+    rebal.crash_leaders.clear();
+    rebal.announce.clear();
+    rebal.range_routing = true;
+    let r_static = run_sharded(&rebal);
+    rebal.rebalance = Some(agreement::sharded::RebalanceConfig {
+        check_every_delays: 40,
+        cooldown_delays: 15,
+        hot_group_permille: 300,
+        hot_key_permille: 50,
+        min_window_commits: 64,
+    });
+    let r_auto = run_sharded(&rebal);
+    for (label, rp) in [
+        ("static range table", &r_static),
+        ("auto-rebalance", &r_auto),
+    ] {
+        println!(
+            "  {label:<18}: {:.2} cmds/delay in {:>5.0} delays, {} migrations, \
+             {} commands re-routed, table version {}",
+            rp.committed_per_delay,
+            rp.elapsed_delays,
+            rp.migrations_completed,
+            rp.rerouted_commands,
+            rp.routing_table_version,
+        );
+    }
+    assert!(r_auto.all_committed && r_auto.all_logs_agree && r_auto.no_cross_group_leak);
+    assert!(
+        r_auto.migrations_completed >= 1,
+        "rebalancer never triggered"
+    );
+    assert!(
+        r_auto.elapsed_delays < r_static.elapsed_delays,
+        "rebalancing failed to beat the static table"
+    );
+    println!(
+        "  hot range split across groups: {:.2}x faster than the static table",
+        r_static.elapsed_delays / r_auto.elapsed_delays
+    );
 }

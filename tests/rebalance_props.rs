@@ -1,0 +1,137 @@
+//! Structural contracts of the versioned routing table.
+//!
+//! The routing table is the sharded service's source of truth for key
+//! placement, so its two invariants get property coverage of their own:
+//!
+//! 1. **Total, unambiguous coverage** — at *every* epoch (initial table
+//!    and after any sequence of migrations) every key maps to exactly one
+//!    group: range starts are strictly increasing from 0, ranges abut
+//!    with no gaps, and `group_of` answers for the whole `u64` space.
+//! 2. **Monotone versions** — every successful migration bumps the
+//!    version by exactly 1 and rejected migrations leave it (and the
+//!    routing) untouched, so the version is a true epoch counter.
+//!
+//! Plus the bridge to the workload: partitioning by a table routes every
+//! command to the group the table names.
+
+use agreement::sharded::{partition_with_table, sample_keys, KeyRange, RoutingTable, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Structural soundness: sorted, gap-free, total coverage from key 0.
+fn assert_covers_exactly_once(t: &RoutingTable, groups: usize) {
+    let ranges = t.ranges();
+    assert!(!ranges.is_empty());
+    assert_eq!(ranges[0].0.lo, 0, "coverage must start at key 0");
+    for ((a, ga), (b, _)) in ranges.iter().zip(ranges.iter().skip(1)) {
+        assert!(a.lo < a.hi, "empty or inverted range {a:?}");
+        assert_eq!(a.hi, b.lo, "gap or overlap between consecutive ranges");
+        assert!(*ga < groups, "range {a:?} routed to missing group {ga}");
+    }
+    let (last, lg) = ranges[ranges.len() - 1];
+    assert_eq!(last.hi, u64::MAX, "coverage must run through u64::MAX");
+    assert!(lg < groups);
+    // Spot checks agree with the ranges, including both edges of every
+    // range boundary.
+    for &(r, g) in &ranges {
+        assert_eq!(t.group_of(r.lo), g);
+        assert_eq!(t.group_of(r.hi - 1), g);
+    }
+}
+
+/// A deterministic little bit mixer for generating migration sequences.
+fn mix(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Versions are strictly monotone (+1 per applied migration, frozen
+    /// across rejections) and every key keeps exactly one owner at every
+    /// epoch reached along a random migration sequence.
+    #[test]
+    fn versions_monotone_and_coverage_total_at_every_epoch(
+        key_space in 1u64..10_000,
+        groups in 1usize..9,
+        steps in 0usize..40,
+        seq_seed in 0u64..1_000_000,
+    ) {
+        let mut t = RoutingTable::even(key_space, groups);
+        prop_assert_eq!(t.version(), 0);
+        assert_covers_exactly_once(&t, groups);
+        let mut state = seq_seed ^ 0xD1CE;
+        let mut expected_version = 0u64;
+        for _ in 0..steps {
+            let lo = mix(&mut state) % key_space.max(1);
+            let width = 1 + mix(&mut state) % 64;
+            let range = KeyRange { lo, hi: lo.saturating_add(width) };
+            let to = (mix(&mut state) % groups as u64) as usize;
+            let before = t.clone();
+            match t.migrate(range, to) {
+                Ok(from) => {
+                    expected_version += 1;
+                    prop_assert_ne!(from, to, "migrate accepted a no-op");
+                    // The whole range now routes to `to`.
+                    prop_assert_eq!(t.group_of(range.lo), to);
+                    prop_assert_eq!(t.group_of(range.hi - 1), to);
+                }
+                Err(_) => {
+                    prop_assert_eq!(&t, &before, "a rejected migration mutated the table");
+                }
+            }
+            prop_assert_eq!(t.version(), expected_version, "version is not a step counter");
+            assert_covers_exactly_once(&t, groups);
+        }
+    }
+
+    /// Keys outside any migrated range never move: a migration re-routes
+    /// its range and nothing else.
+    #[test]
+    fn migration_only_moves_its_own_range(
+        key_space in 64u64..10_000,
+        groups in 2usize..9,
+        key in 0u64..10_000,
+        to in 0usize..9,
+    ) {
+        let key = key % key_space;
+        let to = to % groups;
+        let mut t = RoutingTable::even(key_space, groups);
+        let before: Vec<usize> = (0..key_space).map(|k| t.group_of(k)).collect();
+        if t.migrate(KeyRange::single(key), to).is_ok() {
+            for k in 0..key_space {
+                let expect = if k == key { to } else { before[k as usize] };
+                prop_assert_eq!(t.group_of(k), expect, "key {} moved unexpectedly", k);
+            }
+        }
+    }
+
+    /// Partitioning by a table routes every command to the group the
+    /// table names for its key — the bridge the router's dynamic routing
+    /// relies on.
+    #[test]
+    fn table_partition_agrees_with_the_table(
+        seed in 0u64..1_000_000,
+        total in 1usize..1_500,
+        groups in 1usize..9,
+    ) {
+        let spec = WorkloadSpec::Zipf { keys: 1024, s: 0.99 };
+        let table = RoutingTable::even(spec.key_space(), groups);
+        let pw = partition_with_table(&spec, seed, total, &table, groups);
+        let keys = sample_keys(&spec, seed, total);
+        prop_assert_eq!(pw.total(), total);
+        prop_assert_eq!(pw.keys.len(), total + 1);
+        for (i, &key) in keys.iter().enumerate() {
+            prop_assert_eq!(pw.keys[i + 1], key, "key map out of step with the stream");
+            prop_assert_eq!(
+                pw.group_of[i + 1] as usize,
+                table.group_of(key),
+                "command {} routed off its key", i + 1
+            );
+        }
+        let spread: usize = pw.backlogs.iter().map(Vec::len).sum();
+        prop_assert_eq!(spread, total, "commands lost or duplicated by partitioning");
+    }
+}
