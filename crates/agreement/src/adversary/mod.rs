@@ -363,5 +363,141 @@ impl std::fmt::Debug for HistoryRewriter {
     }
 }
 
+/// A Byzantine *group leader* for the sharded Byzantine-mode service
+/// ([`crate::smr::ByzSmrNode`] groups): it holds the leader role of its
+/// replication group and attacks on both fronts the mode must close.
+///
+/// * **Log equivocation (rewrite attack).** At start it broadcasts a
+///   validly-signed `LogEntries` wire committing junk value `a` at
+///   instance 0, then after `rewrite_after` overwrites the same broadcast
+///   slot with junk value `b` — the classic attack on a replicated SWMR
+///   register. Non-equivocating broadcast confines it: early auditors may
+///   deliver `a`, but every auditor that sees both (the earlier copies
+///   replicate to a memory majority) blocks the sender forever, counted
+///   in the report as `equivocations_blocked`. No two correct replicas
+///   ever settle different values for the instance.
+/// * **Fabricated commits.** Every routed [`Msg::Submit`] batch is
+///   answered with `Decided` claims to the router — for the routed
+///   commands it never committed anywhere, *plus* one claim per batch
+///   for a command id that does not exist at all. The router's `f + 1`
+///   confirmation quorum withholds every one (`byz_withheld_reports`);
+///   the claims for real commands are eventually out-voted by honest
+///   reports after failover, while the invented ids stay unconfirmed
+///   forever (`byz_unconfirmed_claims`).
+///
+/// It never commits a real client command, so scripted Ω failover is what
+/// restores the group's liveness — exactly the role a silent-after-lying
+/// Byzantine leader plays in the paper's model.
+pub struct LogEquivocator {
+    me: Pid,
+    mems: Vec<ActorId>,
+    /// The router it lies to.
+    router: ActorId,
+    /// Junk committed at instance 0 first...
+    a: Value,
+    /// ...then rewritten to this (same broadcast slot, new signature).
+    b: Value,
+    rewrite_after: simnet::Duration,
+    signer: Signer,
+    client: MemoryClient<RegVal, Msg>,
+    next_claim_instance: u64,
+    fabricated: u64,
+}
+
+impl LogEquivocator {
+    /// Creates the adversary (install it as its group's initial leader).
+    pub fn new(
+        me: Pid,
+        mems: Vec<ActorId>,
+        router: ActorId,
+        a: Value,
+        b: Value,
+        rewrite_after: simnet::Duration,
+        signer: Signer,
+    ) -> LogEquivocator {
+        LogEquivocator {
+            me,
+            mems,
+            router,
+            a,
+            b,
+            rewrite_after,
+            signer,
+            client: MemoryClient::new(),
+            next_claim_instance: 0,
+            fabricated: 0,
+        }
+    }
+
+    fn log_slot(&self, v: Value) -> RegVal {
+        let wire = crate::smr::byz::log_entries_wire(0, 0, vec![v]);
+        let sig = self.signer.sign(&wire.sign_view(1));
+        RegVal::Neb(NebSlot { k: 1, wire, sig })
+    }
+
+    fn write_everywhere(&mut self, ctx: &mut Context<'_, Msg>, val: RegVal) {
+        let reg = nebcast::slot_reg(self.me, 1, self.me);
+        let region = nebcast::row_region(self.me);
+        for mem in self.mems.clone() {
+            self.client.write(ctx, mem, region, reg, val.clone());
+        }
+    }
+}
+
+impl Actor<Msg> for LogEquivocator {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                let a = self.log_slot(self.a);
+                self.write_everywhere(ctx, a);
+                ctx.set_timer(self.rewrite_after, 1);
+            }
+            EventKind::Timer { tag: 1, .. } => {
+                // The rewrite: same sequence number, different signed
+                // value. Anyone who audits from here on sees the earlier
+                // copies and blocks us.
+                let b = self.log_slot(self.b);
+                self.write_everywhere(ctx, b);
+            }
+            EventKind::Msg {
+                msg: Msg::Submit { cmds },
+                ..
+            } => {
+                // Lie to the router: claim every routed command decided,
+                // without writing a thing — plus one wholly invented
+                // command id per batch (a counter in bits disjoint from
+                // the junk base's set bits, well above any client id),
+                // which no honest replica can ever corroborate.
+                self.fabricated += 1;
+                let invented = Value((self.a.0 | 1 << 50) + (self.fabricated << 16));
+                for v in cmds.into_iter().chain([invented]) {
+                    let instance = self.next_claim_instance;
+                    self.next_claim_instance += 1;
+                    ctx.send(
+                        self.router,
+                        Msg::Decided {
+                            instance: crate::types::Instance(instance),
+                            value: v,
+                        },
+                    );
+                }
+            }
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for LogEquivocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LogEquivocator({})", self.me)
+    }
+}
+
 /// Re-export used by tests that only need a type name.
 pub type Wire = MemWire<RegVal>;

@@ -12,6 +12,7 @@ use simnet::{
     ActorId, DelayModel, Duration, KernelProfile, Metrics, ParSimulation, Simulation, Time,
 };
 
+use crate::adversary::LogEquivocator;
 use crate::aligned::{self, AlignedPaxosActor, MemoryMode};
 use crate::cheap_quorum::{self, CheapQuorumActor};
 use crate::disk_paxos::{self, DiskPaxosActor};
@@ -22,10 +23,10 @@ use crate::paxos::PaxosActor;
 use crate::protected::{self, ProtectedPaxosActor};
 use crate::robust_backup::RobustPaxosActor;
 use crate::sharded::{
-    self, GroupTopology, RebalanceConfig, RebalancePolicy, RouterActor, RoutingTable,
+    self, GroupMode, GroupTopology, RebalanceConfig, RebalancePolicy, RouterActor, RoutingTable,
     ScriptedMigration, WorkloadSpec,
 };
-use crate::smr::SmrNode;
+use crate::smr::{byz_memory_actor, ByzSmrNode, SmrNode};
 use crate::types::{Instance, Msg, Pid, Value};
 
 /// A scripted run: cluster shape, failures, leadership and timing.
@@ -455,7 +456,7 @@ pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
 
     let leader = sim.actor_as::<SmrNode>(ActorId(0)).expect("leader exists");
     let log = leader.log();
-    let mut decided = leader.decided_at.clone();
+    let mut decided = leader.decided_at().to_vec();
     decided.sort_by_key(|&(instance, _)| instance);
     let decided_at_delays: Vec<f64> = decided.iter().map(|&(_, t)| t.as_delays()).collect();
     let logs_agree = scenario.correct_procs().iter().all(|&i| {
@@ -548,6 +549,25 @@ pub struct ShardedScenario {
     /// backlog shows up in the latency tail, as it would for real
     /// clients. Requires a closed-loop `window`.
     pub arrival_rate_per_delay: f64,
+    /// Per-group failure mode (index = group; missing entries default to
+    /// [`GroupMode::CrashPmp`]). Empty — the default — is the all-crash
+    /// service, bit-identical to the pre-Byzantine harness. A
+    /// [`GroupMode::Byzantine`] group replicates through signed
+    /// non-equivocating broadcast and the router confirms its commits at
+    /// `f + 1` distinct replica reports.
+    pub group_modes: Vec<GroupMode>,
+    /// Adversary injection: `(group, replica index)` slots replaced by a
+    /// silent Byzantine replica ([`crate::adversary::SilentActor`]).
+    /// Placements must land in Byzantine-mode groups.
+    pub byz_silent: Vec<(usize, usize)>,
+    /// Adversary injection: `(group, replica index)` slots replaced by an
+    /// equivocating Byzantine leader
+    /// ([`crate::adversary::LogEquivocator`] — rewrite-equivocates its
+    /// broadcast slot and fabricates commit claims). Install it at a
+    /// group's initial-leader slot (index 0) and script an Ω announcement
+    /// to a correct replica to restore the group's liveness. Placements
+    /// must land in Byzantine-mode groups.
+    pub byz_equivocators: Vec<(usize, usize)>,
 }
 
 impl ShardedScenario {
@@ -574,7 +594,20 @@ impl ShardedScenario {
             migrations: Vec::new(),
             rebalance: None,
             arrival_rate_per_delay: 0.0,
+            group_modes: Vec::new(),
+            byz_silent: Vec::new(),
+            byz_equivocators: Vec::new(),
         }
+    }
+
+    /// Group `g`'s failure mode (missing entries are crash-mode).
+    pub fn mode_of(&self, g: usize) -> GroupMode {
+        self.group_modes.get(g).copied().unwrap_or_default()
+    }
+
+    /// Whether any group runs in Byzantine mode.
+    pub fn has_byzantine(&self) -> bool {
+        self.group_modes.contains(&GroupMode::Byzantine)
     }
 
     /// The deployment's actor-id layout.
@@ -611,6 +644,8 @@ pub struct ShardGroupReport {
     pub max_commit_gap_ticks: u64,
     /// Whether every replica's log is a prefix of the group's longest log.
     pub logs_agree: bool,
+    /// The failure mode this group ran under.
+    pub mode: GroupMode,
     /// The group's longest replica log.
     pub log: Vec<Value>,
 }
@@ -681,6 +716,20 @@ pub struct ShardedRunReport {
     /// Commits observed in a group the command was no longer assigned to
     /// (late notifications racing an epoch flip; 0 on FIFO schedules).
     pub cross_epoch_commits: u64,
+    /// Byzantine suppression: senders caught equivocating and blocked by
+    /// the broadcast audit, summed over every Byzantine-mode replica
+    /// (0 in all-crash deployments).
+    pub equivocations_blocked: u64,
+    /// Byzantine suppression: commit claims from Byzantine-mode groups
+    /// that *never* reached the router's `f + 1` confirmation quorum by
+    /// the end of the run — a lying leader's wholly invented commands
+    /// land here (0 in all-crash deployments).
+    pub byz_unconfirmed_claims: u64,
+    /// Byzantine suppression: reports from Byzantine-mode groups
+    /// withheld from the commit path pending their confirmation quorum,
+    /// cumulative — the work the `f + 1` rule did, fabricated claims
+    /// included (0 in all-crash deployments).
+    pub byz_withheld_reports: u64,
 }
 
 /// Runs the sharded multi-group replicated-log service.
@@ -692,6 +741,22 @@ pub struct ShardedRunReport {
 /// to a [`ShardedRunReport`].
 pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
     let topo = scenario.topology();
+    for &(g, i) in scenario.byz_silent.iter().chain(&scenario.byz_equivocators) {
+        assert_eq!(
+            scenario.mode_of(g),
+            GroupMode::Byzantine,
+            "adversary placement (group {g}, replica {i}) outside a Byzantine-mode group"
+        );
+        assert!(i < scenario.n, "adversary replica index {i} out of range");
+        // Open loop preloads each backlog into the initial-leader slot;
+        // an adversary there would silently discard the group's whole
+        // workload and the run would just burn its budget.
+        assert!(
+            scenario.window > 0 || i != 0,
+            "adversary at the initial-leader slot of group {g} needs a closed-loop \
+             window (open loop would preload the backlog into the adversary)"
+        );
+    }
     let workload = if scenario.dynamic_routing() {
         let table = RoutingTable::even(scenario.workload.key_space(), scenario.groups);
         sharded::partition_with_table(
@@ -736,6 +801,9 @@ fn build_router(
     .max(1.0) as u64;
     if !scenario.dynamic_routing() {
         let mut router = RouterActor::new(*topo, workload, scenario.window);
+        if scenario.has_byzantine() {
+            router = router.with_group_modes(scenario.group_modes.clone(), scenario.n);
+        }
         if paced {
             router = router.with_paced_arrivals(interval_ticks);
         }
@@ -756,24 +824,87 @@ fn build_router(
         policy,
         scenario.migrations.clone(),
     );
+    if scenario.has_byzantine() {
+        router = router.with_group_modes(scenario.group_modes.clone(), scenario.n);
+    }
     if paced {
         router = router.with_paced_arrivals(interval_ticks);
     }
     router
 }
 
-/// Builds one replica of group `g` for a sharded run (both kernel paths).
-fn sharded_node(
+/// The signing infrastructure of a deployment with Byzantine-mode
+/// groups: one authority per run, every Byzantine-group replica
+/// registered in id order (adversaries receive their own signer — they
+/// can lie as themselves, never as a correct replica).
+struct ByzAuth {
+    auth: SigAuthority,
+    signers: BTreeMap<Pid, sigsim::Signer>,
+}
+
+/// Builds the signing authority for a scenario, registering every
+/// replica of every Byzantine-mode group. `None` for all-crash
+/// deployments (whose schedules must stay bit-identical to the
+/// pre-Byzantine harness).
+fn byz_auth(scenario: &ShardedScenario, topo: &GroupTopology) -> Option<ByzAuth> {
+    if !scenario.has_byzantine() {
+        return None;
+    }
+    let mut auth = SigAuthority::new(scenario.seed ^ 0xB12A);
+    let mut signers = BTreeMap::new();
+    for g in 0..scenario.groups {
+        if scenario.mode_of(g) != GroupMode::Byzantine {
+            continue;
+        }
+        for p in topo.procs(g) {
+            signers.insert(p, auth.register(p));
+        }
+    }
+    Some(ByzAuth { auth, signers })
+}
+
+/// One replica slot of a sharded deployment, ready to add to either
+/// kernel: the group's protocol node, or an injected adversary.
+enum ReplicaBuild {
+    Crash(Box<SmrNode>),
+    Byz(Box<ByzSmrNode>),
+    Silent,
+    Equivocator(Box<LogEquivocator>),
+}
+
+/// Builds one replica of group `g` for a sharded run (both kernel
+/// paths): the scenario's adversary placements first, then the group's
+/// [`GroupMode`] protocol node.
+fn sharded_replica(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
+    byz: Option<&ByzAuth>,
     backlog: &[Value],
     g: usize,
     i: usize,
-) -> SmrNode {
+) -> ReplicaBuild {
     let procs = topo.procs(g);
     let mems = topo.mems(g);
     let leader = topo.initial_leader(g);
-    let f_m = (scenario.m.max(1) - 1) / 2;
+    if scenario.byz_silent.contains(&(g, i)) {
+        return ReplicaBuild::Silent;
+    }
+    if scenario.byz_equivocators.contains(&(g, i)) {
+        let byz = byz.expect("equivocator outside a Byzantine deployment");
+        // Junk ids far above any client command id (and below the
+        // control-entry bit): visibly not a client command, so a group
+        // that settles one corrupts nobody's accounting.
+        let junk = 1u64 << 40 | (g as u64) << 8;
+        return ReplicaBuild::Equivocator(Box::new(LogEquivocator::new(
+            procs[i],
+            mems,
+            topo.router(),
+            Value(junk | 1),
+            Value(junk | 2),
+            Duration::from_delays(4),
+            byz.signers[&procs[i]].clone(),
+        )));
+    }
     // Open loop preloads the whole backlog into the initial leader;
     // closed loop starts everyone empty and the router submits.
     let preload = if scenario.window == 0 && i == 0 {
@@ -781,44 +912,94 @@ fn sharded_node(
     } else {
         Vec::new()
     };
-    SmrNode::new(
-        procs[i],
-        procs,
-        mems,
-        leader,
-        preload,
-        f_m,
-        Duration::from_delays(20),
-    )
-    .with_batch(scenario.batch)
-    .with_observer(topo.router())
-    .with_session_dedup()
+    match scenario.mode_of(g) {
+        GroupMode::CrashPmp => {
+            let f_m = (scenario.m.max(1) - 1) / 2;
+            ReplicaBuild::Crash(Box::new(
+                SmrNode::new(
+                    procs[i],
+                    procs.clone(),
+                    mems,
+                    leader,
+                    preload,
+                    f_m,
+                    Duration::from_delays(20),
+                )
+                .with_batch(scenario.batch)
+                .with_observer(topo.router())
+                .with_session_dedup(),
+            ))
+        }
+        GroupMode::Byzantine => {
+            let byz = byz.expect("Byzantine group without an authority");
+            ReplicaBuild::Byz(Box::new(
+                ByzSmrNode::new(
+                    procs[i],
+                    procs.clone(),
+                    mems,
+                    leader,
+                    preload,
+                    byz.signers[&procs[i]].clone(),
+                    byz.auth.verifier(),
+                    Duration::from_delays(1),
+                )
+                .with_batch(scenario.batch)
+                .with_observer(topo.router())
+                .with_session_dedup(),
+            ))
+        }
+    }
+}
+
+/// Builds group `g`'s memory actor for its failure mode: the PMP
+/// permission-protected region (crash) or the non-equivocating broadcast
+/// rows (Byzantine).
+fn sharded_memory(
+    scenario: &ShardedScenario,
+    topo: &GroupTopology,
+    g: usize,
+) -> rdma_sim::MemoryActor<crate::types::RegVal, Msg> {
+    match scenario.mode_of(g) {
+        GroupMode::CrashPmp => protected::memory_actor(topo.initial_leader(g)),
+        GroupMode::Byzantine => byz_memory_actor(&topo.procs(g)),
+    }
 }
 
 /// Collects every replica's post-run state for the report reduction:
-/// per-group replica logs plus the total dedup-suppression count. One
-/// implementation for both kernel paths — `node` resolves a replica id on
-/// whichever view (monolithic `Simulation` or partitioned `ParActors`)
-/// the run finished on, so a new report field only needs wiring once.
+/// per-group replica logs plus the total dedup-suppression and
+/// equivocation-block counts. One implementation for both kernel paths —
+/// `node` resolves a `(replica id, group mode)` on whichever view
+/// (monolithic `Simulation` or partitioned `ParActors`) the run finished
+/// on, so a new report field only needs wiring once. Adversary-occupied
+/// slots report an empty log and zero counters.
 fn collect_replica_state(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
-    node: impl Fn(Pid) -> (Vec<Value>, u64),
-) -> (Vec<Vec<Vec<Value>>>, u64) {
+    node: impl Fn(Pid, GroupMode) -> (Vec<Value>, u64, u64),
+) -> (Vec<Vec<Vec<Value>>>, u64, u64) {
     let mut duplicates_suppressed = 0u64;
+    let mut equivocations_blocked = 0u64;
     let logs = (0..scenario.groups)
         .map(|g| {
             topo.procs(g)
                 .iter()
                 .map(|&p| {
-                    let (log, dups) = node(p);
+                    let (log, dups, equivs) = node(p, scenario.mode_of(g));
                     duplicates_suppressed += dups;
+                    equivocations_blocked += equivs;
                     log
                 })
                 .collect()
         })
         .collect();
-    (logs, duplicates_suppressed)
+    (logs, duplicates_suppressed, equivocations_blocked)
+}
+
+/// Resolves one replica's post-run state by downcasting to its mode's
+/// node type on any actor view. Adversary slots (and crashed actors the
+/// view no longer exposes) read as empty.
+fn replica_state_of(log_dups: Option<(Vec<Value>, u64, u64)>) -> (Vec<Value>, u64, u64) {
+    log_dups.unwrap_or((Vec::new(), 0, 0))
 }
 
 /// The classic single-kernel path (`partitions == 1`); honours
@@ -830,13 +1011,21 @@ fn run_sharded_monolithic(
 ) -> ShardedRunReport {
     let mut sim: Simulation<Msg> = Simulation::with_profile(scenario.seed, scenario.kernel);
     sim.set_default_delay(scenario.delay.clone());
+    let byz = byz_auth(scenario, topo);
     for g in 0..scenario.groups {
         for i in 0..scenario.n {
-            let id = sim.add(sharded_node(scenario, topo, &workload.backlogs[g], g, i));
-            debug_assert_eq!(id, topo.procs(g)[i]);
+            let expect = topo.procs(g)[i];
+            let id =
+                match sharded_replica(scenario, topo, byz.as_ref(), &workload.backlogs[g], g, i) {
+                    ReplicaBuild::Crash(node) => sim.add(*node),
+                    ReplicaBuild::Byz(node) => sim.add(*node),
+                    ReplicaBuild::Silent => sim.add(crate::adversary::SilentActor),
+                    ReplicaBuild::Equivocator(adv) => sim.add(*adv),
+                };
+            debug_assert_eq!(id, expect);
         }
         for &mem in &topo.mems(g) {
-            let id = sim.add(protected::memory_actor(topo.initial_leader(g)));
+            let id = sim.add(sharded_memory(scenario, topo, g));
             debug_assert_eq!(id, mem);
         }
     }
@@ -858,10 +1047,21 @@ fn run_sharded_monolithic(
             .is_some_and(RouterActor::done)
     });
 
-    let (logs, duplicates_suppressed) = collect_replica_state(scenario, topo, |p| {
-        let node = sim.actor_as::<SmrNode>(p).expect("replica exists");
-        (node.log(), node.duplicates_suppressed())
-    });
+    let (logs, duplicates_suppressed, equivocations_blocked) =
+        collect_replica_state(scenario, topo, |p, mode| {
+            replica_state_of(match mode {
+                GroupMode::CrashPmp => sim
+                    .actor_as::<SmrNode>(p)
+                    .map(|n| (n.log(), n.duplicates_suppressed(), 0)),
+                GroupMode::Byzantine => sim.actor_as::<ByzSmrNode>(p).map(|n| {
+                    (
+                        n.log(),
+                        n.duplicates_suppressed(),
+                        n.equivocations_blocked(),
+                    )
+                }),
+            })
+        });
     let router = sim
         .actor_as::<RouterActor>(router_id)
         .expect("router exists");
@@ -871,6 +1071,7 @@ fn run_sharded_monolithic(
         router,
         &logs,
         duplicates_suppressed,
+        equivocations_blocked,
         sim.now(),
         sim.metrics(),
         vec![peak],
@@ -900,17 +1101,22 @@ fn run_sharded_partitioned(
     let mut sim: ParSimulation<Msg> = ParSimulation::new(scenario.seed, parts, lookahead);
     sim.set_threads(scenario.threads);
     sim.set_default_delay(scenario.delay.clone());
+    let byz = byz_auth(scenario, topo);
     for g in 0..scenario.groups {
         let part = topo.partition_of_group(g, parts);
         for i in 0..scenario.n {
-            let id = sim.add_to(
-                part,
-                sharded_node(scenario, topo, &workload.backlogs[g], g, i),
-            );
-            debug_assert_eq!(id, topo.procs(g)[i]);
+            let expect = topo.procs(g)[i];
+            let id =
+                match sharded_replica(scenario, topo, byz.as_ref(), &workload.backlogs[g], g, i) {
+                    ReplicaBuild::Crash(node) => sim.add_to(part, *node),
+                    ReplicaBuild::Byz(node) => sim.add_to(part, *node),
+                    ReplicaBuild::Silent => sim.add_to(part, crate::adversary::SilentActor),
+                    ReplicaBuild::Equivocator(adv) => sim.add_to(part, *adv),
+                };
+            debug_assert_eq!(id, expect);
         }
         for &mem in &topo.mems(g) {
-            let id = sim.add_to(part, protected::memory_actor(topo.initial_leader(g)));
+            let id = sim.add_to(part, sharded_memory(scenario, topo, g));
             debug_assert_eq!(id, mem);
         }
     }
@@ -936,10 +1142,21 @@ fn run_sharded_partitioned(
     let metrics = sim.merged_metrics();
     let partition_peaks = sim.partition_peak_queue_lens();
     sim.with_actors(|view| {
-        let (logs, duplicates_suppressed) = collect_replica_state(scenario, topo, |p| {
-            let node = view.actor_as::<SmrNode>(p).expect("replica exists");
-            (node.log(), node.duplicates_suppressed())
-        });
+        let (logs, duplicates_suppressed, equivocations_blocked) =
+            collect_replica_state(scenario, topo, |p, mode| {
+                replica_state_of(match mode {
+                    GroupMode::CrashPmp => view
+                        .actor_as::<SmrNode>(p)
+                        .map(|n| (n.log(), n.duplicates_suppressed(), 0)),
+                    GroupMode::Byzantine => view.actor_as::<ByzSmrNode>(p).map(|n| {
+                        (
+                            n.log(),
+                            n.duplicates_suppressed(),
+                            n.equivocations_blocked(),
+                        )
+                    }),
+                })
+            });
         let router = view
             .actor_as::<RouterActor>(router_id)
             .expect("router exists");
@@ -948,6 +1165,7 @@ fn run_sharded_partitioned(
             router,
             &logs,
             duplicates_suppressed,
+            equivocations_blocked,
             elapsed,
             &metrics,
             partition_peaks,
@@ -964,6 +1182,7 @@ fn reduce_sharded(
     router: &RouterActor,
     replica_logs: &[Vec<Vec<Value>>],
     duplicates_suppressed: u64,
+    equivocations_blocked: u64,
     elapsed: Time,
     metrics: &Metrics,
     partition_peak_queue_lens: Vec<u64>,
@@ -1005,6 +1224,7 @@ fn reduce_sharded(
             p99_latency_ticks: sharded::metrics::percentile_sorted_ticks(&lat, 99.0),
             max_commit_gap_ticks: sharded::metrics::max_gap_ticks(router.group_commit_times(g)),
             logs_agree,
+            mode: scenario.mode_of(g),
             log: longest,
         });
         all_latencies.push(lat);
@@ -1045,6 +1265,9 @@ fn reduce_sharded(
         routing_table_version: router.routing_version(),
         rerouted_commands: router.rerouted_commands(),
         cross_epoch_commits: router.cross_epoch_commits(),
+        equivocations_blocked,
+        byz_unconfirmed_claims: router.byz_unconfirmed_claims(),
+        byz_withheld_reports: router.byz_withheld_reports(),
         groups,
     }
 }

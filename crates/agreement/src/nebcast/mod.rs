@@ -49,6 +49,22 @@ pub fn slot_reg(i: Pid, k: u64, q: Pid) -> RegId {
     RegId::new(spaces::NEB, i.0 as u64, k, q.0 as u64)
 }
 
+/// Marks a *delivery receipt* register: the `k` coordinate of
+/// [`receipt_reg`] carries this bit so receipts never collide with (or
+/// match audit reads of) the broadcast slots themselves.
+pub const RECEIPT_BIT: u64 = 1 << 63;
+
+/// The register holding `i`'s delivery receipt for `(q, k)` — written
+/// via [`NebEngine::acknowledge`] after `i` delivers *and accepts* `q`'s
+/// `k`-th broadcast, holding the delivered slot verbatim. Receipts live in
+/// the deliverer's own writable row, so a Byzantine broadcaster cannot
+/// forge a receipt for a correct process; a takeover scan
+/// ([`crate::smr::ByzSmrNode`]) uses them to prefer values some correct
+/// process actually settled over values that were merely written.
+pub fn receipt_reg(i: Pid, k: u64, q: Pid) -> RegId {
+    RegId::new(spaces::NEB, i.0 as u64, k | RECEIPT_BIT, q.0 as u64)
+}
+
 /// Declares the broadcast regions on a memory actor (row regions overlap
 /// the all-region, as §7's protection-domain construction does).
 pub fn configure_memory(mem: &mut rdma_sim::MemoryActor<RegVal, Msg>, procs: &[Pid]) {
@@ -145,6 +161,34 @@ impl NebEngine {
             blocked: BTreeMap::new(),
             deliveries: VecDeque::new(),
         }
+    }
+
+    /// Writes this process's delivery receipt for `d` (a fire-and-forget
+    /// replicated write of the delivered slot into [`receipt_reg`]).
+    ///
+    /// Deliberately *not* automatic: a receipt asserts "a correct process
+    /// accepted this broadcast", so the application must acknowledge only
+    /// deliveries it actually acts on — [`crate::smr::ByzSmrNode`] calls
+    /// this for batches it settles, never for parked wires from senders
+    /// Ω has not designated leader (an engine-level delivery alone proves
+    /// ordering, not acceptance).
+    pub fn acknowledge(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        d: &Delivery,
+    ) {
+        self.rep.write(
+            ctx,
+            client,
+            row_region(self.me),
+            receipt_reg(self.me, d.k, d.from),
+            RegVal::Neb(NebSlot {
+                k: d.k,
+                wire: d.wire.clone(),
+                sig: d.sig,
+            }),
+        );
     }
 
     /// The next sequence number this process will broadcast with.

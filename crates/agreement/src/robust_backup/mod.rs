@@ -181,6 +181,9 @@ impl RobustCore {
                     self.engine.on_msg(d.from, m, &mut out);
                     self.pump(ctx, client, out);
                 }
+                // Replicated-log traffic (Byzantine-mode SMR) is not part
+                // of the single-decree protocol; ignore it.
+                RbPayload::LogEntries { .. } => {}
             }
         }
     }

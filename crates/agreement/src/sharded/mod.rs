@@ -79,6 +79,27 @@ pub use workload::{
     group_of_key, partition, partition_with_table, sample_keys, PartitionedWorkload, WorkloadSpec,
 };
 
+/// The failure model (and therefore the consensus protocol) one
+/// replication group runs under. Per-group: a deployment can mix
+/// crash-mode and Byzantine-mode groups behind the same router, and the
+/// choice is invisible to everything above the replication layer —
+/// batching, session dedup, observers and migration snapshots are shared
+/// through [`crate::smr::LogCore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GroupMode {
+    /// Crash failures only: the paper's Protected Memory Paxos log
+    /// ([`crate::smr::SmrNode`]) — 2-delay commits, permission-revocation
+    /// failover. The default; bit-identical to the pre-Byzantine service.
+    #[default]
+    CrashPmp,
+    /// Up to `f = (n-1)/2` Byzantine replicas out of `n = 2f + 1`: the
+    /// log replicates through signed non-equivocating broadcast
+    /// ([`crate::smr::ByzSmrNode`]), every replica reports its own
+    /// settles, and the router confirms a commit only at `f + 1`
+    /// matching reports — a lying leader cannot fake one.
+    Byzantine,
+}
+
 /// The fixed actor-id layout of a sharded deployment: `groups` blocks of
 /// `n` replicas + `m` memories, then the router.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

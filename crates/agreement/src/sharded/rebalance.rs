@@ -303,6 +303,13 @@ pub struct RebalanceConfig {
     /// Windows with fewer commits than this are ignored (cold start,
     /// drain phase).
     pub min_window_commits: u64,
+    /// Per-range move hysteresis: a key that just migrated may not be
+    /// picked again for this many delays. `0` (the default, and the
+    /// pre-hysteresis behaviour) lets a hot range bounce between two
+    /// groups under a fast cadence — each move makes the *destination*
+    /// hot, so the policy immediately moves the range back. The hold
+    /// gives the load window time to forget the transient.
+    pub min_hold_delays: u64,
 }
 
 impl Default for RebalanceConfig {
@@ -313,6 +320,7 @@ impl Default for RebalanceConfig {
             hot_group_permille: 300,
             hot_key_permille: 100,
             min_window_commits: 64,
+            min_hold_delays: 0,
         }
     }
 }
@@ -333,6 +341,11 @@ pub struct RebalancePolicy {
     win_keys: BTreeMap<u64, u64>,
     /// No trigger before this time (cooldown).
     quiet_until: Time,
+    /// Per-range move history: when each key was last migrated (and how
+    /// often) — the hysteresis state behind
+    /// [`RebalanceConfig::min_hold_delays`].
+    moved_at: BTreeMap<u64, Time>,
+    move_counts: BTreeMap<u64, u32>,
 }
 
 impl RebalancePolicy {
@@ -343,7 +356,14 @@ impl RebalancePolicy {
             win_group: vec![0; groups],
             win_keys: BTreeMap::new(),
             quiet_until: Time(0),
+            moved_at: BTreeMap::new(),
+            move_counts: BTreeMap::new(),
         }
+    }
+
+    /// How many times the policy has migrated `key` so far.
+    pub fn moves_of(&self, key: u64) -> u32 {
+        self.move_counts.get(&key).copied().unwrap_or(0)
     }
 
     /// The policy's cadence, in delays.
@@ -382,10 +402,20 @@ impl RebalancePolicy {
         if win_group[hot] * 1000 < self.cfg.hot_group_permille as u64 * total {
             return None;
         }
-        // Hottest key currently routed to the hot group.
+        // Hottest key currently routed to the hot group — skipping keys
+        // still under their post-move hold (the hysteresis that stops a
+        // hot range bouncing between two groups under a fast cadence).
+        let hold_ticks = self.cfg.min_hold_delays * simnet::TICKS_PER_DELAY;
         let (key, count) = win_keys
             .iter()
             .filter(|&(&k, _)| table.group_of(k) == hot)
+            .filter(|&(&k, _)| {
+                hold_ticks == 0
+                    || self
+                        .moved_at
+                        .get(&k)
+                        .is_none_or(|&t| now.0 >= t.0 + hold_ticks)
+            })
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
             .map(|(&k, &c)| (k, c))?;
         if count * 1000 < self.cfg.hot_key_permille as u64 * win_group[hot] {
@@ -395,6 +425,8 @@ impl RebalancePolicy {
             .filter(|&g| g != hot)
             .min_by_key(|&g| win_group[g])?;
         self.quiet_until = Time(now.0 + self.cfg.cooldown_delays * simnet::TICKS_PER_DELAY);
+        self.moved_at.insert(key, now);
+        *self.move_counts.entry(key).or_insert(0) += 1;
         Some((KeyRange::single(key), cold))
     }
 }

@@ -40,7 +40,7 @@
 //! application. Off by default: without it the router is bit-identical to
 //! the static-hash service.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use simnet::{Actor, Context, Duration, EventKind, Time};
 
@@ -50,7 +50,7 @@ use super::rebalance::{
     self, CtrlEntry, KeyRange, MigrationSpec, RebalancePolicy, RoutingTable, ScriptedMigration,
 };
 use super::workload::PartitionedWorkload;
-use super::GroupTopology;
+use super::{GroupMode, GroupTopology};
 
 /// Timer tag of the rebalance policy's periodic load check.
 const POLICY_TAG: u64 = 1;
@@ -143,6 +143,29 @@ struct RebalanceState {
     cross_epoch_commits: u64,
 }
 
+/// Byzantine-commit confirmation: present iff any group runs
+/// [`GroupMode::Byzantine`]. In a Byzantine group a single replica's
+/// `Decided` notification proves nothing (the sender may be lying), so
+/// the router buffers per-value reporter sets and forwards an observation
+/// to the normal commit path only once `f + 1` *distinct* replicas of the
+/// group have reported it — at least one of them is then correct.
+#[derive(Debug)]
+struct ByzConfirm {
+    /// Per-group failure mode (index = group).
+    modes: Vec<GroupMode>,
+    /// Reports needed before an observation counts (`f + 1`).
+    quorum: usize,
+    /// `(group, value) → distinct reporters`, `None` once confirmed (the
+    /// tombstone keeps a straggling post-quorum report from re-opening
+    /// the entry). What remains `Some` at the end of a run is exactly
+    /// the unconfirmed claims.
+    pending: BTreeMap<(usize, u64), Option<BTreeSet<u32>>>,
+    /// Reports withheld from the commit path pending their quorum (the
+    /// cumulative work the confirmation layer did; every fabricated
+    /// claim lands here at least once).
+    withheld: u64,
+}
+
 /// The router actor. Build with [`RouterActor::new`], register it *after*
 /// all group replicas and memories so its id matches
 /// [`GroupTopology::router`].
@@ -168,6 +191,9 @@ pub struct RouterActor {
     /// starts its latency clock) at tick `(i - 1) · interval`. `0` is the
     /// classic everything-at-time-zero run.
     arrival_interval_ticks: u64,
+    /// Byzantine-group commit confirmation (absent in all-crash
+    /// deployments — the zero-cost default path).
+    byz: Option<ByzConfirm>,
 }
 
 impl RouterActor {
@@ -199,7 +225,77 @@ impl RouterActor {
             total,
             rebalance: None,
             arrival_interval_ticks: 0,
+            byz: None,
         }
+    }
+
+    /// Declares per-group failure modes (index = group; missing entries
+    /// default to [`GroupMode::CrashPmp`]). Observations from Byzantine
+    /// groups are held until `f + 1 = (n - 1) / 2 + 1` distinct replicas
+    /// of the group report the same value; `n` is the per-group replica
+    /// count. A no-op when every group is crash-mode.
+    pub fn with_group_modes(mut self, modes: Vec<GroupMode>, n: usize) -> RouterActor {
+        if modes.contains(&GroupMode::Byzantine) {
+            self.byz = Some(ByzConfirm {
+                modes,
+                quorum: (n - 1) / 2 + 1,
+                pending: BTreeMap::new(),
+                withheld: 0,
+            });
+        }
+        self
+    }
+
+    /// Whether group `g`'s observations need Byzantine confirmation.
+    fn byz_group(&self, g: usize) -> bool {
+        self.byz
+            .as_ref()
+            .is_some_and(|b| b.modes.get(g).copied().unwrap_or_default() == GroupMode::Byzantine)
+    }
+
+    /// Runs one raw observation through Byzantine confirmation. Returns
+    /// true exactly when the observation should enter the normal commit
+    /// path: immediately for crash groups, at the `f + 1`-th distinct
+    /// reporter for Byzantine ones (later duplicates are dropped — the
+    /// commit path already ran).
+    fn confirm(&mut self, g: usize, from: Pid, v: Value) -> bool {
+        if !self.byz_group(g) {
+            return true;
+        }
+        let byz = self.byz.as_mut().expect("byz_group implies state");
+        let entry = byz
+            .pending
+            .entry((g, v.0))
+            .or_insert_with(|| Some(BTreeSet::new()));
+        let Some(reporters) = entry else {
+            return false; // already confirmed; stale re-report
+        };
+        let new_reporter = reporters.insert(from.0);
+        if reporters.len() >= byz.quorum {
+            *entry = None;
+            return true;
+        }
+        if new_reporter {
+            byz.withheld += 1;
+        }
+        false
+    }
+
+    /// Observed claims from Byzantine groups still short of their `f + 1`
+    /// confirmation quorum — a lying leader's claims for commits *no
+    /// honest quorum ever backed* end the run here. (On a run cut off at
+    /// its `max_delays` budget this can also include honest reports whose
+    /// corroboration was still in flight; completed runs drain those.)
+    pub fn byz_unconfirmed_claims(&self) -> u64 {
+        self.byz.as_ref().map_or(0, |b| {
+            b.pending.values().filter(|r| r.is_some()).count() as u64
+        })
+    }
+
+    /// Reports from Byzantine groups withheld from the commit path
+    /// pending their confirmation quorum, cumulative over the run.
+    pub fn byz_withheld_reports(&self) -> u64 {
+        self.byz.as_ref().map_or(0, |b| b.withheld)
     }
 
     /// Enables paced arrivals: command `i` becomes eligible for
@@ -711,12 +807,16 @@ impl Actor<Msg> for RouterActor {
                 };
                 match msg {
                     Msg::Decided { value, .. } => {
-                        self.observe_value(ctx, g, value);
+                        if self.confirm(g, from, value) {
+                            self.observe_value(ctx, g, value);
+                        }
                         self.refill(ctx, g);
                     }
                     Msg::DecidedMany { values, .. } => {
                         for v in values {
-                            self.observe_value(ctx, g, v);
+                            if self.confirm(g, from, v) {
+                                self.observe_value(ctx, g, v);
+                            }
                         }
                         self.refill(ctx, g);
                     }

@@ -1,0 +1,813 @@
+//! Byzantine-mode state machine replication over non-equivocating
+//! broadcast.
+//!
+//! [`ByzSmrNode`] is the Byzantine counterpart of [`SmrNode`]: the same
+//! [`LogCore`] log/workload state machine (batching, session dedup,
+//! observers, migration snapshots — the sharded service cannot tell the
+//! two apart), but the *decision* path runs through the paper's headline
+//! Byzantine machinery instead of crash PMP:
+//!
+//! * The leader of the current epoch **broadcasts** each batch of log
+//!   entries through [`crate::nebcast`] (Algorithm 2): one signed
+//!   [`RbPayload::LogEntries`] wire per batch, written to the leader's
+//!   SWMR row on every memory. Non-equivocation confines a Byzantine
+//!   leader to crash behaviour per sequence number — it cannot make two
+//!   correct replicas deliver different values for the same broadcast.
+//! * Replicas **settle only what they deliver**, and only from the
+//!   replica Ω currently designates leader; deliveries from deposed or
+//!   not-yet-announced leaders are parked (and replayed if Ω later
+//!   confirms the sender). There is no replica-to-replica `Decided`
+//!   traffic to trust: the broadcast *is* the log. Settled deliveries
+//!   are acknowledged with [`crate::nebcast::receipt_reg`] receipts
+//!   ([`crate::nebcast::NebEngine::acknowledge`]) so an *accepted* value
+//!   is durably distinguishable from a merely-written (or merely parked)
+//!   one.
+//! * A replica promoted by Ω runs a **takeover scan**: one replicated
+//!   range read of the whole broadcast space (completing at a memory
+//!   majority, so it intersects every receipt and audit-copy majority),
+//!   then adopts, per instance, the validly-signed candidate preferring
+//!   *receipted* wires (those some correct process delivered), breaking
+//!   remaining ties by (highest epoch, then lowest sequence number and
+//!   value — a live deposed leader's own settle must win). Adopted values
+//!   are re-broadcast under the new leader's epoch before fresh commands
+//!   continue, so a command the old leader committed anywhere survives.
+//!
+//! The leader learns commitment the same way followers do — by
+//! delivering its own broadcast — so a batch costs one broadcast write
+//! (2 delays) plus one delivery (read + copy + audit ≈ 6 delays):
+//! Byzantine mode trades the crash protocol's 2-delay commits for
+//! footnote-2's broadcast latency, which is exactly the paper's price for
+//! tolerating `f` Byzantine replicas with only `n ≥ 2f + 1`.
+//!
+//! # Modeled threat
+//!
+//! The adversaries this node is hardened (and tested) against are the
+//! ones the sharded scenarios inject ([`crate::adversary`]): **silent**
+//! replicas (pure omission — the residual power non-equivocation leaves)
+//! and **equivocating leaders** (split or rewritten broadcast slots,
+//! fabricated commit notifications — suppressed by the audit and by the
+//! router's `f + 1` confirmation quorum). Byzantine *followers* beyond
+//! omission (e.g. forging delivery receipts) would additionally need the
+//! trusted-history conformance machinery of [`crate::trusted`]; the
+//! scan therefore ignores receipts a sender wrote for its own broadcasts.
+
+use std::collections::BTreeMap;
+
+use rdma_sim::{LegalChange, MemoryActor, MemoryClient};
+use sigsim::{SigVerifier, Signer};
+use simnet::{Actor, ActorId, Context, Duration, EventKind};
+use swmr::{RepEngine, RepId, RepResult};
+
+use crate::nebcast::{self, NebEngine, RECEIPT_BIT};
+use crate::trusted::RbPayload;
+use crate::types::{Instance, Msg, Pid, RegVal, Value};
+
+use super::core::LogCore;
+#[allow(unused_imports)] // rustdoc link target
+use super::SmrNode;
+
+const POLL_TAG: u64 = 60;
+
+/// The broadcast wire shape of one replicated-log batch: `values[j]`
+/// proposed for instance `first + j` under `epoch`. One constructor for
+/// the protocol, the adversaries, and the tests, so the signed shape can
+/// never drift apart between them.
+pub(crate) fn log_entries_wire(
+    first: u64,
+    epoch: u64,
+    values: Vec<Value>,
+) -> crate::trusted::TWire {
+    crate::trusted::TWire {
+        dest: crate::paxos::Dest::All,
+        payload: RbPayload::LogEntries {
+            first,
+            epoch,
+            values,
+        },
+        history: Vec::new(),
+    }
+}
+
+/// Builds one memory for a Byzantine-mode replication group: the
+/// non-equivocating broadcast regions (per-replica SWMR rows plus the
+/// read-only whole-array region) with static permissions — Byzantine mode
+/// never revokes, it out-audits.
+pub fn byz_memory_actor(procs: &[Pid]) -> MemoryActor<RegVal, Msg> {
+    let mut mem = MemoryActor::new(LegalChange::Static);
+    nebcast::configure_memory(&mut mem, procs);
+    mem
+}
+
+/// One candidate value for an instance, collected by the takeover scan.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    /// Whether some process other than the broadcaster wrote a delivery
+    /// receipt for the wire carrying this value.
+    receipted: bool,
+    epoch: u64,
+    k: u64,
+    value: Value,
+}
+
+impl Candidate {
+    /// Adoption preference, minimized: receipted wires (delivered by some
+    /// correct process) beat unreceipted ones; then the **highest** epoch
+    /// (Paxos-style — a later correct leader may have settled its own
+    /// proposal via self-delivery, whose self-receipt the scan rightly
+    /// ignores, so its value must outrank a dead predecessor's leftover);
+    /// within an epoch the earliest sequence number (matching followers'
+    /// FIFO settle order), then the lowest value.
+    fn key(&self) -> (u8, u64, u64, u64) {
+        (
+            u8::from(!self.receipted),
+            u64::MAX - self.epoch,
+            self.k,
+            self.value.0,
+        )
+    }
+}
+
+/// A replica serving a totally-ordered command log under Byzantine
+/// failures (see the module docs for the protocol).
+pub struct ByzSmrNode {
+    me: Pid,
+    procs: Vec<Pid>,
+    /// Actors outside the replica ring (the sharded router) notified of
+    /// this replica's settles. Byzantine mode notifies from *every*
+    /// replica — the router confirms a commit only at `f + 1` matching
+    /// reports, so a lying leader cannot fake one.
+    observers: Vec<ActorId>,
+    batch: usize,
+    poll_every: Duration,
+    client: MemoryClient<RegVal, Msg>,
+    neb: NebEngine,
+    verifier: SigVerifier,
+    /// Dedicated replication engine for takeover scans (the broadcast
+    /// engine's operations stay untouched by a scan in flight).
+    scan_rep: RepEngine<RegVal, Msg>,
+    core: LogCore,
+    current_leader: Pid,
+    is_leader: bool,
+    /// This leadership term's epoch (takeover count, carried in wires).
+    epoch: u64,
+    /// The broadcast in flight: `(first instance, batch length)` of the
+    /// batch whose self-delivery we await before proposing the next.
+    proposing: Option<(u64, usize)>,
+    /// Whether the in-flight batch consumed workload slots.
+    proposing_own: bool,
+    /// Next instance fresh commands are proposed at.
+    next_instance: u64,
+    /// A promoted leader's pending scan, if one is in flight.
+    scanning: Option<RepId>,
+    /// Scan needed (set on promotion, retried if a scan fails).
+    need_scan: bool,
+    /// Adopted values awaiting re-broadcast, dense by instance.
+    recover: BTreeMap<u64, Value>,
+    /// Deliveries from senders Ω has not (or no longer) designated
+    /// leader, in delivery order (kept whole so a later replay can still
+    /// acknowledge them). Replayed if the sender is announced leader.
+    parked: Vec<nebcast::Delivery>,
+}
+
+impl std::fmt::Debug for ByzSmrNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzSmrNode")
+            .field("me", &self.me)
+            .field("leader", &self.current_leader)
+            .field("epoch", &self.epoch)
+            .field("log_len", &self.core.log_len())
+            .finish()
+    }
+}
+
+impl ByzSmrNode {
+    /// Creates a replica. `workload` is the sequence of commands this
+    /// node proposes when it leads; `initial_leader` broadcasts epoch 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: Pid,
+        procs: Vec<Pid>,
+        mems: Vec<ActorId>,
+        initial_leader: Pid,
+        workload: Vec<Value>,
+        signer: Signer,
+        verifier: SigVerifier,
+        poll_every: Duration,
+    ) -> ByzSmrNode {
+        let neb = NebEngine::new(me, procs.clone(), mems.clone(), signer, verifier.clone());
+        ByzSmrNode {
+            me,
+            procs,
+            observers: Vec::new(),
+            batch: 1,
+            poll_every,
+            client: MemoryClient::new(),
+            neb,
+            verifier,
+            scan_rep: RepEngine::new(mems),
+            core: LogCore::new(workload),
+            current_leader: initial_leader,
+            is_leader: me == initial_leader,
+            epoch: 0,
+            proposing: None,
+            proposing_own: false,
+            next_instance: 0,
+            scanning: None,
+            need_scan: false,
+            recover: BTreeMap::new(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// Sets how many log entries the leader packs per broadcast (≥ 1) —
+    /// the same amortization lever as [`SmrNode::with_batch`], applied to
+    /// the broadcast write and the delivery pipeline alike.
+    pub fn with_batch(mut self, batch: usize) -> ByzSmrNode {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Enables client-session dedup (see [`SmrNode::with_session_dedup`];
+    /// identical semantics, shared implementation in [`LogCore`]).
+    pub fn with_session_dedup(mut self) -> ByzSmrNode {
+        self.core.dedup = true;
+        self
+    }
+
+    /// Registers an observer notified of this replica's settles.
+    pub fn with_observer(mut self, observer: ActorId) -> ByzSmrNode {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The contiguous decided prefix of the log.
+    pub fn log(&self) -> Vec<Value> {
+        self.core.log()
+    }
+
+    /// Length of the contiguous decided prefix (O(1)).
+    pub fn log_len(&self) -> usize {
+        self.core.log_len()
+    }
+
+    /// The decided value of `instance`, if any (including beyond a hole).
+    pub fn decided(&self, instance: u64) -> Option<Value> {
+        self.core.decided(instance)
+    }
+
+    /// Duplicate proposals suppressed so far (see [`LogCore`]).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.core.duplicates_suppressed
+    }
+
+    /// Peers this replica's broadcast layer has caught equivocating (and
+    /// blocked forever) — the Byzantine-suppression counter surfaced per
+    /// group by the sharded report.
+    pub fn equivocations_blocked(&self) -> u64 {
+        self.procs
+            .iter()
+            .filter(|&&q| self.neb.blocked_at(q).is_some())
+            .count() as u64
+    }
+
+    /// `(instance, time)` of each settle at this replica, in settle order.
+    pub fn decided_at(&self) -> &[(u64, simnet::Time)] {
+        &self.core.decided_at
+    }
+
+    /// Settles a delivered (or replayed) batch from the current leader
+    /// and notifies observers of anything newly decided.
+    fn apply_entries(&mut self, ctx: &mut Context<'_, Msg>, first: u64, values: &[Value]) {
+        if self.core.settle_many(ctx.now(), first, values) {
+            ctx.mark_decided();
+            for i in 0..self.observers.len() {
+                let obs = self.observers[i];
+                if values.len() == 1 {
+                    ctx.send(
+                        obs,
+                        Msg::Decided {
+                            instance: Instance(first),
+                            value: values[0],
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        obs,
+                        Msg::DecidedMany {
+                            first: Instance(first),
+                            values: values.to_vec(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles one broadcast delivery: entries from the Ω-current leader
+    /// settle (and are acknowledged with a receipt — the durable mark a
+    /// correct process *accepted* the wire); everything else is parked
+    /// unacknowledged (a deposed leader's stragglers, or a new leader's
+    /// wires arriving before its announcement).
+    fn on_delivery(&mut self, ctx: &mut Context<'_, Msg>, d: nebcast::Delivery) {
+        let RbPayload::LogEntries {
+            first, ref values, ..
+        } = d.wire.payload
+        else {
+            return; // single-decree traffic from another protocol: not ours
+        };
+        if d.from != self.current_leader {
+            self.parked.push(d);
+            return;
+        }
+        let batch_len = values.len();
+        let values = values.clone();
+        self.neb.acknowledge(ctx, &mut self.client, &d);
+        self.apply_entries(ctx, first, &values);
+        // Self-delivery completes the in-flight proposal: the batch is
+        // committed (any correct replica's audit now intersects ours).
+        if d.from == self.me && self.proposing == Some((first, batch_len)) {
+            if self.proposing_own {
+                self.core.commit_own_round();
+            }
+            self.proposing = None;
+            self.drive(ctx);
+        }
+    }
+
+    /// Replays parked deliveries from the (new) current leader, in their
+    /// original delivery order (acknowledging them as they settle).
+    fn replay_parked(&mut self, ctx: &mut Context<'_, Msg>) {
+        let mut parked = std::mem::take(&mut self.parked);
+        for d in parked.drain(..) {
+            if d.from == self.current_leader {
+                let RbPayload::LogEntries {
+                    first, ref values, ..
+                } = d.wire.payload
+                else {
+                    continue;
+                };
+                let values = values.clone();
+                self.neb.acknowledge(ctx, &mut self.client, &d);
+                self.apply_entries(ctx, first, &values);
+            } else {
+                self.parked.push(d);
+            }
+        }
+    }
+
+    /// Proposes the next batch (leader only): adopted recovery values
+    /// first (re-broadcast under the new epoch), then fresh workload.
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.is_leader || self.proposing.is_some() || self.scanning.is_some() || self.need_scan
+        {
+            return;
+        }
+        let mut values = Vec::new();
+        let first = if let Some((&first, _)) = self.recover.iter().next() {
+            // Recovery re-broadcast: a run of consecutive adopted values.
+            self.proposing_own = false;
+            for i in first..first + self.batch as u64 {
+                match self.recover.remove(&i) {
+                    Some(v) => values.push(v),
+                    None => break,
+                }
+            }
+            first
+        } else {
+            if self.core.workload_drained() {
+                return;
+            }
+            self.proposing_own = true;
+            self.core
+                .fill_own(self.batch, self.next_instance, |_| false, &mut values);
+            let first = self.next_instance;
+            self.next_instance += values.len() as u64;
+            first
+        };
+        let wire = log_entries_wire(first, self.epoch, values.clone());
+        self.proposing = Some((first, values.len()));
+        self.neb.broadcast(ctx, &mut self.client, wire);
+    }
+
+    /// Starts the takeover scan: one replicated range read of the whole
+    /// broadcast space. Completing at a memory majority is enough — every
+    /// delivered value's receipt (and audit copy) was itself written to a
+    /// majority, so the scan's read quorum intersects it.
+    fn start_scan(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.proposing = None;
+        self.recover.clear();
+        self.scanning =
+            Some(
+                self.scan_rep
+                    .read_range(ctx, &mut self.client, nebcast::ALL_REGION, None),
+            );
+    }
+
+    /// Folds the scan result into an adoption map and opens the new
+    /// epoch (see the module docs for the adoption rule).
+    fn adopt(&mut self, rows: BTreeMap<rdma_sim::RegId, RegVal>) {
+        self.need_scan = false;
+        let mut best: BTreeMap<u64, Candidate> = BTreeMap::new();
+        let mut max_epoch = self.epoch;
+        for (reg, val) in rows {
+            let RegVal::Neb(slot) = val else { continue };
+            let receipted = reg.b & RECEIPT_BIT != 0;
+            let k = reg.b & !RECEIPT_BIT;
+            let sender = ActorId(reg.c as u32);
+            let row_owner = ActorId(reg.a as u32);
+            if slot.k != k || !self.procs.contains(&sender) {
+                continue;
+            }
+            // A broadcaster's receipt for its own wire proves nothing —
+            // only other rows' receipts witness a delivery.
+            if receipted && row_owner == sender {
+                continue;
+            }
+            if !self
+                .verifier
+                .valid(sender, &slot.wire.sign_view(slot.k), &slot.sig)
+            {
+                continue;
+            }
+            let RbPayload::LogEntries {
+                first,
+                epoch,
+                values,
+            } = &slot.wire.payload
+            else {
+                continue;
+            };
+            max_epoch = max_epoch.max(*epoch);
+            for (j, &v) in values.iter().enumerate() {
+                let cand = Candidate {
+                    receipted,
+                    epoch: *epoch,
+                    k,
+                    value: v,
+                };
+                let inst = first + j as u64;
+                best.entry(inst)
+                    .and_modify(|b| {
+                        if cand.key() < b.key() {
+                            *b = cand;
+                        }
+                    })
+                    .or_insert(cand);
+            }
+        }
+        // Rebuild the dense recovery plan: everything this replica has
+        // itself settled wins outright (a correct replica's log is, by
+        // non-equivocation + the parking rule, consistent with every
+        // other correct settle); scan candidates fill the rest; holes
+        // below the frontier become explicit no-op fillers so follower
+        // prefixes can always close.
+        let settled_top = self.core.slots.len() as u64;
+        let scanned_top = best.keys().next_back().map_or(0, |&i| i + 1);
+        let top = settled_top.max(scanned_top);
+        self.recover.clear();
+        for i in 0..top {
+            let v = self
+                .core
+                .decided(i)
+                .or_else(|| best.get(&i).map(|c| c.value))
+                .unwrap_or(Value(u64::MAX));
+            self.recover.insert(i, v);
+        }
+        self.next_instance = top;
+        self.epoch = max_epoch + 1;
+    }
+}
+
+impl Actor<Msg> for ByzSmrNode {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                self.neb.poll(ctx, &mut self.client);
+                self.drive(ctx);
+                ctx.set_timer(self.poll_every, POLL_TAG);
+            }
+            EventKind::Timer { tag: POLL_TAG, .. } => {
+                self.neb.poll(ctx, &mut self.client);
+                for d in self.neb.take_deliveries() {
+                    self.on_delivery(ctx, d);
+                }
+                if self.is_leader && self.need_scan && self.scanning.is_none() {
+                    self.start_scan(ctx);
+                }
+                self.drive(ctx);
+                ctx.set_timer(self.poll_every, POLL_TAG);
+            }
+            EventKind::Timer { .. } => {}
+            EventKind::LeaderChange { leader } => {
+                let was = self.is_leader;
+                self.current_leader = leader;
+                self.is_leader = leader == self.me;
+                if self.is_leader && !was {
+                    self.need_scan = true;
+                    self.start_scan(ctx);
+                } else if !self.is_leader {
+                    self.proposing = None;
+                    self.scanning = None;
+                    self.need_scan = false;
+                    self.recover.clear();
+                }
+                self.replay_parked(ctx);
+            }
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let Some(c) = self.client.on_wire(ctx, from, wire) else {
+                    return;
+                };
+                if self.neb.on_completion(ctx, &mut self.client, c.clone()) {
+                    for d in self.neb.take_deliveries() {
+                        self.on_delivery(ctx, d);
+                    }
+                    self.drive(ctx);
+                    return;
+                }
+                if let Some(ev) = self.scan_rep.on_completion(c) {
+                    if Some(ev.id) == self.scanning {
+                        self.scanning = None;
+                        match ev.result {
+                            RepResult::RangeOk(rows) => {
+                                self.adopt(rows);
+                                self.drive(ctx);
+                            }
+                            // Scan failed (memory churn): retry at the
+                            // next poll tick.
+                            _ => self.need_scan = true,
+                        }
+                    }
+                }
+            }
+            EventKind::Msg {
+                msg: Msg::Submit { mut cmds },
+                ..
+            } => {
+                self.core.submit(&mut cmds);
+                self.drive(ctx);
+            }
+            EventKind::Msg {
+                msg: Msg::InstallSnapshot { seen, .. },
+                ..
+            } => {
+                self.core.install_snapshot(seen);
+            }
+            // Byzantine mode trusts nothing it did not deliver itself:
+            // `Decided` claims from peers are ignored.
+            EventKind::Msg { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigsim::SigAuthority;
+    use simnet::{Simulation, Time};
+
+    fn build(
+        n: u32,
+        m: u32,
+        seed: u64,
+        cmds_leader: usize,
+        batch: usize,
+        silent: &[u32],
+    ) -> (Simulation<Msg>, Vec<Pid>) {
+        let mut sim = Simulation::new(seed);
+        let procs: Vec<Pid> = (0..n).map(ActorId).collect();
+        let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
+        let mut auth = SigAuthority::new(seed ^ 0xB12A);
+        for i in 0..n {
+            let signer = auth.register(ActorId(i));
+            if silent.contains(&i) {
+                sim.add(crate::adversary::SilentActor);
+                continue;
+            }
+            let workload: Vec<Value> = if i == 0 {
+                (0..cmds_leader).map(|c| Value(1000 + c as u64)).collect()
+            } else {
+                Vec::new()
+            };
+            sim.add(
+                ByzSmrNode::new(
+                    ActorId(i),
+                    procs.clone(),
+                    mems.clone(),
+                    ActorId(0),
+                    workload,
+                    signer,
+                    auth.verifier(),
+                    Duration::from_delays(1),
+                )
+                .with_batch(batch),
+            );
+        }
+        for _ in 0..m {
+            sim.add(byz_memory_actor(&procs));
+        }
+        (sim, procs)
+    }
+
+    fn log_of(sim: &Simulation<Msg>, p: Pid) -> Vec<Value> {
+        sim.actor_as::<ByzSmrNode>(p).unwrap().log()
+    }
+
+    /// Builds a validly-signed broadcast slot for `sender`.
+    fn log_wire(
+        signer: &sigsim::Signer,
+        k: u64,
+        first: u64,
+        epoch: u64,
+        values: Vec<Value>,
+    ) -> RegVal {
+        let wire = log_entries_wire(first, epoch, values);
+        let sig = signer.sign(&wire.sign_view(k));
+        RegVal::Neb(nebcast::NebSlot { k, wire, sig })
+    }
+
+    /// The takeover-scan adoption rule, pinned directly: among
+    /// unreceipted candidates the HIGHEST epoch wins (a live deposed
+    /// leader may have settled its own proposal, and the scan ignores
+    /// self-receipts — its value must outrank a dead predecessor's
+    /// leftover), while a receipt from another process outranks epochs
+    /// entirely (somebody provably delivered that value).
+    #[test]
+    fn adoption_prefers_receipts_then_highest_epoch() {
+        let procs: Vec<Pid> = (0..3).map(ActorId).collect();
+        let mems: Vec<ActorId> = (3..6).map(ActorId).collect();
+        let mut auth = SigAuthority::new(99 ^ 0xB12A);
+        let s0 = auth.register(ActorId(0));
+        let s1 = auth.register(ActorId(1));
+        let _s2 = auth.register(ActorId(2));
+        let mut node = ByzSmrNode::new(
+            ActorId(2),
+            procs,
+            mems,
+            ActorId(0),
+            Vec::new(),
+            _s2.clone(),
+            auth.verifier(),
+            Duration::from_delays(1),
+        );
+        // Old leader L0 (epoch 0) left value A at instance 1; promoted
+        // L1 (epoch 1) proposed C there and may have settled it via
+        // self-delivery. Nobody else delivered either.
+        let a = log_wire(&s0, 2, 1, 0, vec![Value(100)]);
+        let c = log_wire(&s1, 1, 1, 1, vec![Value(200)]);
+        let mut rows = BTreeMap::new();
+        rows.insert(nebcast::slot_reg(ActorId(0), 2, ActorId(0)), a.clone());
+        rows.insert(nebcast::slot_reg(ActorId(1), 1, ActorId(1)), c.clone());
+        node.adopt(rows.clone());
+        assert_eq!(
+            node.recover.get(&1),
+            Some(&Value(200)),
+            "highest epoch must win among unreceipted candidates"
+        );
+        assert_eq!(node.epoch, 2, "new epoch opens above the max seen");
+
+        // A delivery receipt for A from a third replica flips the
+        // preference: a provably-delivered value beats any epoch.
+        rows.insert(nebcast::receipt_reg(ActorId(2), 2, ActorId(0)), a);
+        node.adopt(rows.clone());
+        assert_eq!(
+            node.recover.get(&1),
+            Some(&Value(100)),
+            "a receipted value must outrank higher unreceipted epochs"
+        );
+
+        // A broadcaster's receipt for its OWN wire proves nothing.
+        rows.remove(&nebcast::receipt_reg(ActorId(2), 2, ActorId(0)));
+        rows.insert(nebcast::receipt_reg(ActorId(0), 2, ActorId(0)), c);
+        node.adopt(rows);
+        assert_eq!(
+            node.recover.get(&1),
+            Some(&Value(200)),
+            "self-receipts must stay ignored"
+        );
+    }
+
+    #[test]
+    fn failure_free_log_replicates_in_order() {
+        let (mut sim, procs) = build(3, 3, 1, 6, 2, &[]);
+        sim.run_until(Time::from_delays(400), |s| {
+            procs
+                .iter()
+                .all(|&p| s.actor_as::<ByzSmrNode>(p).unwrap().log_len() >= 6)
+        });
+        let expected: Vec<Value> = (0..6).map(|c| Value(1000 + c)).collect();
+        for &p in &procs {
+            assert_eq!(log_of(&sim, p), expected, "replica {p}");
+        }
+    }
+
+    #[test]
+    fn f_silent_replicas_do_not_block_commitment() {
+        // n = 3 = 2f+1 with f = 1 silent Byzantine replica: the log only
+        // needs the memories, so the leader and the one correct follower
+        // still commit everything.
+        let (mut sim, procs) = build(3, 3, 2, 5, 1, &[2]);
+        let correct = [procs[0], procs[1]];
+        sim.run_until(Time::from_delays(600), |s| {
+            correct
+                .iter()
+                .all(|&p| s.actor_as::<ByzSmrNode>(p).unwrap().log_len() >= 5)
+        });
+        let expected: Vec<Value> = (0..5).map(|c| Value(1000 + c)).collect();
+        for &p in &correct {
+            assert_eq!(log_of(&sim, p), expected, "replica {p}");
+        }
+    }
+
+    #[test]
+    fn takeover_preserves_committed_prefix() {
+        // The leader commits a few batches and crashes; Ω promotes
+        // replica 1, whose scan must adopt the decided prefix before its
+        // own (empty) workload — then a Submit drives fresh commands.
+        let (mut sim, procs) = build(3, 3, 3, 4, 2, &[]);
+        sim.crash_at(ActorId(0), Time::from_delays(40));
+        sim.announce_leader(Time::from_delays(60), &procs, ActorId(1));
+        sim.schedule(
+            Time::from_delays(61),
+            procs[1],
+            EventKind::Msg {
+                from: ActorId(99),
+                msg: Msg::Submit {
+                    cmds: vec![Value(7), Value(8)],
+                },
+            },
+        );
+        sim.run_until(Time::from_delays(2_000), |s| {
+            s.actor_as::<ByzSmrNode>(procs[1]).unwrap().log_len() >= 6
+        });
+        let l1 = log_of(&sim, procs[1]);
+        let l2 = log_of(&sim, procs[2]);
+        assert!(l1.len() >= 6, "no progress after takeover: {l1:?}");
+        // The crashed leader's entries survived, in order, without
+        // duplication, and the successor's commands follow.
+        let client: Vec<u64> = l1.iter().map(|v| v.0).filter(|&v| v != u64::MAX).collect();
+        assert_eq!(client, vec![1000, 1001, 1002, 1003, 7, 8]);
+        // Correct replicas agree on the shared prefix.
+        let common = l1.len().min(l2.len());
+        assert_eq!(l1[..common], l2[..common]);
+    }
+
+    #[test]
+    fn session_dedup_suppresses_resubmitted_commands() {
+        // Replica 1 takes over and is (re-)submitted a command the old
+        // leader already committed: dedup must suppress the duplicate.
+        let mut sim = Simulation::new(5);
+        let procs: Vec<Pid> = (0..3).map(ActorId).collect();
+        let mems: Vec<ActorId> = (3..6).map(ActorId).collect();
+        let mut auth = SigAuthority::new(5 ^ 0xB12A);
+        for i in 0..3u32 {
+            let signer = auth.register(ActorId(i));
+            let workload = if i == 0 { vec![Value(41)] } else { Vec::new() };
+            sim.add(
+                ByzSmrNode::new(
+                    ActorId(i),
+                    procs.clone(),
+                    mems.clone(),
+                    ActorId(0),
+                    workload,
+                    signer,
+                    auth.verifier(),
+                    Duration::from_delays(1),
+                )
+                .with_session_dedup(),
+            );
+        }
+        for _ in 0..3 {
+            sim.add(byz_memory_actor(&procs));
+        }
+        sim.crash_at(ActorId(0), Time::from_delays(40));
+        sim.announce_leader(Time::from_delays(60), &procs, ActorId(1));
+        // The "router" re-submits the already-committed 41 plus a new 42.
+        sim.schedule(
+            Time::from_delays(61),
+            procs[1],
+            EventKind::Msg {
+                from: ActorId(99),
+                msg: Msg::Submit {
+                    cmds: vec![Value(41), Value(42)],
+                },
+            },
+        );
+        sim.run_until(Time::from_delays(2_000), |s| {
+            s.actor_as::<ByzSmrNode>(procs[1])
+                .unwrap()
+                .log()
+                .contains(&Value(42))
+        });
+        let node = sim.actor_as::<ByzSmrNode>(procs[1]).unwrap();
+        let log = node.log();
+        assert_eq!(
+            log.iter().filter(|&&v| v == Value(41)).count(),
+            1,
+            "duplicate not suppressed: {log:?}"
+        );
+        assert_eq!(node.duplicates_suppressed(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! The protocol-independent half of a replicated-log node.
+//!
+//! [`SmrNode`](super::SmrNode) (crash PMP) and
+//! [`ByzSmrNode`](super::ByzSmrNode) (Byzantine, non-equivocating
+//! broadcast) decide log entries through very different wire protocols,
+//! but everything *around* the decision is identical: the dense decided
+//! log with its contiguous prefix, client-session dedup, the run-time
+//! workload queue ([`crate::types::Msg::Submit`]), write batching's
+//! fill-a-batch bookkeeping, and migration-snapshot folding
+//! ([`crate::types::Msg::InstallSnapshot`]). [`LogCore`] is that shared
+//! half, extracted so the sharded service's per-group [`GroupMode`]
+//! switch changes the consensus protocol and nothing else.
+//!
+//! [`GroupMode`]: crate::sharded::GroupMode
+
+use std::collections::HashSet;
+
+use simnet::Time;
+
+use crate::types::Value;
+
+/// The log + workload state machine shared by every SMR protocol.
+///
+/// Nothing here touches the network: the owning node calls
+/// [`LogCore::settle`] / [`LogCore::settle_many`] when its protocol
+/// decides instances, and [`LogCore::fill_own`] /
+/// [`LogCore::commit_own_round`] around each proposal round. Both return
+/// enough for the owner to drive notifications and metrics.
+#[derive(Debug)]
+pub struct LogCore {
+    /// Commands this node wants committed (its client workload).
+    pub workload: Vec<Value>,
+    /// Workload entries committed (or dedup-consumed) so far.
+    pub next_cmd: usize,
+    /// Client-session dedup: when enabled, a leader skips proposing
+    /// commands whose ids it has already seen decided — the at-least-once
+    /// duplicates a retrying client (the sharded router) creates by
+    /// re-submitting in-flight commands on failover.
+    pub dedup: bool,
+    /// Ids observed decided (populated only when `dedup` is on).
+    pub seen_cmds: HashSet<u64>,
+    /// Workload slots consumed by the in-flight round (proposed + skipped).
+    pub own_consumed: usize,
+    /// Duplicates skipped by the in-flight round.
+    pub own_suppressed: u64,
+    /// Total duplicate proposals suppressed over the run (committed
+    /// rounds only; abandoned rounds re-evaluate from scratch).
+    pub duplicates_suppressed: u64,
+    /// Decided log entries, dense by instance (`None` = hole). Instances
+    /// are contiguous from 0 in steady state, so a vector beats a map on
+    /// the per-entry hot path; the log is the `Some`-prefix.
+    pub slots: Vec<Option<Value>>,
+    /// Length of the contiguous decided prefix (maintained incrementally).
+    pub prefix_len: usize,
+    /// `(instance, time)` each log slot was decided at this node, in
+    /// decision order (instance order under a stable leader).
+    pub decided_at: Vec<(u64, Time)>,
+}
+
+impl LogCore {
+    /// Creates the core with this node's initial proposal workload.
+    pub fn new(workload: Vec<Value>) -> LogCore {
+        LogCore {
+            workload,
+            next_cmd: 0,
+            dedup: false,
+            seen_cmds: HashSet::new(),
+            own_consumed: 0,
+            own_suppressed: 0,
+            duplicates_suppressed: 0,
+            slots: Vec::new(),
+            prefix_len: 0,
+            decided_at: Vec::new(),
+        }
+    }
+
+    /// The contiguous decided prefix of the log.
+    pub fn log(&self) -> Vec<Value> {
+        self.slots[..self.prefix_len]
+            .iter()
+            .map(|s| s.expect("prefix is decided"))
+            .collect()
+    }
+
+    /// Length of the contiguous decided prefix (O(1)).
+    pub fn log_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// The decided value of `instance`, if any (including beyond a hole).
+    pub fn decided(&self, instance: u64) -> Option<Value> {
+        self.slots.get(instance as usize).copied().flatten()
+    }
+
+    /// Whether the proposal workload has been fully consumed.
+    pub fn workload_drained(&self) -> bool {
+        self.next_cmd >= self.workload.len()
+    }
+
+    /// Appends run-time routed commands to the proposal workload.
+    pub fn submit(&mut self, cmds: &mut Vec<Value>) {
+        self.workload.append(cmds);
+    }
+
+    /// Folds a key-range migration snapshot into the dedup seen-set (the
+    /// ids the source group already committed for the sealed range).
+    pub fn install_snapshot(&mut self, seen: Vec<u64>) {
+        if self.dedup {
+            self.seen_cmds.extend(seen);
+        }
+    }
+
+    /// Fills `out` with up to `batch` fresh workload commands for the
+    /// round proposing instances `first_instance ..`, consuming workload
+    /// slots and skipping already-seen ids when dedup is on. `barred`
+    /// marks instances that must not be filled from the workload (a
+    /// recovered value waits there); filling stops at the first barred
+    /// instance. When everything available was a duplicate, a no-op
+    /// filler is emitted so the round still advances the log.
+    pub fn fill_own(
+        &mut self,
+        batch: usize,
+        first_instance: u64,
+        barred: impl Fn(u64) -> bool,
+        out: &mut Vec<Value>,
+    ) {
+        self.own_consumed = 0;
+        self.own_suppressed = 0;
+        while out.len() < batch && self.next_cmd + self.own_consumed < self.workload.len() {
+            // A recovered value downstream ends the batch: it must
+            // head its own round.
+            if barred(first_instance + out.len() as u64) {
+                break;
+            }
+            let v = self.workload[self.next_cmd + self.own_consumed];
+            self.own_consumed += 1;
+            // Session dedup: skip commands already seen decided (the
+            // router's at-least-once failover re-submissions). The
+            // skipped slot is still consumed from the workload — on
+            // commit, `next_cmd` advances past it.
+            if self.dedup && v != Value(u64::MAX) && self.seen_cmds.contains(&v.0) {
+                self.own_suppressed += 1;
+                continue;
+            }
+            out.push(v);
+        }
+        if out.is_empty() {
+            // No command of our own (or all remaining were
+            // duplicates): commit a no-op filler.
+            out.push(Value(u64::MAX));
+        }
+    }
+
+    /// Commits the accounting of a round that proposed its own commands:
+    /// every consumed workload slot advances the cursor (proposed values
+    /// equal consumed slots minus dedup-suppressed ones — without dedup
+    /// the two counts coincide).
+    pub fn commit_own_round(&mut self) {
+        self.next_cmd += self.own_consumed;
+        self.duplicates_suppressed += self.own_suppressed;
+        self.own_consumed = 0;
+        self.own_suppressed = 0;
+    }
+
+    /// Marks `instance` decided as `v` (first decision wins). Returns
+    /// true if the slot was newly decided — the owner then records the
+    /// kernel decision mark and notifies its observers.
+    pub fn settle(&mut self, now: Time, instance: u64, v: Value) -> bool {
+        let idx = instance as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_some() {
+            return false;
+        }
+        self.slots[idx] = Some(v);
+        if self.dedup && v != Value(u64::MAX) {
+            self.seen_cmds.insert(v.0);
+        }
+        while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
+            self.prefix_len += 1;
+        }
+        self.decided_at.push((instance, now));
+        true
+    }
+
+    /// Applies a contiguous decided run `first .. first + values.len()`
+    /// in one pass: one log resize, one decided-prefix walk for the whole
+    /// batch. Slots already decided are skipped, exactly as per-entry
+    /// [`LogCore::settle`] would. Returns true if anything was new.
+    pub fn settle_many(&mut self, now: Time, first: u64, values: &[Value]) -> bool {
+        let end = first as usize + values.len();
+        if end > self.slots.len() {
+            self.slots.resize(end, None);
+        }
+        self.decided_at.reserve(values.len());
+        let mut any_new = false;
+        for (j, &v) in values.iter().enumerate() {
+            let idx = first as usize + j;
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(v);
+                if self.dedup && v != Value(u64::MAX) {
+                    self.seen_cmds.insert(v.0);
+                }
+                self.decided_at.push((idx as u64, now));
+                any_new = true;
+            }
+        }
+        if any_new {
+            while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
+                self.prefix_len += 1;
+            }
+        }
+        any_new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_prefix_and_holes() {
+        let mut c = LogCore::new(Vec::new());
+        assert!(c.settle(Time(1), 0, Value(10)));
+        assert!(c.settle(Time(2), 2, Value(30)));
+        assert_eq!(c.log(), vec![Value(10)]);
+        assert_eq!(c.log_len(), 1);
+        assert!(c.settle(Time(3), 1, Value(20)));
+        assert_eq!(c.log(), vec![Value(10), Value(20), Value(30)]);
+        // First decision wins.
+        assert!(!c.settle(Time(4), 1, Value(99)));
+        assert_eq!(c.decided(1), Some(Value(20)));
+    }
+
+    #[test]
+    fn fill_own_dedups_and_fills_noop() {
+        let mut c = LogCore::new(vec![Value(1), Value(2), Value(3)]);
+        c.dedup = true;
+        c.seen_cmds.insert(1);
+        c.seen_cmds.insert(2);
+        c.seen_cmds.insert(3);
+        let mut out = Vec::new();
+        c.fill_own(4, 0, |_| false, &mut out);
+        assert_eq!(out, vec![Value(u64::MAX)], "all duplicates -> filler");
+        assert_eq!(c.own_consumed, 3);
+        assert_eq!(c.own_suppressed, 3);
+        c.commit_own_round();
+        assert_eq!(c.next_cmd, 3);
+        assert_eq!(c.duplicates_suppressed, 3);
+        assert!(c.workload_drained());
+    }
+
+    #[test]
+    fn fill_own_stops_at_barred_instance() {
+        let mut c = LogCore::new(vec![Value(1), Value(2), Value(3)]);
+        let mut out = Vec::new();
+        c.fill_own(4, 10, |i| i == 12, &mut out);
+        assert_eq!(out, vec![Value(1), Value(2)]);
+        assert_eq!(c.own_consumed, 2);
+    }
+}

@@ -54,13 +54,19 @@
 //! Multi-Paxos discipline that keeps a deposed leader's in-flight writes
 //! below every later term.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 use rdma_sim::{MemResponse, MemoryClient, Permission};
 use simnet::{Actor, ActorId, Context, Duration, EventKind, Time};
 
 use crate::protected::{slot_reg, REGION};
 use crate::types::{Ballot, Instance, Msg, PaxSlot, Pid, RegVal, Value};
+
+pub mod byz;
+pub mod core;
+
+pub use byz::{byz_memory_actor, ByzSmrNode};
+pub use core::LogCore;
 
 const RETRY_TAG: u64 = 50;
 
@@ -110,32 +116,13 @@ pub struct SmrNode {
     /// Max log entries committed per replicated write (≥ 1).
     batch: usize,
     client: MemoryClient<RegVal, Msg>,
-    /// Commands this node wants committed (its client workload).
-    workload: Vec<Value>,
-    next_cmd: usize,
-    /// Client-session dedup (sharded service): when enabled, a leader
-    /// skips proposing commands whose ids it has already seen decided —
-    /// the at-least-once duplicates a retrying client (the router) creates
-    /// by re-submitting in-flight commands on failover. Commands carry
-    /// their session tag in the value itself (the router's dense 1-based
-    /// command id = the single client's sequence number), so the seen-set
-    /// is just the decided ids.
-    dedup: bool,
-    /// Ids observed decided (populated only when `dedup` is on).
-    seen_cmds: HashSet<u64>,
-    /// Workload slots consumed by the in-flight round (proposed + skipped).
-    own_consumed: usize,
-    /// Duplicates skipped by the in-flight round.
-    own_suppressed: u64,
-    /// Total duplicate proposals suppressed over the run (committed
-    /// rounds only; abandoned rounds re-evaluate from scratch).
-    duplicates_suppressed: u64,
-    /// Decided log entries, dense by instance (`None` = hole). Instances
-    /// are contiguous from 0 in steady state, so a vector beats a map on
-    /// the per-entry hot path; the log is the `Some`-prefix.
-    slots: Vec<Option<Value>>,
-    /// Length of the contiguous decided prefix (maintained incrementally).
-    prefix_len: usize,
+    /// The protocol-independent log/workload state machine (decided
+    /// slots, session dedup, batching cursors) shared with the Byzantine
+    /// node — see [`LogCore`]. Commands carry their session tag in the
+    /// value itself (the sharded router's dense 1-based command id is the
+    /// single client's sequence number), so the dedup seen-set is just
+    /// the decided ids.
+    core: LogCore,
     // Leadership / proposer state for the current instance.
     is_leader: bool,
     /// True once this leader has acquired permissions since its election
@@ -166,9 +153,6 @@ pub struct SmrNode {
     /// ends instead of being dropped, so repeated takeover scans stop
     /// allocating per response.
     spare_slots: Vec<Vec<ScannedSlot>>,
-    /// `(instance, time)` each log slot was decided at this node, in
-    /// decision order (instance order under a stable leader).
-    pub decided_at: Vec<(u64, Time)>,
 }
 
 impl SmrNode {
@@ -194,15 +178,7 @@ impl SmrNode {
             retry_every,
             batch: 1,
             client: MemoryClient::new(),
-            workload,
-            next_cmd: 0,
-            dedup: false,
-            seen_cmds: HashSet::new(),
-            own_consumed: 0,
-            own_suppressed: 0,
-            duplicates_suppressed: 0,
-            slots: Vec::new(),
-            prefix_len: 0,
+            core: LogCore::new(workload),
             is_leader: me == initial_leader,
             holds_permission: me == initial_leader,
             instance: 0,
@@ -217,7 +193,6 @@ impl SmrNode {
             iters: Vec::new(),
             op_map: Vec::new(),
             spare_slots: Vec::new(),
-            decided_at: Vec::new(),
         }
     }
 
@@ -243,14 +218,14 @@ impl SmrNode {
     /// retrying client, and dedup off reproduces the pre-dedup schedule
     /// bit-for-bit.
     pub fn with_session_dedup(mut self) -> SmrNode {
-        self.dedup = true;
+        self.core.dedup = true;
         self
     }
 
     /// Duplicate proposals suppressed so far (see
     /// [`SmrNode::with_session_dedup`]).
     pub fn duplicates_suppressed(&self) -> u64 {
-        self.duplicates_suppressed
+        self.core.duplicates_suppressed
     }
 
     /// Registers an observer: an actor outside the replica ring that
@@ -264,25 +239,28 @@ impl SmrNode {
 
     /// The contiguous decided prefix of the log.
     pub fn log(&self) -> Vec<Value> {
-        self.slots[..self.prefix_len]
-            .iter()
-            .map(|s| s.expect("prefix is decided"))
-            .collect()
+        self.core.log()
     }
 
     /// Length of the contiguous decided prefix (O(1)).
     pub fn log_len(&self) -> usize {
-        self.prefix_len
+        self.core.log_len()
     }
 
     /// The decided value of `instance`, if any (including beyond a hole).
     pub fn decided(&self, instance: u64) -> Option<Value> {
-        self.slots.get(instance as usize).copied().flatten()
+        self.core.decided(instance)
     }
 
     /// Number of own commands committed so far.
     pub fn committed_own(&self) -> usize {
-        self.next_cmd
+        self.core.next_cmd
+    }
+
+    /// `(instance, time)` each log slot was decided at this node, in
+    /// decision order (instance order under a stable leader).
+    pub fn decided_at(&self) -> &[(u64, Time)] {
+        &self.core.decided_at
     }
 
     fn quorum(&self) -> usize {
@@ -310,36 +288,13 @@ impl SmrNode {
             }
         } else {
             self.proposing_own = true;
-            self.own_consumed = 0;
-            self.own_suppressed = 0;
-            while self.values.len() < self.batch
-                && self.next_cmd + self.own_consumed < self.workload.len()
-            {
-                // A recovered value downstream ends the batch: it must
-                // head its own round.
-                if self
-                    .recover
-                    .contains_key(&(self.instance + self.values.len() as u64))
-                {
-                    break;
-                }
-                let v = self.workload[self.next_cmd + self.own_consumed];
-                self.own_consumed += 1;
-                // Session dedup: skip commands already seen decided (the
-                // router's at-least-once failover re-submissions). The
-                // skipped slot is still consumed from the workload — on
-                // commit, `next_cmd` advances past it.
-                if self.dedup && v != Value(u64::MAX) && self.seen_cmds.contains(&v.0) {
-                    self.own_suppressed += 1;
-                    continue;
-                }
-                self.values.push(v);
-            }
-            if self.values.is_empty() {
-                // No command of our own (or all remaining were
-                // duplicates): commit a no-op filler.
-                self.values.push(Value(u64::MAX));
-            }
+            let recover = &self.recover;
+            self.core.fill_own(
+                self.batch,
+                self.instance,
+                |i| recover.contains_key(&i),
+                &mut self.values,
+            );
         }
     }
 
@@ -358,8 +313,7 @@ impl SmrNode {
         while self.decided(self.instance).is_some() {
             self.instance += 1;
         }
-        if self.next_cmd >= self.workload.len() && self.holds_permission && !self.recovery_pending()
-        {
+        if self.core.workload_drained() && self.holds_permission && !self.recovery_pending() {
             // Nothing left to propose and nothing to recover; stay quiet.
             // (A fuller system would no-op-fill holes; our workload model
             // always proposes.) Without the recovery check a leader whose
@@ -532,10 +486,7 @@ impl SmrNode {
             // values equal consumed slots minus dedup-suppressed ones
             // (without dedup the two counts coincide, reproducing the
             // pre-dedup accounting exactly).
-            self.next_cmd += self.own_consumed;
-            self.duplicates_suppressed += self.own_suppressed;
-            self.own_consumed = 0;
-            self.own_suppressed = 0;
+            self.core.commit_own_round();
         }
         self.phase = Phase::Idle;
         for i in 0..self.procs.len() + self.observers.len() {
@@ -570,50 +521,18 @@ impl SmrNode {
     }
 
     fn settle(&mut self, ctx: &mut Context<'_, Msg>, instance: u64, v: Value) {
-        let idx = instance as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
-        }
-        if self.slots[idx].is_none() {
-            self.slots[idx] = Some(v);
-            if self.dedup && v != Value(u64::MAX) {
-                self.seen_cmds.insert(v.0);
-            }
-            while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
-                self.prefix_len += 1;
-            }
-            self.decided_at.push((instance, ctx.now()));
+        if self.core.settle(ctx.now(), instance, v) {
             ctx.mark_decided();
         }
     }
 
     /// Applies a contiguous decided run `first .. first + values.len()` in
-    /// one pass: one log resize, one decided-prefix walk and one decision
-    /// mark for the whole batch, instead of per-entry bookkeeping. Slots
+    /// one pass (one log resize, one decided-prefix walk and one decision
+    /// mark for the whole batch — see [`LogCore::settle_many`]). Slots
     /// already decided (a raced `Decided` from another path) are skipped,
     /// exactly as per-entry [`SmrNode::settle`] would.
     fn settle_many(&mut self, ctx: &mut Context<'_, Msg>, first: u64, values: &[Value]) {
-        let end = first as usize + values.len();
-        if end > self.slots.len() {
-            self.slots.resize(end, None);
-        }
-        self.decided_at.reserve(values.len());
-        let mut any_new = false;
-        for (j, &v) in values.iter().enumerate() {
-            let idx = first as usize + j;
-            if self.slots[idx].is_none() {
-                self.slots[idx] = Some(v);
-                if self.dedup && v != Value(u64::MAX) {
-                    self.seen_cmds.insert(v.0);
-                }
-                self.decided_at.push((idx as u64, ctx.now()));
-                any_new = true;
-            }
-        }
-        if any_new {
-            while self.prefix_len < self.slots.len() && self.slots[self.prefix_len].is_some() {
-                self.prefix_len += 1;
-            }
+        if self.core.settle_many(ctx.now(), first, values) {
             ctx.mark_decided();
         }
     }
@@ -715,9 +634,7 @@ impl Actor<Msg> for SmrNode {
                 // A key-range migration's snapshot (this node is in the
                 // destination group): prime session dedup with the ids the
                 // source group already committed for the sealed range.
-                if self.dedup {
-                    self.seen_cmds.extend(seen);
-                }
+                self.core.install_snapshot(seen);
             }
             EventKind::Msg {
                 msg: Msg::Submit { mut cmds },
@@ -726,7 +643,7 @@ impl Actor<Msg> for SmrNode {
                 // Routed client commands (sharded service): append to the
                 // proposal workload and, if we lead and are idle, propose
                 // immediately.
-                self.workload.append(&mut cmds);
+                self.core.submit(&mut cmds);
                 if self.is_leader && self.phase == Phase::Idle {
                     self.drive(ctx);
                 }
@@ -793,7 +710,7 @@ mod tests {
         let leader = sim.actor_as::<SmrNode>(procs[0]).unwrap();
         assert_eq!(leader.log_len(), 5);
         // Entry i decided at 2·(i+1) delays: one replicated write each.
-        for (i, (_, t)) in leader.decided_at.iter().enumerate() {
+        for (i, (_, t)) in leader.decided_at().iter().enumerate() {
             assert_eq!(t.as_delays(), 2.0 * (i as f64 + 1.0), "entry {i}");
         }
         // All of the leader's own commands, in order.
@@ -820,7 +737,7 @@ mod tests {
         // Two batched rounds of 4: entries 0..4 decide at 2 delays,
         // entries 4..8 at 4 — still one round trip per *write*, now
         // amortized over 4 entries each.
-        for (i, (_, t)) in leader.decided_at.iter().enumerate() {
+        for (i, (_, t)) in leader.decided_at().iter().enumerate() {
             let round = (i / 4 + 1) as f64;
             assert_eq!(t.as_delays(), 2.0 * round, "entry {i}");
         }
@@ -884,7 +801,7 @@ mod tests {
             "crashed leader's batch survived"
         );
         let at = |inst: u64| {
-            l1.decided_at
+            l1.decided_at()
                 .iter()
                 .find(|&&(i, _)| i == inst)
                 .expect("instance decided")
@@ -923,9 +840,9 @@ mod tests {
         let leader = sim.actor_as::<SmrNode>(procs[0]).unwrap();
         assert_eq!(leader.log(), vec![Value(7), Value(8), Value(9)]);
         // All three commands fit one batch: one shared decision timestamp.
-        assert_eq!(leader.decided_at.len(), 3);
-        let t0 = leader.decided_at[0].1;
-        assert!(leader.decided_at.iter().all(|&(_, t)| t == t0));
+        assert_eq!(leader.decided_at().len(), 3);
+        let t0 = leader.decided_at()[0].1;
+        assert!(leader.decided_at().iter().all(|&(_, t)| t == t0));
     }
 
     /// Records decision notifications, standing in for the sharded router.

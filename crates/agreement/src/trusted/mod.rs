@@ -64,6 +64,19 @@ pub enum RbPayload {
     },
     /// Robust Backup Paxos traffic.
     Paxos(PaxosMsg),
+    /// A Byzantine-mode replicated-log batch
+    /// ([`crate::smr::ByzSmrNode`]): the leader of epoch `epoch` proposes
+    /// `values[j]` for instance `first + j`. Carried over plain
+    /// non-equivocating broadcast (not the trusted-history channels), so
+    /// the Paxos conformance checker simply rejects it.
+    LogEntries {
+        /// First instance of the contiguous proposed range.
+        first: u64,
+        /// The proposing leader's epoch (its takeover count).
+        epoch: u64,
+        /// The proposed values, in instance order.
+        values: Vec<Value>,
+    },
 }
 
 /// One entry of a process's trusted history.
@@ -226,6 +239,9 @@ impl PaxosChecker {
                 st.any_sent = true;
                 true
             }
+            // Log batches never ride the trusted-history channels; a
+            // process claiming one in a Paxos history is non-conformant.
+            RbPayload::LogEntries { .. } => false,
             RbPayload::Paxos(m) => {
                 st.any_sent = true;
                 match *m {

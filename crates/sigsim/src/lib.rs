@@ -44,12 +44,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,22 +92,26 @@ impl fmt::Debug for Signature {
     }
 }
 
+/// Usage counters. Atomics (relaxed — they are statistics, not
+/// synchronization) so signer/verifier handles stay `Send + Sync` and
+/// signed actors can execute on the partitioned parallel kernel's worker
+/// threads.
 #[derive(Debug, Default)]
 struct Counters {
-    created: Cell<u64>,
-    verified: Cell<u64>,
-    rejected: Cell<u64>,
+    created: AtomicU64,
+    verified: AtomicU64,
+    rejected: AtomicU64,
 }
 
 #[derive(Debug)]
 struct Inner {
-    keys: RefCell<BTreeMap<ActorId, u64>>,
+    keys: RwLock<BTreeMap<ActorId, u64>>,
     counters: Counters,
 }
 
 impl Inner {
     fn digest<T: Hash + ?Sized>(&self, signer: ActorId, value: &T) -> Option<u64> {
-        let key = *self.keys.borrow().get(&signer)?;
+        let key = *self.keys.read().expect("key table poisoned").get(&signer)?;
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         signer.hash(&mut h);
@@ -123,7 +127,7 @@ impl Inner {
 /// paper assumes when it assumes unforgeable signatures.
 #[derive(Debug)]
 pub struct SigAuthority {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
     rng: StdRng,
 }
 
@@ -131,8 +135,8 @@ impl SigAuthority {
     /// Creates an authority with a seeded key generator.
     pub fn new(seed: u64) -> SigAuthority {
         SigAuthority {
-            inner: Rc::new(Inner {
-                keys: RefCell::new(BTreeMap::new()),
+            inner: Arc::new(Inner {
+                keys: RwLock::new(BTreeMap::new()),
                 counters: Counters::default(),
             }),
             rng: StdRng::seed_from_u64(seed ^ 0x5169_5349_4d5f_4b45), // "SIGSIM_KE"
@@ -146,10 +150,15 @@ impl SigAuthority {
     /// Panics if `id` is already registered (identities are unique).
     pub fn register(&mut self, id: ActorId) -> Signer {
         let key: u64 = self.rng.gen();
-        let prev = self.inner.keys.borrow_mut().insert(id, key);
+        let prev = self
+            .inner
+            .keys
+            .write()
+            .expect("key table poisoned")
+            .insert(id, key);
         assert!(prev.is_none(), "identity {id} registered twice");
         Signer {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             me: id,
         }
     }
@@ -158,23 +167,23 @@ impl SigAuthority {
     /// authority's counters.
     pub fn verifier(&self) -> SigVerifier {
         SigVerifier {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 
     /// Total signatures created so far.
     pub fn signatures_created(&self) -> u64 {
-        self.inner.counters.created.get()
+        self.inner.counters.created.load(Ordering::Relaxed)
     }
 
     /// Total verification checks performed so far.
     pub fn verifications(&self) -> u64 {
-        self.inner.counters.verified.get()
+        self.inner.counters.verified.load(Ordering::Relaxed)
     }
 
     /// Verification checks that returned false.
     pub fn rejections(&self) -> u64 {
-        self.inner.counters.rejected.get()
+        self.inner.counters.rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -184,7 +193,7 @@ impl SigAuthority {
 /// gives each actor exactly its own.
 #[derive(Clone)]
 pub struct Signer {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
     me: ActorId,
 }
 
@@ -196,8 +205,7 @@ impl Signer {
 
     /// Signs `value` (the paper's `sign(v)`).
     pub fn sign<T: Hash + ?Sized>(&self, value: &T) -> Signature {
-        let c = &self.inner.counters.created;
-        c.set(c.get() + 1);
+        self.inner.counters.created.fetch_add(1, Ordering::Relaxed);
         let tag = self
             .inner
             .digest(self.me, value)
@@ -218,18 +226,16 @@ impl fmt::Debug for Signer {
 /// A verification handle (the paper's `sValid(p, v)`).
 #[derive(Clone)]
 pub struct SigVerifier {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl SigVerifier {
     /// Returns true iff `sig` is a valid signature by `signer` over `value`.
     pub fn valid<T: Hash + ?Sized>(&self, signer: ActorId, value: &T, sig: &Signature) -> bool {
-        let c = &self.inner.counters.verified;
-        c.set(c.get() + 1);
+        self.inner.counters.verified.fetch_add(1, Ordering::Relaxed);
         let ok = sig.signer == signer && (self.inner.digest(signer, value) == Some(sig.tag));
         if !ok {
-            let r = &self.inner.counters.rejected;
-            r.set(r.get() + 1);
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
         }
         ok
     }
@@ -245,7 +251,7 @@ impl fmt::Debug for SigVerifier {
         write!(
             f,
             "SigVerifier({} identities)",
-            self.inner.keys.borrow().len()
+            self.inner.keys.read().expect("key table poisoned").len()
         )
     }
 }

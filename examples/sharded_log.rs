@@ -112,6 +112,7 @@ fn main() {
         hot_group_permille: 300,
         hot_key_permille: 50,
         min_window_commits: 64,
+        ..agreement::sharded::RebalanceConfig::default()
     });
     let r_auto = run_sharded(&rebal);
     for (label, rp) in [
@@ -141,4 +142,51 @@ fn main() {
         "  hot range split across groups: {:.2}x faster than the static table",
         r_static.elapsed_delays / r_auto.elapsed_delays
     );
+
+    // Byzantine mode: the same service with every group replicating
+    // through signed non-equivocating broadcast (GroupMode::Byzantine)
+    // instead of crash PMP — the paper's n >= 2f+1 result carried into
+    // the sharded layer. Group 0 carries a silent Byzantine replica
+    // (f = 1 of n = 3); group 1's initial leader is an *equivocating*
+    // adversary that rewrites its broadcast slot and fabricates commit
+    // claims: the broadcast audit blocks it, the router's f+1
+    // confirmation quorum ignores its lies, and the scripted failover
+    // hands the group to an honest replica.
+    println!("\nsharded_log: Byzantine mode (silent replica + equivocating leader)");
+    let mut byz = ShardedScenario::common_case(4, 3, 3, 2026);
+    byz.group_modes = vec![agreement::sharded::GroupMode::Byzantine; 4];
+    byz.total_cmds = 400;
+    byz.window = 4;
+    byz.batch = 2;
+    byz.max_delays = 40_000;
+    byz.byz_silent = vec![(0, 2)];
+    byz.byz_equivocators = vec![(1, 0)];
+    byz.announce = vec![(1, 1, 80)];
+    let r_byz = run_sharded(&byz);
+    println!("  group  mode       entries  committed  p99(d)  logs-agree");
+    for (g, report) in r_byz.groups.iter().enumerate() {
+        println!(
+            "  {:>5}  {:<9}  {:>7}  {:>9}  {:>6.1}  {}",
+            g,
+            format!("{:?}", report.mode),
+            report.entries,
+            report.committed,
+            report.p99_latency_ticks as f64 / TICKS_PER_DELAY as f64,
+            if report.logs_agree { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "  all committed: {}   logs agree: {}   partition respected: {}",
+        r_byz.all_committed, r_byz.all_logs_agree, r_byz.no_cross_group_leak
+    );
+    println!(
+        "  equivocations blocked: {}   invented commands left unconfirmed: {}   reports withheld pending quorum: {}",
+        r_byz.equivocations_blocked, r_byz.byz_unconfirmed_claims, r_byz.byz_withheld_reports
+    );
+    assert!(r_byz.all_committed && r_byz.all_logs_agree && r_byz.no_cross_group_leak);
+    assert!(
+        r_byz.equivocations_blocked > 0 && r_byz.byz_unconfirmed_claims > 0,
+        "the adversary path was not exercised"
+    );
+    println!("  byzantine demo: every command committed exactly once despite f faults/group");
 }

@@ -151,7 +151,7 @@ fn kernels_agree_on_smr_batch1_and_traces_match() {
         let leader = sim.actor_as::<SmrNode>(ActorId(0)).unwrap();
         (
             leader.log(),
-            leader.decided_at.clone(),
+            leader.decided_at().to_vec(),
             sim.metrics().messages_sent,
             sim.metrics().mem_ops(),
             sim.trace().dump(),

@@ -289,6 +289,7 @@ fn auto_rebalance_splits_the_hot_range_and_recovers_throughput() {
         hot_group_permille: 400,
         hot_key_permille: 100,
         min_window_commits: 64,
+        ..RebalanceConfig::default()
     });
     let r = run_sharded(&auto);
     assert!(r.all_committed, "{r:?}");

@@ -135,3 +135,128 @@ proptest! {
         prop_assert_eq!(spread, total, "commands lost or duplicated by partitioning");
     }
 }
+
+// ---------------------------------------------------------------------
+// Rebalancer churn hysteresis (ROADMAP sharded (e)).
+// ---------------------------------------------------------------------
+
+/// Drives `rounds` fast-cadence policy windows against a live table: in
+/// each window the single hot key dominates whichever group currently
+/// owns it (moving the key moves the heat — the churn-inducing feedback
+/// loop), and every decision is applied to the table immediately.
+fn drive_hot_key_cadence(
+    policy: &mut agreement::sharded::RebalancePolicy,
+    table: &mut RoutingTable,
+    rounds: u64,
+) -> usize {
+    let mut migrations = 0;
+    for round in 0..rounds {
+        let owner = table.group_of(7);
+        for _ in 0..100 {
+            policy.observe(7, owner);
+        }
+        for _ in 0..5 {
+            policy.observe(3000, 1 - owner);
+        }
+        let now = simnet::Time((round + 1) * 20 * simnet::TICKS_PER_DELAY);
+        if let Some((range, to)) = policy.decide(table, now) {
+            table.migrate(range, to).expect("policy picks a legal move");
+            migrations += 1;
+        }
+    }
+    migrations
+}
+
+#[test]
+fn hysteresis_stops_a_hot_range_bouncing_between_two_groups() {
+    use agreement::sharded::{RebalanceConfig, RebalancePolicy};
+    let fast = RebalanceConfig {
+        check_every_delays: 20,
+        cooldown_delays: 0,
+        hot_group_permille: 300,
+        hot_key_permille: 100,
+        min_window_commits: 10,
+        min_hold_delays: 0,
+    };
+    // Without hysteresis the feedback loop ping-pongs the key: every
+    // window sees the (new) owner hot and moves the same key back.
+    let mut p0 = RebalancePolicy::new(fast, 2);
+    let mut t0 = RoutingTable::even(4096, 2);
+    let moves = drive_hot_key_cadence(&mut p0, &mut t0, 10);
+    assert!(
+        p0.moves_of(7) >= 3,
+        "churn baseline vanished: key 7 moved only {} times ({moves} total)",
+        p0.moves_of(7)
+    );
+
+    // With a hold longer than the drive, the key migrates exactly once
+    // and then stays put — the hysteresis pin.
+    let held = RebalanceConfig {
+        min_hold_delays: 10_000,
+        ..fast
+    };
+    let mut p1 = RebalancePolicy::new(held, 2);
+    let mut t1 = RoutingTable::even(4096, 2);
+    drive_hot_key_cadence(&mut p1, &mut t1, 10);
+    assert_eq!(
+        p1.moves_of(7),
+        1,
+        "hot key still bounced with min_hold_delays set"
+    );
+    assert_eq!(t1.version(), 1, "exactly one epoch flip expected");
+}
+
+#[test]
+fn hysteresis_cuts_migration_churn_end_to_end() {
+    use agreement::harness::{run_sharded, ShardedScenario};
+    use agreement::sharded::RebalanceConfig;
+    // A single pinned hot key under a deliberately over-eager policy
+    // (no cooldown, fast cadence): without the hold the hot range
+    // bounces, with it the policy settles after one move.
+    let scenario = |hold: u64| {
+        let mut sc = ShardedScenario::common_case(2, 3, 3, 19);
+        sc.total_cmds = 1_200;
+        sc.window = 12;
+        sc.batch = 4;
+        sc.max_delays = 60_000;
+        sc.workload = WorkloadSpec::HotShard {
+            keys: 4096,
+            hot_key: 7,
+            hot_permille: 700,
+        };
+        sc.range_routing = true;
+        sc.rebalance = Some(RebalanceConfig {
+            check_every_delays: 30,
+            cooldown_delays: 0,
+            hot_group_permille: 300,
+            hot_key_permille: 100,
+            min_window_commits: 32,
+            min_hold_delays: hold,
+        });
+        sc
+    };
+    let churny = run_sharded(&scenario(0));
+    let held = run_sharded(&scenario(5_000));
+    assert!(churny.all_committed && churny.all_logs_agree && churny.no_cross_group_leak);
+    assert!(held.all_committed && held.all_logs_agree && held.no_cross_group_leak);
+    assert!(
+        churny.migrations_completed >= 2,
+        "churn baseline vanished: {} migrations",
+        churny.migrations_completed
+    );
+    // The hold pins the hot range after its first move: at most one
+    // migration per distinct hot range, and strictly less re-routing
+    // than the bouncing baseline.
+    assert!(
+        held.migrations_completed < churny.migrations_completed,
+        "hold did not reduce migrations: {} vs {}",
+        held.migrations_completed,
+        churny.migrations_completed
+    );
+    assert!(
+        held.rerouted_commands < churny.rerouted_commands,
+        "hold did not reduce re-routing: {} vs {}",
+        held.rerouted_commands,
+        churny.rerouted_commands
+    );
+}

@@ -127,3 +127,154 @@ fn aligned_survives_what_would_kill_either_side() {
     assert!(report.all_decided, "{report:?}");
     assert!(report.validity);
 }
+
+// ---------------------------------------------------------------------
+// The sharded Byzantine matrix: the paper's n = 2f+1 bound, lifted into
+// the production-facing service. Each Byzantine-mode group replicates
+// through signed non-equivocating broadcast and the router confirms
+// commits at f+1 distinct replica reports, so the sweeps below assert
+// the service-level contract — every client command exactly once, no
+// per-group divergence, no cross-group corruption — with f silent or
+// equivocating actors per group.
+// ---------------------------------------------------------------------
+
+use agreement::harness::{run_sharded, ShardedScenario};
+use agreement::sharded::GroupMode;
+
+#[path = "byz_support.rs"]
+mod byz_support;
+use byz_support::{assert_exactly_once, is_client_id};
+
+/// A Byzantine-mode sharded scenario: every group runs the broadcast
+/// protocol, sized so a sweep stays fast.
+fn byz_sharded(groups: usize, n: usize, seed: u64) -> ShardedScenario {
+    let mut sc = ShardedScenario::common_case(groups, n, 3, seed);
+    sc.group_modes = vec![GroupMode::Byzantine; groups];
+    sc.total_cmds = 20 * groups;
+    sc.window = 4;
+    sc.batch = 2;
+    sc.max_delays = 30_000;
+    sc
+}
+
+/// f silent Byzantine replicas per group, across the shard-count sweep:
+/// at the bound (n = 2f+1) every group still commits its whole share.
+#[test]
+fn sharded_byzantine_matrix_f_silent_per_group() {
+    for &groups in &[1usize, 4, 8] {
+        let mut sc = byz_sharded(groups, 3, 100 + groups as u64);
+        // f = 1 of n = 3, in every group (a different replica slot per
+        // group so the sweep covers follower positions).
+        sc.byz_silent = (0..groups).map(|g| (g, 1 + g % 2)).collect();
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "G={groups}: {r:?}");
+        assert!(r.all_logs_agree, "G={groups}: replica logs diverged");
+        assert!(r.no_cross_group_leak, "G={groups}: partition violated");
+        assert_exactly_once(&sc, &r);
+        for (g, group) in r.groups.iter().enumerate() {
+            assert_eq!(group.mode, GroupMode::Byzantine);
+            assert!(group.committed > 0, "G={groups} group {g} starved");
+        }
+    }
+}
+
+/// n = 5 with f = 2 silent Byzantine replicas: the bound holds at the
+/// next matrix row too.
+#[test]
+fn sharded_byzantine_five_replicas_two_silent() {
+    let mut sc = byz_sharded(2, 5, 131);
+    sc.byz_silent = vec![(0, 3), (0, 4), (1, 1), (1, 2)];
+    let r = run_sharded(&sc);
+    assert!(r.all_committed, "{r:?}");
+    assert!(r.all_logs_agree && r.no_cross_group_leak);
+    assert_exactly_once(&sc, &r);
+}
+
+/// An equivocating Byzantine *leader* per Byzantine group, across the
+/// shard-count sweep: its rewrite equivocation is blocked by the
+/// broadcast audit, its fabricated commit claims die short of the f+1
+/// confirmation quorum, and the scripted failover restores liveness —
+/// every client command still commits exactly once.
+#[test]
+fn sharded_byzantine_matrix_equivocating_leaders() {
+    for &groups in &[1usize, 4, 8] {
+        let mut sc = byz_sharded(groups, 3, 200 + groups as u64);
+        // The last group's initial leader is the adversary; Ω promotes
+        // its second replica after the lies have been told.
+        let g = groups - 1;
+        sc.byz_equivocators = vec![(g, 0)];
+        sc.announce = vec![(g, 1, 80)];
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "G={groups}: {r:?}");
+        assert!(r.all_logs_agree, "G={groups}: replica logs diverged");
+        assert!(r.no_cross_group_leak, "G={groups}: partition violated");
+        assert_exactly_once(&sc, &r);
+        assert!(
+            r.byz_unconfirmed_claims > 0,
+            "G={groups}: the adversary's invented commands left no trace: {r:?}"
+        );
+        assert!(
+            r.byz_withheld_reports > 0,
+            "G={groups}: the confirmation quorum did no work: {r:?}"
+        );
+        assert!(
+            r.equivocations_blocked > 0,
+            "G={groups}: nobody caught the rewrite equivocation: {r:?}"
+        );
+    }
+}
+
+/// A *fully* Byzantine group (every replica silent) stalls itself — and
+/// corrupts nothing else: sibling groups commit their complete shares
+/// and their logs contain only their own commands.
+#[test]
+fn fully_byzantine_group_never_corrupts_sibling_groups() {
+    let mut sc = byz_sharded(4, 3, 300);
+    sc.byz_silent = (0..3).map(|i| (2usize, i)).collect();
+    sc.max_delays = 2_500; // the dead group holds the run open; cap it
+    let r = run_sharded(&sc);
+    assert!(!r.all_committed, "a dead group cannot commit its share");
+    assert_eq!(r.groups[2].committed, 0, "silent group committed?!");
+    assert_eq!(r.groups[2].entries, 0);
+    // Every sibling drained its whole backlog, exactly once, and no
+    // command of the dead group's key range leaked into a sibling log.
+    let per_group_total: usize = r.groups.iter().map(|g| g.committed).sum();
+    assert_eq!(
+        per_group_total, r.committed,
+        "per-group commit accounting is inconsistent"
+    );
+    assert!(r.all_logs_agree && r.no_cross_group_leak, "{r:?}");
+    let mut seen = std::collections::HashSet::new();
+    for group in &r.groups {
+        for &v in &group.log {
+            if is_client_id(v) {
+                assert!(seen.insert(v.0), "command {} duplicated", v.0);
+            }
+        }
+    }
+    assert_eq!(seen.len(), r.committed);
+}
+
+/// Crash-mode and Byzantine-mode groups coexist behind one router: the
+/// per-group `GroupMode` switch is local to the group.
+#[test]
+fn mixed_mode_deployment_commits_everything() {
+    let mut sc = byz_sharded(4, 3, 400);
+    sc.group_modes = vec![
+        GroupMode::CrashPmp,
+        GroupMode::Byzantine,
+        GroupMode::CrashPmp,
+        GroupMode::Byzantine,
+    ];
+    sc.byz_silent = vec![(1, 2)];
+    // A crash-mode leader failure rides along: both failure models in
+    // one deployment, each handled by its own protocol.
+    sc.crash_leaders = vec![(2, 15)];
+    sc.announce = vec![(2, 1, 70)];
+    let r = run_sharded(&sc);
+    assert!(r.all_committed, "{r:?}");
+    assert!(r.all_logs_agree && r.no_cross_group_leak);
+    assert_exactly_once(&sc, &r);
+    assert_eq!(r.groups[0].mode, GroupMode::CrashPmp);
+    assert_eq!(r.groups[1].mode, GroupMode::Byzantine);
+}
