@@ -499,5 +499,99 @@ impl std::fmt::Debug for LogEquivocator {
     }
 }
 
+/// A Byzantine *follower* in a sharded Byzantine-mode group that forges
+/// delivery receipts. Colluding with its group's initial leader — it
+/// holds a copy of that leader's [`sigsim::Signer`], double-signing being
+/// the one extra capability the signature model grants a coalition — it
+/// writes into its own row a receipt crediting the leader with a
+/// validly-signed broadcast the leader never made. Without a provenance
+/// check a takeover scan would *prefer* the forged "delivered" value over
+/// genuine candidates; [`crate::smr::ByzSmrNode`]'s scan instead matches
+/// every receipt against the claimed broadcaster's unforgeable self-slot,
+/// demotes the forgery, and counts it (surfaced as
+/// `byz_receipts_rejected` in the sharded report). Beyond the forgery it
+/// is silent, so Ω failover past it behaves like failover past a silent
+/// replica.
+pub struct ReceiptForger {
+    me: Pid,
+    mems: Vec<ActorId>,
+    /// The never-broadcast value the forged receipt vouches for.
+    forged: Value,
+    write_after: simnet::Duration,
+    /// The colluding leader's signer (the forgery must verify as the
+    /// leader's own broadcast).
+    leader_signer: Signer,
+    leader: Pid,
+    client: MemoryClient<RegVal, Msg>,
+}
+
+/// Sequence number of the forged broadcast: far above anything a real
+/// leader reaches, so the forgery never collides with a genuine self-slot
+/// (which would merely make it an equivocation-rewrite race instead).
+const FORGED_K: u64 = 9_999;
+
+impl ReceiptForger {
+    /// Creates the adversary (install it at a *follower* slot of the
+    /// group whose initial leader `leader` is).
+    pub fn new(
+        me: Pid,
+        mems: Vec<ActorId>,
+        forged: Value,
+        write_after: simnet::Duration,
+        leader_signer: Signer,
+        leader: Pid,
+    ) -> ReceiptForger {
+        ReceiptForger {
+            me,
+            mems,
+            forged,
+            write_after,
+            leader_signer,
+            leader,
+            client: MemoryClient::new(),
+        }
+    }
+}
+
+impl Actor<Msg> for ReceiptForger {
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, ev: EventKind<Msg>) {
+        match ev {
+            EventKind::Start => {
+                ctx.set_timer(self.write_after, 1);
+            }
+            EventKind::Timer { tag: 1, .. } => {
+                // The forgery: a receipt in OUR row claiming the leader
+                // broadcast `forged` at instance 0 — signed with the
+                // leader's key, so every signature check passes.
+                let wire = crate::smr::byz::log_entries_wire(0, 0, vec![self.forged]);
+                let sig = self.leader_signer.sign(&wire.sign_view(FORGED_K));
+                let slot = RegVal::Neb(NebSlot {
+                    k: FORGED_K,
+                    wire,
+                    sig,
+                });
+                let reg = nebcast::receipt_reg(self.me, FORGED_K, self.leader);
+                let region = nebcast::row_region(self.me);
+                for mem in self.mems.clone() {
+                    self.client.write(ctx, mem, region, reg, slot.clone());
+                }
+            }
+            EventKind::Msg {
+                from,
+                msg: Msg::Mem(wire),
+            } => {
+                let _ = self.client.on_wire(ctx, from, wire);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ReceiptForger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReceiptForger({})", self.me)
+    }
+}
+
 /// Re-export used by tests that only need a type name.
 pub type Wire = MemWire<RegVal>;

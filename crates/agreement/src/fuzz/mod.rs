@@ -1,0 +1,219 @@
+//! Deterministic scenario fuzzer for the sharded service.
+//!
+//! The sharded harness composes every feature of the reproduction —
+//! multi-group topologies, crash and Byzantine failure modes, adversary
+//! actors, jittered links, scripted migrations racing failovers,
+//! automatic rebalancing, paced arrivals, the partitioned parallel
+//! kernel — and the space of their *combinations* is far larger than any
+//! hand-written test matrix. This module walks that space mechanically:
+//!
+//! 1. [`generate`] maps a case seed to a whole [`ShardedScenario`] —
+//!    topology, per-group modes, fault timelines, adversary placements,
+//!    workload mix — drawn from a [`SplitMix64`] stream so the same seed
+//!    always produces byte-identical scenarios.
+//! 2. [`oracle::check`] runs the scenario and audits the report against
+//!    the service's safety contract: nothing lost, nothing duplicated,
+//!    no per-key reordering, no replica divergence, no cross-group
+//!    leakage — plus (sampled) determinism replays and worker-thread
+//!    sweeps on the partitioned kernel.
+//! 3. On a violation, [`shrink::shrink`] delta-debugs the scenario down
+//!    to a minimal still-failing case and [`repro::to_literal`] renders
+//!    it as a Rust expression pasteable into a regression test
+//!    (`tests/fuzz_regressions.rs` holds the corpus).
+//!
+//! [`run_campaign`] drives the loop over a seed range; the
+//! `fuzz` binary in `crates/bench` wraps it for the command line and CI.
+
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use gen::generate;
+pub use oracle::{check, check_deep, DeepChecks, Violation};
+pub use repro::to_literal;
+pub use shrink::{fault_count, shrink};
+
+use crate::harness::ShardedScenario;
+
+/// SplitMix64, the fuzzer's deterministic bit source. Self-contained so
+/// generator draws can never be perturbed by changes to the workload
+/// module's private stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded by `seed` (every seed is valid, including 0).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: seed ^ 0x5CE1_4A11_0F0E_57ED,
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, n)`; `n = 0` returns 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// A uniform draw in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `permille / 1000`.
+    pub fn chance(&mut self, permille: u64) -> bool {
+        self.below(1000) < permille
+    }
+}
+
+/// Campaign parameters: a contiguous seed range plus sampling cadences
+/// for the expensive deep checks.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// First case seed (cases run over `start_seed .. start_seed + cases`).
+    pub start_seed: u64,
+    /// Number of scenarios to generate and check.
+    pub cases: u64,
+    /// Shrink failures to minimal scenarios (off = report raw failures;
+    /// useful when a campaign is purely a smoke gate).
+    pub shrink: bool,
+    /// Replay every k-th case a second time and require an identical
+    /// report (0 disables the determinism replay).
+    pub replay_every: u64,
+    /// Re-run every k-th *partitioned* case at 2 and 4 worker threads and
+    /// require bit-identical reports (0 disables the sweep).
+    pub sweep_every: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            start_seed: 0,
+            cases: 256,
+            shrink: true,
+            replay_every: 16,
+            sweep_every: 8,
+        }
+    }
+}
+
+/// One failing case: the raw scenario, its shrunk form, and a pasteable
+/// repro.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseFailure {
+    /// The case seed that produced the failure ([`generate`] replays it).
+    pub case_seed: u64,
+    /// The violation the oracle reported on the raw scenario.
+    pub violation: Violation,
+    /// The generated scenario as checked.
+    pub scenario: ShardedScenario,
+    /// The minimal still-failing scenario (equals `scenario` when
+    /// shrinking is disabled or removed nothing).
+    pub shrunk: ShardedScenario,
+    /// The violation the *shrunk* scenario exhibits (shrinking accepts
+    /// any violation, so it may differ from the original).
+    pub shrunk_violation: Violation,
+    /// Rust expression rebuilding `shrunk`, for a regression test.
+    pub repro: String,
+}
+
+/// Aggregate outcome of a campaign: failures plus coverage counters
+/// (how often each scenario dimension was actually exercised).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Scenarios checked.
+    pub cases: u64,
+    /// Failing cases, in seed order.
+    pub failures: Vec<CaseFailure>,
+    /// Scenarios with at least one leader crash.
+    pub crash_cases: u64,
+    /// Scenarios with at least one Byzantine-mode group.
+    pub byz_cases: u64,
+    /// Scenarios with at least one injected adversary actor.
+    pub adversary_cases: u64,
+    /// Scenarios with scripted migrations.
+    pub migration_cases: u64,
+    /// Scenarios running the automatic rebalancer.
+    pub rebalance_cases: u64,
+    /// Scenarios with paced (open-arrival) workloads.
+    pub paced_cases: u64,
+    /// Scenarios on the partitioned parallel kernel.
+    pub partitioned_cases: u64,
+    /// Scenarios with jittered links.
+    pub jittered_cases: u64,
+    /// Determinism replays performed.
+    pub replays: u64,
+    /// Worker-thread sweeps performed.
+    pub sweeps: u64,
+    /// Total client commands committed across all passing cases.
+    pub commands_committed: u64,
+}
+
+/// Runs `cfg.cases` generated scenarios through the oracle, shrinking
+/// each failure. Fully deterministic: the same config always yields the
+/// same report.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for case in 0..cfg.cases {
+        let case_seed = cfg.start_seed + case;
+        let sc = generate(case_seed);
+        report.cases += 1;
+        report.crash_cases += u64::from(!sc.crash_leaders.is_empty());
+        report.byz_cases += u64::from(
+            sc.group_modes
+                .contains(&crate::sharded::GroupMode::Byzantine),
+        );
+        report.adversary_cases += u64::from(
+            !sc.byz_silent.is_empty()
+                || !sc.byz_equivocators.is_empty()
+                || !sc.byz_receipt_forgers.is_empty(),
+        );
+        report.migration_cases += u64::from(!sc.migrations.is_empty());
+        report.rebalance_cases += u64::from(sc.rebalance.is_some());
+        report.paced_cases += u64::from(sc.arrival_rate_per_delay > 0.0);
+        report.partitioned_cases += u64::from(sc.partitions > 1);
+        report.jittered_cases += u64::from(!matches!(sc.delay, simnet::DelayModel::Constant(_)));
+        let deep = DeepChecks {
+            replay: cfg.replay_every > 0 && case % cfg.replay_every == 0,
+            thread_sweep: cfg.sweep_every > 0 && case % cfg.sweep_every == 0,
+        };
+        report.replays += u64::from(deep.replay);
+        report.sweeps += u64::from(deep.thread_sweep && sc.partitions > 1);
+        match check_deep(&sc, deep) {
+            Ok(run) => report.commands_committed += run.committed as u64,
+            Err(violation) => {
+                let (shrunk, shrunk_violation) = if cfg.shrink {
+                    shrink(&sc)
+                } else {
+                    (sc.clone(), violation.clone())
+                };
+                let repro = to_literal(&shrunk);
+                report.failures.push(CaseFailure {
+                    case_seed,
+                    violation,
+                    scenario: sc,
+                    shrunk,
+                    shrunk_violation,
+                    repro,
+                });
+            }
+        }
+    }
+    report
+}

@@ -8,9 +8,7 @@
 use std::collections::BTreeMap;
 
 use sigsim::SigAuthority;
-use simnet::{
-    ActorId, DelayModel, Duration, KernelProfile, Metrics, ParSimulation, Simulation, Time,
-};
+use simnet::{ActorId, DelayModel, Duration, Metrics, ParSimulation, Simulation, Time};
 
 use crate::adversary::LogEquivocator;
 use crate::aligned::{self, AlignedPaxosActor, MemoryMode};
@@ -55,10 +53,6 @@ pub struct Scenario {
     /// ([`run_smr`] only; single-decree protocols ignore it). `1` is the
     /// paper's unbatched protocol.
     pub batch: usize,
-    /// Which kernel implementation to simulate on. Identical virtual-time
-    /// results either way; [`KernelProfile::Legacy`] exists for baseline
-    /// wall-clock measurement and differential testing.
-    pub kernel: KernelProfile,
 }
 
 impl Scenario {
@@ -75,13 +69,12 @@ impl Scenario {
             announce: Vec::new(),
             max_delays: 5_000,
             batch: 1,
-            kernel: KernelProfile::Optimized,
         }
     }
 
     /// Builds the simulation this scenario runs on.
     fn simulation(&self) -> Simulation<Msg> {
-        let mut sim = Simulation::with_profile(self.seed, self.kernel);
+        let mut sim = Simulation::new(self.seed);
         sim.set_default_delay(self.delay.clone());
         sim
     }
@@ -425,7 +418,7 @@ pub struct SmrRunReport {
 
 /// Runs the replicated log (SMR over Protected Memory Paxos): every node
 /// wants `cmds_per_node` commands committed; process 0 leads. Honours
-/// [`Scenario::batch`] and [`Scenario::kernel`].
+/// [`Scenario::batch`].
 pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
     let mut sim = scenario.simulation();
     let procs = scenario.procs();
@@ -485,7 +478,7 @@ pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
 /// hash-partitioned key space, fronted by one router
 /// (see [`crate::sharded`] for the architecture). Mirrors [`Scenario`]:
 /// build one, tweak fields, hand it to [`run_sharded`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardedScenario {
     /// Number of groups (shards).
     pub groups: usize,
@@ -508,8 +501,6 @@ pub struct ShardedScenario {
     pub window: usize,
     /// Log entries per replicated write (as [`Scenario::batch`]).
     pub batch: usize,
-    /// Kernel implementation (as [`Scenario::kernel`]).
-    pub kernel: KernelProfile,
     /// `(group, crash time in delays)`: crash that group's initial leader.
     pub crash_leaders: Vec<(usize, u64)>,
     /// `(group, replica index, time in delays)`: Ω announces that replica
@@ -568,6 +559,22 @@ pub struct ShardedScenario {
     /// to a correct replica to restore the group's liveness. Placements
     /// must land in Byzantine-mode groups.
     pub byz_equivocators: Vec<(usize, usize)>,
+    /// Adversary injection: `(group, replica index)` slots replaced by a
+    /// receipt-forging Byzantine follower
+    /// ([`crate::adversary::ReceiptForger`] — writes a delivery receipt
+    /// for a value its group's initial leader never broadcast, colluding
+    /// with that leader for the signature). Blocked by the takeover
+    /// scan's receipt-provenance check and counted in
+    /// [`ShardedRunReport::byz_receipts_rejected`]. Placements must land
+    /// in Byzantine-mode groups, not at the initial-leader slot.
+    pub byz_receipt_forgers: Vec<(usize, usize)>,
+    /// **Fault-injection switch for the fuzzer's oracle demo**: when set,
+    /// replicas are built *without* client-session dedup, reintroducing
+    /// the pre-dedup bug where the router's at-least-once re-submission
+    /// after a failover duplicates committed commands in the log. Never
+    /// set outside tests — it exists so the checker can prove it catches
+    /// (and the shrinker minimizes) a real safety violation.
+    pub disable_session_dedup: bool,
 }
 
 impl ShardedScenario {
@@ -584,7 +591,6 @@ impl ShardedScenario {
             workload: WorkloadSpec::uniform(),
             window: 16,
             batch: 1,
-            kernel: KernelProfile::Optimized,
             crash_leaders: Vec::new(),
             announce: Vec::new(),
             max_delays: 50_000,
@@ -597,6 +603,8 @@ impl ShardedScenario {
             group_modes: Vec::new(),
             byz_silent: Vec::new(),
             byz_equivocators: Vec::new(),
+            byz_receipt_forgers: Vec::new(),
+            disable_session_dedup: false,
         }
     }
 
@@ -720,6 +728,12 @@ pub struct ShardedRunReport {
     /// the broadcast audit, summed over every Byzantine-mode replica
     /// (0 in all-crash deployments).
     pub equivocations_blocked: u64,
+    /// Byzantine suppression: delivery receipts whose provenance check
+    /// failed during takeover scans — a receipt credited to a broadcast
+    /// the claimed broadcaster's unforgeable self-slot never made,
+    /// summed over every Byzantine-mode replica (0 without a
+    /// receipt-forging adversary).
+    pub byz_receipts_rejected: u64,
     /// Byzantine suppression: commit claims from Byzantine-mode groups
     /// that *never* reached the router's `f + 1` confirmation quorum by
     /// the end of the run — a lying leader's wholly invented commands
@@ -741,7 +755,12 @@ pub struct ShardedRunReport {
 /// to a [`ShardedRunReport`].
 pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
     let topo = scenario.topology();
-    for &(g, i) in scenario.byz_silent.iter().chain(&scenario.byz_equivocators) {
+    for &(g, i) in scenario
+        .byz_silent
+        .iter()
+        .chain(&scenario.byz_equivocators)
+        .chain(&scenario.byz_receipt_forgers)
+    {
         assert_eq!(
             scenario.mode_of(g),
             GroupMode::Byzantine,
@@ -755,6 +774,14 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
             scenario.window > 0 || i != 0,
             "adversary at the initial-leader slot of group {g} needs a closed-loop \
              window (open loop would preload the backlog into the adversary)"
+        );
+    }
+    for &(g, i) in &scenario.byz_receipt_forgers {
+        // The forger colludes with the initial leader (holds its signer);
+        // it cannot *be* that leader.
+        assert!(
+            i != 0,
+            "receipt forger cannot occupy group {g}'s initial-leader slot"
         );
     }
     let workload = if scenario.dynamic_routing() {
@@ -870,6 +897,7 @@ enum ReplicaBuild {
     Byz(Box<ByzSmrNode>),
     Silent,
     Equivocator(Box<LogEquivocator>),
+    Forger(Box<crate::adversary::ReceiptForger>),
 }
 
 /// Builds one replica of group `g` for a sharded run (both kernel
@@ -888,6 +916,20 @@ fn sharded_replica(
     let leader = topo.initial_leader(g);
     if scenario.byz_silent.contains(&(g, i)) {
         return ReplicaBuild::Silent;
+    }
+    if scenario.byz_receipt_forgers.contains(&(g, i)) {
+        let byz = byz.expect("receipt forger outside a Byzantine deployment");
+        // Forged value: junk id above any client command id, distinct
+        // from the equivocator band so a leaked forgery is attributable.
+        let junk = 1u64 << 41 | (g as u64) << 8;
+        return ReplicaBuild::Forger(Box::new(crate::adversary::ReceiptForger::new(
+            procs[i],
+            mems,
+            Value(junk | 1),
+            Duration::from_delays(3),
+            byz.signers[&leader].clone(),
+            leader,
+        )));
     }
     if scenario.byz_equivocators.contains(&(g, i)) {
         let byz = byz.expect("equivocator outside a Byzantine deployment");
@@ -915,38 +957,40 @@ fn sharded_replica(
     match scenario.mode_of(g) {
         GroupMode::CrashPmp => {
             let f_m = (scenario.m.max(1) - 1) / 2;
-            ReplicaBuild::Crash(Box::new(
-                SmrNode::new(
-                    procs[i],
-                    procs.clone(),
-                    mems,
-                    leader,
-                    preload,
-                    f_m,
-                    Duration::from_delays(20),
-                )
-                .with_batch(scenario.batch)
-                .with_observer(topo.router())
-                .with_session_dedup(),
-            ))
+            let mut node = SmrNode::new(
+                procs[i],
+                procs.clone(),
+                mems,
+                leader,
+                preload,
+                f_m,
+                Duration::from_delays(20),
+            )
+            .with_batch(scenario.batch)
+            .with_observer(topo.router());
+            if !scenario.disable_session_dedup {
+                node = node.with_session_dedup();
+            }
+            ReplicaBuild::Crash(Box::new(node))
         }
         GroupMode::Byzantine => {
             let byz = byz.expect("Byzantine group without an authority");
-            ReplicaBuild::Byz(Box::new(
-                ByzSmrNode::new(
-                    procs[i],
-                    procs.clone(),
-                    mems,
-                    leader,
-                    preload,
-                    byz.signers[&procs[i]].clone(),
-                    byz.auth.verifier(),
-                    Duration::from_delays(1),
-                )
-                .with_batch(scenario.batch)
-                .with_observer(topo.router())
-                .with_session_dedup(),
-            ))
+            let mut node = ByzSmrNode::new(
+                procs[i],
+                procs.clone(),
+                mems,
+                leader,
+                preload,
+                byz.signers[&procs[i]].clone(),
+                byz.auth.verifier(),
+                Duration::from_delays(1),
+            )
+            .with_batch(scenario.batch)
+            .with_observer(topo.router());
+            if !scenario.disable_session_dedup {
+                node = node.with_session_dedup();
+            }
+            ReplicaBuild::Byz(Box::new(node))
         }
     }
 }
@@ -975,41 +1019,47 @@ fn sharded_memory(
 fn collect_replica_state(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
-    node: impl Fn(Pid, GroupMode) -> (Vec<Value>, u64, u64),
-) -> (Vec<Vec<Vec<Value>>>, u64, u64) {
+    node: impl Fn(Pid, GroupMode) -> (Vec<Value>, u64, u64, u64),
+) -> (Vec<Vec<Vec<Value>>>, u64, u64, u64) {
     let mut duplicates_suppressed = 0u64;
     let mut equivocations_blocked = 0u64;
+    let mut receipts_rejected = 0u64;
     let logs = (0..scenario.groups)
         .map(|g| {
             topo.procs(g)
                 .iter()
                 .map(|&p| {
-                    let (log, dups, equivs) = node(p, scenario.mode_of(g));
+                    let (log, dups, equivs, forged) = node(p, scenario.mode_of(g));
                     duplicates_suppressed += dups;
                     equivocations_blocked += equivs;
+                    receipts_rejected += forged;
                     log
                 })
                 .collect()
         })
         .collect();
-    (logs, duplicates_suppressed, equivocations_blocked)
+    (
+        logs,
+        duplicates_suppressed,
+        equivocations_blocked,
+        receipts_rejected,
+    )
 }
 
 /// Resolves one replica's post-run state by downcasting to its mode's
 /// node type on any actor view. Adversary slots (and crashed actors the
 /// view no longer exposes) read as empty.
-fn replica_state_of(log_dups: Option<(Vec<Value>, u64, u64)>) -> (Vec<Value>, u64, u64) {
-    log_dups.unwrap_or((Vec::new(), 0, 0))
+fn replica_state_of(log_dups: Option<(Vec<Value>, u64, u64, u64)>) -> (Vec<Value>, u64, u64, u64) {
+    log_dups.unwrap_or((Vec::new(), 0, 0, 0))
 }
 
-/// The classic single-kernel path (`partitions == 1`); honours
-/// [`ShardedScenario::kernel`].
+/// The classic single-kernel path (`partitions == 1`).
 fn run_sharded_monolithic(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
 ) -> ShardedRunReport {
-    let mut sim: Simulation<Msg> = Simulation::with_profile(scenario.seed, scenario.kernel);
+    let mut sim: Simulation<Msg> = Simulation::new(scenario.seed);
     sim.set_default_delay(scenario.delay.clone());
     let byz = byz_auth(scenario, topo);
     for g in 0..scenario.groups {
@@ -1021,6 +1071,7 @@ fn run_sharded_monolithic(
                     ReplicaBuild::Byz(node) => sim.add(*node),
                     ReplicaBuild::Silent => sim.add(crate::adversary::SilentActor),
                     ReplicaBuild::Equivocator(adv) => sim.add(*adv),
+                    ReplicaBuild::Forger(adv) => sim.add(*adv),
                 };
             debug_assert_eq!(id, expect);
         }
@@ -1047,17 +1098,18 @@ fn run_sharded_monolithic(
             .is_some_and(RouterActor::done)
     });
 
-    let (logs, duplicates_suppressed, equivocations_blocked) =
+    let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
         collect_replica_state(scenario, topo, |p, mode| {
             replica_state_of(match mode {
                 GroupMode::CrashPmp => sim
                     .actor_as::<SmrNode>(p)
-                    .map(|n| (n.log(), n.duplicates_suppressed(), 0)),
+                    .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0)),
                 GroupMode::Byzantine => sim.actor_as::<ByzSmrNode>(p).map(|n| {
                     (
                         n.log(),
                         n.duplicates_suppressed(),
                         n.equivocations_blocked(),
+                        n.receipts_rejected(),
                     )
                 }),
             })
@@ -1072,6 +1124,7 @@ fn run_sharded_monolithic(
         &logs,
         duplicates_suppressed,
         equivocations_blocked,
+        receipts_rejected,
         sim.now(),
         sim.metrics(),
         vec![peak],
@@ -1087,11 +1140,6 @@ fn run_sharded_partitioned(
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
 ) -> ShardedRunReport {
-    assert_eq!(
-        scenario.kernel,
-        KernelProfile::Optimized,
-        "the partitioned kernel has no legacy profile"
-    );
     let lookahead = scenario.delay.min_delay();
     assert!(
         lookahead > Duration::ZERO,
@@ -1112,6 +1160,7 @@ fn run_sharded_partitioned(
                     ReplicaBuild::Byz(node) => sim.add_to(part, *node),
                     ReplicaBuild::Silent => sim.add_to(part, crate::adversary::SilentActor),
                     ReplicaBuild::Equivocator(adv) => sim.add_to(part, *adv),
+                    ReplicaBuild::Forger(adv) => sim.add_to(part, *adv),
                 };
             debug_assert_eq!(id, expect);
         }
@@ -1142,17 +1191,18 @@ fn run_sharded_partitioned(
     let metrics = sim.merged_metrics();
     let partition_peaks = sim.partition_peak_queue_lens();
     sim.with_actors(|view| {
-        let (logs, duplicates_suppressed, equivocations_blocked) =
+        let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
             collect_replica_state(scenario, topo, |p, mode| {
                 replica_state_of(match mode {
                     GroupMode::CrashPmp => view
                         .actor_as::<SmrNode>(p)
-                        .map(|n| (n.log(), n.duplicates_suppressed(), 0)),
+                        .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0)),
                     GroupMode::Byzantine => view.actor_as::<ByzSmrNode>(p).map(|n| {
                         (
                             n.log(),
                             n.duplicates_suppressed(),
                             n.equivocations_blocked(),
+                            n.receipts_rejected(),
                         )
                     }),
                 })
@@ -1166,6 +1216,7 @@ fn run_sharded_partitioned(
             &logs,
             duplicates_suppressed,
             equivocations_blocked,
+            receipts_rejected,
             elapsed,
             &metrics,
             partition_peaks,
@@ -1183,6 +1234,7 @@ fn reduce_sharded(
     replica_logs: &[Vec<Vec<Value>>],
     duplicates_suppressed: u64,
     equivocations_blocked: u64,
+    byz_receipts_rejected: u64,
     elapsed: Time,
     metrics: &Metrics,
     partition_peak_queue_lens: Vec<u64>,
@@ -1266,6 +1318,7 @@ fn reduce_sharded(
         rerouted_commands: router.rerouted_commands(),
         cross_epoch_commits: router.cross_epoch_commits(),
         equivocations_blocked,
+        byz_receipts_rejected,
         byz_unconfirmed_claims: router.byz_unconfirmed_claims(),
         byz_withheld_reports: router.byz_withheld_reports(),
         groups,
@@ -1323,19 +1376,6 @@ mod tests {
         assert_eq!(t_unbatched, 80.0); // 2 delays per entry
         assert_eq!(t_batched, 10.0); // 2 delays per batch of 8
         assert!(batched.mem_ops < unbatched.mem_ops / 4);
-    }
-
-    #[test]
-    fn legacy_kernel_scenario_matches_optimized() {
-        let s = Scenario::common_case(3, 3, 42);
-        let mut legacy = s.clone();
-        legacy.kernel = KernelProfile::Legacy;
-        let a = run_protected(&s);
-        let b = run_protected(&legacy);
-        assert_eq!(a.first_decision_delays, b.first_decision_delays);
-        assert_eq!(a.messages, b.messages);
-        assert_eq!(a.mem_ops, b.mem_ops);
-        assert_eq!(a.decisions, b.decisions);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | Baselines: Paxos, Disk Paxos, Fast Paxos | [`paxos`], [`disk_paxos`], [`fast_paxos`] |
 //! | Byzantine adversaries | [`adversary`] |
 //! | One-call experiment builders | [`harness`] |
+//! | Scenario fuzzer + safety oracle + shrinker | [`fuzz`] |
 //!
 //! # Example
 //!
@@ -43,6 +44,7 @@ pub mod cheap_quorum;
 pub mod disk_paxos;
 pub mod fast_paxos;
 pub mod fast_robust;
+pub mod fuzz;
 pub mod harness;
 pub mod lower_bound;
 pub mod nebcast;

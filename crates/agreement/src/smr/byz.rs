@@ -43,13 +43,19 @@
 //!
 //! The adversaries this node is hardened (and tested) against are the
 //! ones the sharded scenarios inject ([`crate::adversary`]): **silent**
-//! replicas (pure omission — the residual power non-equivocation leaves)
-//! and **equivocating leaders** (split or rewritten broadcast slots,
+//! replicas (pure omission — the residual power non-equivocation leaves),
+//! **equivocating leaders** (split or rewritten broadcast slots,
 //! fabricated commit notifications — suppressed by the audit and by the
-//! router's `f + 1` confirmation quorum). Byzantine *followers* beyond
-//! omission (e.g. forging delivery receipts) would additionally need the
-//! trusted-history conformance machinery of [`crate::trusted`]; the
-//! scan therefore ignores receipts a sender wrote for its own broadcasts.
+//! router's `f + 1` confirmation quorum), and **receipt-forging
+//! followers** ([`crate::adversary::ReceiptForger`] — a delivery receipt
+//! for a wire the claimed broadcaster never sent, signed by a colluding
+//! leader). The takeover scan closes the latter with a *provenance
+//! check*: a receipt is credited only when the claimed broadcaster's own
+//! self-slot — the one register in its exclusive-writer row nobody else
+//! can touch — holds exactly the receipted slot; receipts a sender wrote
+//! for its own broadcasts are ignored outright, and provenance failures
+//! are demoted to unreceipted candidates and counted
+//! ([`ByzSmrNode::receipts_rejected`]).
 
 use std::collections::BTreeMap;
 
@@ -167,6 +173,10 @@ pub struct ByzSmrNode {
     /// leader, in delivery order (kept whole so a later replay can still
     /// acknowledge them). Replayed if the sender is announced leader.
     parked: Vec<nebcast::Delivery>,
+    /// Receipts whose provenance check failed during takeover scans (a
+    /// receipt crediting a broadcast the claimed broadcaster's self-slot
+    /// never made — forged, or racing an equivocation rewrite).
+    receipts_rejected: u64,
 }
 
 impl std::fmt::Debug for ByzSmrNode {
@@ -216,6 +226,7 @@ impl ByzSmrNode {
             need_scan: false,
             recover: BTreeMap::new(),
             parked: Vec::new(),
+            receipts_rejected: 0,
         }
     }
 
@@ -268,6 +279,13 @@ impl ByzSmrNode {
             .iter()
             .filter(|&&q| self.neb.blocked_at(q).is_some())
             .count() as u64
+    }
+
+    /// Receipts rejected by the takeover scan's provenance check so far
+    /// (see the module docs; 0 without a receipt-forging adversary or an
+    /// equivocation rewrite racing a scan).
+    pub fn receipts_rejected(&self) -> u64 {
+        self.receipts_rejected
     }
 
     /// `(instance, time)` of each settle at this replica, in settle order.
@@ -407,11 +425,36 @@ impl ByzSmrNode {
     /// epoch (see the module docs for the adoption rule).
     fn adopt(&mut self, rows: BTreeMap<rdma_sim::RegId, RegVal>) {
         self.need_scan = false;
+        // Receipt provenance pre-pass: a broadcaster's *self-slot* — its
+        // own sequence number in its own exclusive-writer row, the one
+        // register nobody else can write — is the unforgeable record of
+        // what it actually broadcast. Collect the validly-signed ones; a
+        // receipt is credited below only if it holds exactly the slot the
+        // claimed broadcaster's self-slot holds. This blocks a follower
+        // forging receipts with a colluding leader's double-signature:
+        // the signature verifies, but no matching self-slot exists.
+        let mut self_slots: BTreeMap<(u32, u64), nebcast::NebSlot> = BTreeMap::new();
+        for (reg, val) in &rows {
+            let RegVal::Neb(slot) = val else { continue };
+            if reg.b & RECEIPT_BIT != 0 || reg.a != reg.c {
+                continue;
+            }
+            let sender = ActorId(reg.c as u32);
+            if slot.k != reg.b || !self.procs.contains(&sender) {
+                continue;
+            }
+            if self
+                .verifier
+                .valid(sender, &slot.wire.sign_view(slot.k), &slot.sig)
+            {
+                self_slots.insert((reg.c as u32, reg.b), slot.clone());
+            }
+        }
         let mut best: BTreeMap<u64, Candidate> = BTreeMap::new();
         let mut max_epoch = self.epoch;
         for (reg, val) in rows {
             let RegVal::Neb(slot) = val else { continue };
-            let receipted = reg.b & RECEIPT_BIT != 0;
+            let mut receipted = reg.b & RECEIPT_BIT != 0;
             let k = reg.b & !RECEIPT_BIT;
             let sender = ActorId(reg.c as u32);
             let row_owner = ActorId(reg.a as u32);
@@ -428,6 +471,18 @@ impl ByzSmrNode {
                 .valid(sender, &slot.wire.sign_view(slot.k), &slot.sig)
             {
                 continue;
+            }
+            if receipted
+                && !self_slots
+                    .get(&(reg.c as u32, k))
+                    .is_some_and(|own| *own == slot)
+            {
+                // Provenance failed: demote rather than discard — the
+                // value still competes as an (audit-grade) unreceipted
+                // candidate, it just loses the adoption *preference* a
+                // genuine delivery witness earns.
+                self.receipts_rejected += 1;
+                receipted = false;
             }
             let RbPayload::LogEntries {
                 first,
@@ -686,6 +741,54 @@ mod tests {
             node.recover.get(&1),
             Some(&Value(200)),
             "self-receipts must stay ignored"
+        );
+    }
+
+    /// The receipt-provenance check, pinned directly: a forged receipt —
+    /// a Byzantine follower crediting the leader with a broadcast the
+    /// leader never made, signed with the colluding leader's own key —
+    /// must fail provenance (no matching self-slot), be demoted out of
+    /// the receipted preference class, and be counted. Without the check
+    /// its higher epoch would hijack the adoption outright.
+    #[test]
+    fn forged_receipts_fail_provenance_and_are_counted() {
+        let procs: Vec<Pid> = (0..3).map(ActorId).collect();
+        let mems: Vec<ActorId> = (3..6).map(ActorId).collect();
+        let mut auth = SigAuthority::new(7 ^ 0xB12A);
+        let s0 = auth.register(ActorId(0));
+        let _s1 = auth.register(ActorId(1));
+        let s2 = auth.register(ActorId(2));
+        let mut node = ByzSmrNode::new(
+            ActorId(2),
+            procs,
+            mems,
+            ActorId(0),
+            Vec::new(),
+            s2,
+            auth.verifier(),
+            Duration::from_delays(1),
+        );
+        // Genuine history: leader 0 broadcast A at k=1 (self-slot in its
+        // own row), replica 2's receipt witnesses the delivery.
+        let real = log_wire(&s0, 1, 0, 0, vec![Value(100)]);
+        let mut rows = BTreeMap::new();
+        rows.insert(nebcast::slot_reg(ActorId(0), 1, ActorId(0)), real.clone());
+        rows.insert(nebcast::receipt_reg(ActorId(2), 1, ActorId(0)), real);
+        // The forgery, in follower 1's row: a receipt crediting 0 with
+        // junk at instance 0 under a higher epoch and a sequence number
+        // 0 never used — validly signed with 0's key (collusion).
+        let forged = log_wire(&s0, 9, 0, 5, vec![Value(666)]);
+        rows.insert(nebcast::receipt_reg(ActorId(1), 9, ActorId(0)), forged);
+        node.adopt(rows);
+        assert_eq!(
+            node.receipts_rejected(),
+            1,
+            "exactly the forged receipt must be rejected (not the real one)"
+        );
+        assert_eq!(
+            node.recover.get(&0),
+            Some(&Value(100)),
+            "the genuinely receipted value must keep instance 0"
         );
     }
 

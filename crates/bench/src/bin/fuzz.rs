@@ -1,0 +1,105 @@
+//! Scenario-fuzzer driver: generate, check, and shrink seeded sharded
+//! scenarios from the command line (see `agreement::fuzz`).
+//!
+//! ```text
+//! cargo run --release --bin fuzz -- [--start N] [--cases N] [--strict] [--no-shrink]
+//! ```
+//!
+//! - `--start N` / `--cases N`: the contiguous case-seed range to fuzz
+//!   (defaults 0 and 1000). The same range always reproduces the same
+//!   campaign bit-for-bit.
+//! - `--strict`: exit nonzero when any case fails — the CI gate mode.
+//! - `--no-shrink`: report raw failures without minimizing them (faster
+//!   triage sweeps).
+//!
+//! Every failure prints its case seed, the violation, the shrunk
+//! scenario's fault count, and a Rust block expression rebuilding the
+//! minimal scenario — paste it into `tests/fuzz_regressions.rs` to pin
+//! the bug.
+
+use std::process::ExitCode;
+
+use agreement::fuzz::{fault_count, run_campaign, FuzzConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig {
+        start_seed: 0,
+        cases: 1000,
+        shrink: true,
+        replay_every: 16,
+        sweep_every: 8,
+    };
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--start" => {
+                cfg.start_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--start needs an integer");
+            }
+            "--cases" => {
+                cfg.cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cases needs an integer");
+            }
+            "--strict" => strict = true,
+            "--no-shrink" => cfg.shrink = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "fuzzing seeds {}..{} (shrink: {}, strict: {strict})",
+        cfg.start_seed,
+        cfg.start_seed + cfg.cases,
+        cfg.shrink
+    );
+    let report = run_campaign(&cfg);
+    println!(
+        "{} cases: {} crash, {} adversarial, {} migrating, {} rebalancing, \
+         {} paced, {} partitioned, {} jittered",
+        report.cases,
+        report.crash_cases,
+        report.adversary_cases,
+        report.migration_cases,
+        report.rebalance_cases,
+        report.paced_cases,
+        report.partitioned_cases,
+        report.jittered_cases,
+    );
+    println!(
+        "{} commands committed; {} determinism replays, {} thread sweeps",
+        report.commands_committed, report.replays, report.sweeps
+    );
+
+    if report.failures.is_empty() {
+        println!("no violations");
+        return ExitCode::SUCCESS;
+    }
+    for failure in &report.failures {
+        println!();
+        println!(
+            "VIOLATION seed={} : {}",
+            failure.case_seed, failure.violation
+        );
+        println!(
+            "  shrunk to {} fault(s) ({}), repro:",
+            fault_count(&failure.shrunk),
+            failure.shrunk_violation
+        );
+        println!("{}", failure.repro);
+    }
+    println!();
+    println!("{} of {} cases failed", report.failures.len(), report.cases);
+    if strict {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,31 +1,26 @@
 //! Headless perf-trajectory recorder: runs the E10 cost table, the E10b
 //! replicated-log workload, the sharded multi-group log service at
-//! G ∈ {1, 4, 16, 64}, and a kernel queue-stress microbench on both kernel
-//! profiles, then writes machine-readable `BENCH_PR2.json` at the repo
-//! root — and gates against the newest prior `BENCH_PR*.json` (same
-//! workload size): >10% worsening of a deterministic virtual-time metric
-//! or >50% wall-clock entries/sec drop exits non-zero; wall-clock drops
-//! of 10–50% warn (cross-machine noise band). `PERF_GATE=strict` fails
-//! the whole >10% band, `warn` never fails, `off` skips the gate.
+//! G ∈ {1, 4, 16, 64}, and a kernel queue-stress microbench, then writes
+//! machine-readable `BENCH_PR6.json` at the repo root — and gates against
+//! the newest prior `BENCH_PR*.json` (same workload size): >10% worsening
+//! of a deterministic virtual-time metric or >50% wall-clock entries/sec
+//! drop exits non-zero; wall-clock drops of 10–50% warn (cross-machine
+//! noise band). `PERF_GATE=strict` fails the whole >10% band, `warn`
+//! never fails, `off` skips the gate.
 //!
 //! Reported quantities:
 //!
 //! * **entries/sec** — committed log entries per wall-clock second on the
-//!   E10b workload; the end-to-end replicated-log throughput and the
-//!   headline speedup (the pre-PR kernel cannot batch, so this captures
-//!   the combined kernel + SMR-pipeline overhaul).
+//!   E10b workload; the end-to-end replicated-log throughput.
 //! * **events/sec** — kernel events dispatched per wall-clock second; the
-//!   direct dispatch-overhead measure, reported at batch=1 (identical
-//!   event streams on both kernels) and on the queue-stress gossip where
-//!   tens of thousands of events are in flight.
+//!   direct dispatch-overhead measure, reported at batch=1 and on the
+//!   queue-stress gossip where tens of thousands of events are in flight.
 //! * **allocs/event** — global allocations per dispatched event, the
 //!   zero-alloc-dispatch proxy.
 //!
-//! `Legacy` is the faithful pre-overhaul kernel (binary-heap queue,
-//! per-send delay-model clone, eager trace strings, tombstone timer set,
-//! per-dispatch pending buffer); `Optimized` is the current one. Both
-//! produce identical virtual-time results — the golden-schedule tests pin
-//! that — so every difference below is wall-clock only.
+//! (Earlier snapshots also measured the retired pre-overhaul `Legacy`
+//! kernel profile; its labels simply stop appearing from PR 6 on, which
+//! the gate treats as a re-baseline, not a regression.)
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_snapshot
@@ -43,12 +38,11 @@ use agreement::harness::{
 };
 use agreement::sharded::{group_of_key, GroupMode, RebalanceConfig, WorkloadSpec};
 use simnet::{
-    Actor, ActorId, Context, DelayModel, Duration, EventKind, KernelProfile, Simulation, Time,
-    TICKS_PER_DELAY,
+    Actor, ActorId, Context, DelayModel, Duration, EventKind, Simulation, Time, TICKS_PER_DELAY,
 };
 
 /// This snapshot's PR number (names the output file and anchors the gate).
-const PR: u32 = 5;
+const PR: u32 = 6;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -103,9 +97,8 @@ fn trials() -> usize {
         .max(1)
 }
 
-fn measure_smr(label: &'static str, kernel: KernelProfile, batch: usize, cmds: usize) -> Measured {
+fn measure_smr(label: &'static str, batch: usize, cmds: usize) -> Measured {
     let mut s = Scenario::common_case(3, 3, 5);
-    s.kernel = kernel;
     s.batch = batch;
     // Budget: just enough virtual time to commit everything (2 delays per
     // batched write round) plus slack, so the run measures the commit
@@ -187,7 +180,6 @@ fn measure_scenario(label: String, sc: &ShardedScenario) -> MeasuredShard {
 #[allow(clippy::too_many_arguments)]
 fn measure_sharded(
     label: String,
-    kernel: KernelProfile,
     groups: usize,
     batch: usize,
     window: usize,
@@ -197,7 +189,6 @@ fn measure_sharded(
     threads: usize,
 ) -> MeasuredShard {
     let mut sc = ShardedScenario::common_case(groups, 3, 3, 5);
-    sc.kernel = kernel;
     sc.batch = batch;
     sc.window = window;
     sc.workload = workload;
@@ -277,8 +268,8 @@ impl Actor<Pkt> for GossipNode {
     }
 }
 
-fn stress_run(profile: KernelProfile, n: u32, fanout: u32) -> (f64, u64) {
-    let mut sim: Simulation<Pkt> = Simulation::with_profile(7, profile);
+fn stress_run(n: u32, fanout: u32) -> (f64, u64) {
+    let mut sim: Simulation<Pkt> = Simulation::new(7);
     sim.set_default_delay(DelayModel::Uniform {
         lo: Duration::from_delays(1),
         hi: Duration::from_delays(8),
@@ -297,20 +288,16 @@ fn stress_run(profile: KernelProfile, n: u32, fanout: u32) -> (f64, u64) {
 struct StressResult {
     n: u32,
     events: u64,
-    legacy_events_per_sec: f64,
-    optimized_events_per_sec: f64,
+    events_per_sec: f64,
 }
 
 fn measure_stress(n: u32, fanout: u32) -> StressResult {
-    let _ = stress_run(KernelProfile::Optimized, n, fanout); // warmup
-    let (tl, el) = stress_run(KernelProfile::Legacy, n, fanout);
-    let (to, eo) = stress_run(KernelProfile::Optimized, n, fanout);
-    assert_eq!(el, eo, "profiles dispatched different event counts");
+    let _ = stress_run(n, fanout); // warmup
+    let (t, e) = stress_run(n, fanout);
     StressResult {
         n,
-        events: el,
-        legacy_events_per_sec: el as f64 / tl,
-        optimized_events_per_sec: eo as f64 / to,
+        events: e,
+        events_per_sec: e as f64 / t,
     }
 }
 
@@ -400,19 +387,13 @@ fn main() {
     println!("\nperf_snapshot: E10b replicated log, {cmds} commands (n=3, m=3)");
     // Warm-up run so cold-start effects (page faults, lazy init) do not
     // land on the first measured configuration.
-    let _ = measure_smr("warmup", KernelProfile::Optimized, 1, cmds.min(10_000));
+    let _ = measure_smr("warmup", 1, cmds.min(10_000));
 
-    let legacy = measure_smr("legacy_kernel_batch1", KernelProfile::Legacy, 1, cmds);
-    let optimized = measure_smr("optimized_kernel_batch1", KernelProfile::Optimized, 1, cmds);
-    let batched8 = measure_smr("optimized_kernel_batch8", KernelProfile::Optimized, 8, cmds);
-    let batched32 = measure_smr(
-        "optimized_kernel_batch32",
-        KernelProfile::Optimized,
-        32,
-        cmds,
-    );
+    let optimized = measure_smr("optimized_kernel_batch1", 1, cmds);
+    let batched8 = measure_smr("optimized_kernel_batch8", 8, cmds);
+    let batched32 = measure_smr("optimized_kernel_batch32", 32, cmds);
 
-    for m in [&legacy, &optimized, &batched8, &batched32] {
+    for m in [&optimized, &batched8, &batched32] {
         println!(
             "  {:<26} {:>11.0} events/s {:>11.0} entries/s {:>7.3} allocs/event ({:.3}s)",
             m.label,
@@ -423,40 +404,30 @@ fn main() {
         );
     }
 
-    let speedup_events = optimized.events_per_sec() / legacy.events_per_sec();
-    let speedup_b8 = batched8.entries_per_sec() / legacy.entries_per_sec();
-    let speedup_b32 = batched32.entries_per_sec() / legacy.entries_per_sec();
-    println!("\n  dispatch speedup (events/sec, batch=1):   {speedup_events:.2}x");
-    println!("  workload speedup (entries/sec, batch=8):  {speedup_b8:.2}x");
-    println!("  workload speedup (entries/sec, batch=32): {speedup_b32:.2}x");
+    let speedup_b8 = batched8.entries_per_sec() / optimized.entries_per_sec();
+    let speedup_b32 = batched32.entries_per_sec() / optimized.entries_per_sec();
+    println!("\n  batching speedup (entries/sec, batch=8 vs 1):  {speedup_b8:.2}x");
+    println!("  batching speedup (entries/sec, batch=32 vs 1): {speedup_b32:.2}x");
 
     println!(
         "\nperf_snapshot: sharded log service, {cmds} total commands (3x3 per group, batch=8)"
     );
     let mut sharded: Vec<MeasuredShard> = Vec::new();
     for &groups in &[1usize, 4, 16, 64] {
-        for kernel in [KernelProfile::Legacy, KernelProfile::Optimized] {
-            let kname = match kernel {
-                KernelProfile::Legacy => "legacy",
-                KernelProfile::Optimized => "optimized",
-            };
-            sharded.push(measure_sharded(
-                format!("sharded_g{groups}_{kname}"),
-                kernel,
-                groups,
-                8,
-                0, // open loop: the max-throughput configuration
-                WorkloadSpec::uniform(),
-                cmds,
-                1,
-                1,
-            ));
-        }
+        sharded.push(measure_sharded(
+            format!("sharded_g{groups}_optimized"),
+            groups,
+            8,
+            0, // open loop: the max-throughput configuration
+            WorkloadSpec::uniform(),
+            cmds,
+            1,
+            1,
+        ));
     }
     // One closed-loop skewed config: the service-latency story.
     let zipf = measure_sharded(
         "sharded_g4_zipf_closed_loop".to_string(),
-        KernelProfile::Optimized,
         4,
         8,
         16,
@@ -479,22 +450,18 @@ fn main() {
             m.wall_secs,
         );
     }
-    let shard_of = |groups: usize, kernel: &str| {
+    let shard_of = |groups: usize| {
         sharded
             .iter()
-            .find(|m| m.label == format!("sharded_g{groups}_{kernel}"))
+            .find(|m| m.label == format!("sharded_g{groups}_optimized"))
             .expect("measured")
     };
-    let g1_ratio = shard_of(1, "optimized").entries_per_sec() / batched8.entries_per_sec();
+    let g1_ratio = shard_of(1).entries_per_sec() / batched8.entries_per_sec();
     println!("\n  G=1 open loop vs E10b batch=8 (entries/sec):  {g1_ratio:.2}x");
     for &groups in &[1usize, 4, 16, 64] {
-        let speedup = shard_of(groups, "optimized").entries_per_sec()
-            / shard_of(groups, "legacy").entries_per_sec();
-        let scaling = shard_of(groups, "optimized").report.committed_per_delay
-            / shard_of(1, "optimized").report.committed_per_delay;
-        println!(
-            "  G={groups:<2} kernel speedup {speedup:.2}x, virtual-time scaling {scaling:.2}x vs G=1"
-        );
+        let scaling =
+            shard_of(groups).report.committed_per_delay / shard_of(1).report.committed_per_delay;
+        println!("  G={groups:<2} virtual-time scaling {scaling:.2}x vs G=1");
     }
 
     // Partitioned-kernel thread sweep: the same open-loop service on the
@@ -516,7 +483,6 @@ fn main() {
         for &threads in &[1usize, 2, 4] {
             sweep.push(measure_sharded(
                 format!("par_g{groups}_p8_t{threads}"),
-                KernelProfile::Optimized,
                 groups,
                 8,
                 0,
@@ -633,13 +599,18 @@ fn main() {
         sc.max_delays = rebal_cmds as u64 + 10_000;
         sc
     };
+    // Hysteresis on (PR 6): a migrated range holds its new placement for
+    // at least `min_hold_delays`, so an oscillating hot key cannot
+    // ping-pong between groups. The auto labels carry a `_hold` suffix so
+    // the gate re-baselines them instead of comparing against the
+    // hysteresis-free PR 5 numbers.
     let auto_cfg = RebalanceConfig {
         check_every_delays: 40,
         cooldown_delays: 15,
         hot_group_permille: 250,
         hot_key_permille: 30,
         min_window_commits: 64,
-        ..RebalanceConfig::default()
+        min_hold_delays: 120,
     };
     let zipf_wl = WorkloadSpec::Zipf {
         keys: 4096,
@@ -674,7 +645,7 @@ fn main() {
         let mut sc = rebal_scenario(wl.clone());
         sc.rebalance = Some(auto_cfg);
         rebal.push(measure_scenario(
-            format!("rebalance_{wl_name}_range_auto"),
+            format!("rebalance_{wl_name}_range_auto_hold"),
             &sc,
         ));
     }
@@ -687,7 +658,7 @@ fn main() {
         sc.partitions = 4;
         sc.threads = threads;
         rebal_sweep.push(measure_scenario(
-            format!("rebalance_auto_p4_t{threads}"),
+            format!("rebalance_auto_hold_p4_t{threads}"),
             &sc,
         ));
     }
@@ -739,9 +710,9 @@ fn main() {
             .find(|m| m.label == label)
             .expect("measured rebalance config")
     };
-    let zipf_auto = rebal_of("rebalance_zipf_range_auto");
+    let zipf_auto = rebal_of("rebalance_zipf_range_auto_hold");
     let zipf_static = rebal_of("rebalance_zipf_range_static");
-    let hot_auto = rebal_of("rebalance_hotset_range_auto");
+    let hot_auto = rebal_of("rebalance_hotset_range_auto_hold");
     let hot_hash = rebal_of("rebalance_hotset_hash_static");
     assert!(
         zipf_auto.report.migrations_completed >= 1 && hot_auto.report.migrations_completed >= 1,
@@ -846,12 +817,8 @@ fn main() {
     let stress: Vec<StressResult> = vec![measure_stress(5_000, 40), measure_stress(20_000, 60)];
     for r in &stress {
         println!(
-            "  n={:<6} events={:<9} legacy {:>9.0} ev/s, optimized {:>9.0} ev/s ({:.2}x)",
-            r.n,
-            r.events,
-            r.legacy_events_per_sec,
-            r.optimized_events_per_sec,
-            r.optimized_events_per_sec / r.legacy_events_per_sec
+            "  n={:<6} events={:<9} {:>9.0} ev/s",
+            r.n, r.events, r.events_per_sec,
         );
     }
 
@@ -868,7 +835,6 @@ fn main() {
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ],\n");
     json.push_str("  \"e10b_replicated_log\": {\n");
-    let _ = writeln!(json, "    \"legacy_kernel_batch1\": {},", smr_json(&legacy));
     let _ = writeln!(
         json,
         "    \"optimized_kernel_batch1\": {},",
@@ -886,15 +852,11 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"speedup_events_per_sec_batch1\": {speedup_events:.3},"
+        "    \"batching_speedup_entries_per_sec_b8\": {speedup_b8:.3},"
     );
     let _ = writeln!(
         json,
-        "    \"speedup_entries_per_sec_batch8\": {speedup_b8:.3},"
-    );
-    let _ = writeln!(
-        json,
-        "    \"speedup_entries_per_sec_batch32\": {speedup_b32:.3}"
+        "    \"batching_speedup_entries_per_sec_b32\": {speedup_b32:.3}"
     );
     json.push_str("  },\n");
     json.push_str("  \"sharded_log\": {\n");
@@ -916,30 +878,14 @@ fn main() {
         .map(|&g| {
             format!(
                 "\"g{g}\": {:.3}",
-                shard_of(g, "optimized").report.committed_per_delay
-                    / shard_of(1, "optimized").report.committed_per_delay
+                shard_of(g).report.committed_per_delay / shard_of(1).report.committed_per_delay
             )
         })
         .collect();
     let _ = writeln!(
         json,
-        "    \"scaling_committed_per_delay_vs_g1\": {{ {} }},",
+        "    \"scaling_committed_per_delay_vs_g1\": {{ {} }}",
         scaling.join(", ")
-    );
-    let speedups: Vec<String> = [1usize, 4, 16, 64]
-        .iter()
-        .map(|&g| {
-            format!(
-                "\"g{g}\": {:.3}",
-                shard_of(g, "optimized").entries_per_sec()
-                    / shard_of(g, "legacy").entries_per_sec()
-            )
-        })
-        .collect();
-    let _ = writeln!(
-        json,
-        "    \"kernel_speedup_entries_per_sec\": {{ {} }}",
-        speedups.join(", ")
     );
     json.push_str("  },\n");
     json.push_str("  \"parallel_kernel\": {\n");
@@ -1046,12 +992,8 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{ \"actors\": {}, \"events\": {}, \"legacy_events_per_sec\": {:.0}, \"optimized_events_per_sec\": {:.0}, \"speedup\": {:.3} }}",
-                r.n,
-                r.events,
-                r.legacy_events_per_sec,
-                r.optimized_events_per_sec,
-                r.optimized_events_per_sec / r.legacy_events_per_sec
+                "    {{ \"actors\": {}, \"events\": {}, \"optimized_events_per_sec\": {:.0} }}",
+                r.n, r.events, r.events_per_sec,
             )
         })
         .collect();

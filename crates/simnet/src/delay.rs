@@ -12,7 +12,7 @@ use rand::Rng;
 use crate::time::{Duration, Time};
 
 /// How long a message spends in flight on a link.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DelayModel {
     /// Every message takes exactly this long (synchronous link).
     Constant(Duration),

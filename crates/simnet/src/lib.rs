@@ -55,11 +55,11 @@
 //! * **Determinism contract.** Events dispatch in strictly ascending
 //!   `(time, seq)` order, where `seq` is the kernel-assigned scheduling
 //!   sequence number; RNG draws happen in dispatch order. Any conforming
-//!   queue implementation is therefore observationally identical. The
-//!   pre-overhaul kernel is kept as [`KernelProfile::Legacy`]
-//!   (reproducing even its allocation behaviour) for baseline measurement
-//!   and differential testing: the golden-schedule suite asserts both
-//!   kernels produce bit-identical decisions, metrics, and traces.
+//!   queue implementation is therefore observationally identical; the
+//!   golden-schedule suite pins recorded decisions, metrics, and traces
+//!   so any schedule drift fails loudly. (The pre-overhaul heap kernel,
+//!   once kept as a `Legacy` profile for differential testing, is
+//!   retired: the scenario fuzzer's golden pins cover that role.)
 //!
 //! ## Partitioned parallel execution
 //!
@@ -113,6 +113,6 @@ pub use event::EventKind;
 pub use ids::{ActorId, TimerId};
 pub use metrics::Metrics;
 pub use partition::{ParActors, ParSimulation, Partitioning};
-pub use sim::{Context, DelayHook, KernelProfile, RunOutcome, Simulation};
+pub use sim::{Context, DelayHook, RunOutcome, Simulation};
 pub use time::{Duration, Time, TICKS_PER_DELAY};
 pub use trace::{Trace, TraceEntry};

@@ -88,7 +88,7 @@ use crate::event::EventKind;
 use crate::ids::ActorId;
 use crate::metrics::Metrics;
 use crate::queue::{Payload, Scheduled, WheelQueue};
-use crate::sim::{Context, Core, KernelProfile, RunOutcome};
+use crate::sim::{Context, Core, RunOutcome};
 use crate::time::{Duration, Time};
 
 /// An event staged for another partition: `(arrival time, target, event)`.
@@ -175,7 +175,7 @@ impl<M: 'static> SubKernel<M> {
     fn new(part: u32, parts: usize, rng: StdRng) -> SubKernel<M> {
         SubKernel {
             part,
-            core: Core::new(KernelProfile::Optimized, rng),
+            core: Core::new(rng),
             queue: WheelQueue::new(),
             seq: 0,
             now: Time::ZERO,

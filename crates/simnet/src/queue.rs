@@ -1,18 +1,14 @@
-//! Event queue implementations for the simulation kernel.
+//! The event queue of the simulation kernel.
 //!
-//! Two interchangeable structures behind [`EventQueue`]:
-//!
-//! * [`WheelQueue`] — the optimized hot path: a bucketed calendar queue
-//!   ("timing wheel") of one-tick buckets over a 2^15-tick near-future
-//!   window, with a two-level occupancy bitmap to find the next non-empty
-//!   tick in a handful of word operations, and a [`BinaryHeap`] fallback
-//!   for far-future events (they migrate into the wheel as virtual time
-//!   approaches them). Push and pop are O(1) in the common case — no
-//!   sift-up/sift-down moves of event payloads.
-//! * A plain [`BinaryHeap`] — the pre-overhaul kernel, kept as the
-//!   `Legacy` profile for baseline measurement and for differential
-//!   determinism tests (both structures must pop in identical
-//!   `(time, seq)` order).
+//! [`WheelQueue`] is a bucketed calendar queue ("timing wheel") of
+//! one-tick buckets over a 2^15-tick near-future window, with a two-level
+//! occupancy bitmap to find the next non-empty tick in a handful of word
+//! operations, and a [`BinaryHeap`] fallback for far-future events (they
+//! migrate into the wheel as virtual time approaches them). Push and pop
+//! are O(1) in the common case — no sift-up/sift-down moves of event
+//! payloads. (The pre-overhaul kernel used a plain [`BinaryHeap`]; the
+//! tests below still pop one against the wheel to pin the identical
+//! `(time, seq)` order.)
 //!
 //! ## Determinism contract
 //!
@@ -278,42 +274,6 @@ impl<M> WheelQueue<M> {
     }
 }
 
-/// The kernel's event queue: wheel (optimized) or binary heap (legacy).
-pub(crate) enum EventQueue<M> {
-    Wheel(WheelQueue<M>),
-    Heap(BinaryHeap<Scheduled<M>>),
-}
-
-impl<M> EventQueue<M> {
-    pub(crate) fn push(&mut self, ev: Scheduled<M>) {
-        match self {
-            EventQueue::Wheel(w) => w.push(ev),
-            EventQueue::Heap(h) => h.push(ev),
-        }
-    }
-
-    pub(crate) fn pop(&mut self) -> Option<Scheduled<M>> {
-        match self {
-            EventQueue::Wheel(w) => w.pop(),
-            EventQueue::Heap(h) => h.pop(),
-        }
-    }
-
-    pub(crate) fn next_time(&mut self) -> Option<Time> {
-        match self {
-            EventQueue::Wheel(w) => w.next_time(),
-            EventQueue::Heap(h) => h.peek().map(|ev| ev.at),
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        match self {
-            EventQueue::Wheel(w) => w.len(),
-            EventQueue::Heap(h) => h.len(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,19 +287,12 @@ mod tests {
         }
     }
 
-    /// Pops everything from a queue, returning (at, seq) pairs.
-    fn drain_all(q: &mut EventQueue<u8>) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
-        while let Some(e) = q.pop() {
-            out.push((e.at.0, e.seq));
-        }
-        out
-    }
-
     #[test]
     fn wheel_matches_heap_on_scattered_schedule() {
         // Ticks spanning in-window, boundary, and far-future ranges,
         // deliberately inserted out of order with seq ties on equal ticks.
+        // A plain binary heap (the pre-overhaul queue) is the ordering
+        // reference: both must pop in identical ascending (at, seq) order.
         let script: Vec<(u64, u64)> = vec![
             (5, 1),
             (0, 2),
@@ -352,15 +305,21 @@ mod tests {
             (999_999, 9),
             (40_000, 10),
         ];
-        let mut wheel = EventQueue::Wheel(WheelQueue::new());
-        let mut heap = EventQueue::Heap(BinaryHeap::new());
+        let mut wheel = WheelQueue::new();
+        let mut heap: BinaryHeap<Scheduled<u8>> = BinaryHeap::new();
         for &(at, seq) in &script {
             wheel.push(ev(at, seq));
             heap.push(ev(at, seq));
         }
         assert_eq!(wheel.len(), script.len());
-        let w = drain_all(&mut wheel);
-        let h = drain_all(&mut heap);
+        let mut w = Vec::new();
+        while let Some(e) = wheel.pop() {
+            w.push((e.at.0, e.seq));
+        }
+        let mut h = Vec::new();
+        while let Some(e) = heap.pop() {
+            h.push((e.at.0, e.seq));
+        }
         assert_eq!(w, h);
         // And the order really is ascending (at, seq).
         let mut sorted = w.clone();

@@ -1,7 +1,7 @@
 //! The simulation kernel: event queue, dispatch loop, and the [`Context`]
 //! through which actors act on the world.
 
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +11,7 @@ use crate::delay::DelayModel;
 use crate::event::EventKind;
 use crate::ids::{ActorId, TimerId};
 use crate::metrics::Metrics;
-use crate::queue::{EventQueue, Payload, Scheduled, WheelQueue};
+use crate::queue::{Payload, Scheduled, WheelQueue};
 use crate::time::{Duration, Time};
 use crate::trace::Trace;
 
@@ -28,30 +28,12 @@ use crate::trace::Trace;
 /// only plain data, so this costs nothing in practice.
 pub type DelayHook<M> = Box<dyn Fn(Time, ActorId, ActorId, &M) -> Option<Duration> + Send>;
 
-/// Which kernel implementation a [`Simulation`] runs on.
-///
-/// Both profiles produce bit-identical schedules for a fixed seed (the
-/// golden-schedule tests assert it); they differ only in wall-clock cost.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum KernelProfile {
-    /// The current hot path: bucketed calendar queue, allocation-free
-    /// dispatch, generation-stamped timer slots.
-    #[default]
-    Optimized,
-    /// The pre-overhaul kernel, faithfully reproduced — binary-heap queue,
-    /// per-send delay-model clone, eager trace strings, grow-forever
-    /// cancelled-timer set, per-dispatch pending-buffer allocation. Kept
-    /// for baseline measurement (`perf_snapshot`) and differential
-    /// determinism testing.
-    Legacy,
-}
-
 /// Generation-stamped timer slots: O(1) arm/cancel/fire with bounded
 /// memory. A [`TimerId`] encodes `(slot, generation)`; cancelling or
 /// firing bumps the slot's generation, so stale ids from already-fired or
 /// already-cancelled timers are recognized without any tombstone set (the
-/// legacy kernel's `BTreeSet<TimerId>` leaked an entry per cancel-after-
-/// fire, growing without bound in long adversary runs).
+/// retired pre-overhaul kernel's `BTreeSet<TimerId>` leaked an entry per
+/// cancel-after-fire, growing without bound in long adversary runs).
 #[derive(Debug, Default)]
 pub(crate) struct TimerTable {
     gens: Vec<u32>,
@@ -103,27 +85,21 @@ impl TimerTable {
 /// own RNG stream): randomness, metrics, trace, link models, timers, and
 /// the pending-effects buffer a [`Context`] writes into.
 pub(crate) struct Core<M> {
-    pub(crate) profile: KernelProfile,
     pub(crate) rng: StdRng,
     pub(crate) metrics: Metrics,
     pub(crate) trace: Trace,
     pub(crate) default_delay: DelayModel,
     pub(crate) link_overrides: BTreeMap<(ActorId, ActorId), DelayModel>,
     pub(crate) delay_hook: Option<DelayHook<M>>,
-    /// Optimized-profile timers.
     pub(crate) timers: TimerTable,
-    /// Legacy-profile timers: monotone ids plus a cancellation set.
-    timer_seq: u64,
-    cancelled: BTreeSet<TimerId>,
     /// Events emitted by the currently-dispatching actor, applied afterwards.
     pub(crate) pending: Vec<(Time, ActorId, EventKind<M>)>,
 }
 
 impl<M> Core<M> {
-    /// A fresh dispatch core on `profile` drawing randomness from `rng`.
-    pub(crate) fn new(profile: KernelProfile, rng: StdRng) -> Core<M> {
+    /// A fresh dispatch core drawing randomness from `rng`.
+    pub(crate) fn new(rng: StdRng) -> Core<M> {
         Core {
-            profile,
             rng,
             metrics: Metrics::new(),
             trace: Trace::new(),
@@ -131,20 +107,14 @@ impl<M> Core<M> {
             link_overrides: BTreeMap::new(),
             delay_hook: None,
             timers: TimerTable::default(),
-            timer_seq: 0,
-            cancelled: BTreeSet::new(),
             pending: Vec::new(),
         }
     }
 
-    /// Retires a timer slot on the optimized profile (used by partitioned
-    /// dispatch when dropping events to crashed actors).
+    /// Retires a timer slot (used by partitioned dispatch when dropping
+    /// events to crashed actors).
     pub(crate) fn retire_timer(&mut self, id: TimerId) -> bool {
-        if self.profile == KernelProfile::Legacy {
-            !self.cancelled.remove(&id)
-        } else {
-            self.timers.retire(id)
-        }
+        self.timers.retire(id)
     }
 }
 
@@ -190,7 +160,6 @@ impl<'a, M> Context<'a, M> {
                     link_overrides,
                     default_delay,
                     rng,
-                    profile,
                     ..
                 } = &mut *self.core;
                 let model = if link_overrides.is_empty() {
@@ -198,12 +167,7 @@ impl<'a, M> Context<'a, M> {
                 } else {
                     link_overrides.get(&(self.me, to)).unwrap_or(default_delay)
                 };
-                if *profile == KernelProfile::Legacy {
-                    // Faithful legacy cost: clone the model per send.
-                    model.clone().sample(self.now, rng)
-                } else {
-                    model.sample(self.now, rng)
-                }
+                model.sample(self.now, rng)
             }
         };
         self.core.metrics.messages_sent += 1;
@@ -217,12 +181,7 @@ impl<'a, M> Context<'a, M> {
     /// purposes within the actor. Returns an id usable with
     /// [`Context::cancel_timer`].
     pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
-        let id = if self.core.profile == KernelProfile::Legacy {
-            self.core.timer_seq += 1;
-            TimerId(self.core.timer_seq)
-        } else {
-            self.core.timers.arm()
-        };
+        let id = self.core.timers.arm();
         self.core
             .pending
             .push((self.now + after, self.me, EventKind::Timer { id, tag }));
@@ -232,11 +191,7 @@ impl<'a, M> Context<'a, M> {
     /// Cancels a previously armed timer. Cancelling an already-fired (or
     /// already-cancelled) timer is a no-op and costs no memory.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        if self.core.profile == KernelProfile::Legacy {
-            self.core.cancelled.insert(id);
-        } else {
-            self.core.timers.retire(id);
-        }
+        self.core.timers.retire(id);
     }
 
     /// Records that this actor decided (for the k-deciding latency metric).
@@ -337,45 +292,30 @@ pub struct Simulation<M> {
     actors: Vec<Option<Box<dyn AnyActor<M>>>>,
     /// Crash flags, indexed densely by actor.
     crashed: Vec<bool>,
-    queue: EventQueue<M>,
+    queue: WheelQueue<M>,
     seq: u64,
     now: Time,
     started: bool,
-    /// Recycled buffer that `pending` swaps with during dispatch, so the
-    /// optimized profile never reallocates it.
+    /// Recycled buffer that `pending` swaps with during dispatch, so
+    /// dispatch never reallocates it.
     pending_scratch: Vec<(Time, ActorId, EventKind<M>)>,
     core: Core<M>,
 }
 
 impl<M: 'static> Simulation<M> {
     /// Creates an empty simulation with a seeded random source and
-    /// synchronous (one-delay) links, on the [`KernelProfile::Optimized`]
-    /// kernel.
+    /// synchronous (one-delay) links.
     pub fn new(seed: u64) -> Simulation<M> {
-        Simulation::with_profile(seed, KernelProfile::Optimized)
-    }
-
-    /// Creates a simulation on an explicit kernel profile.
-    pub fn with_profile(seed: u64, profile: KernelProfile) -> Simulation<M> {
-        let queue = match profile {
-            KernelProfile::Optimized => EventQueue::Wheel(WheelQueue::new()),
-            KernelProfile::Legacy => EventQueue::Heap(BinaryHeap::new()),
-        };
         Simulation {
             actors: Vec::new(),
             crashed: Vec::new(),
-            queue,
+            queue: WheelQueue::new(),
             seq: 0,
             now: Time::ZERO,
             started: false,
             pending_scratch: Vec::new(),
-            core: Core::new(profile, StdRng::seed_from_u64(seed)),
+            core: Core::new(StdRng::seed_from_u64(seed)),
         }
-    }
-
-    /// The kernel profile this simulation runs on.
-    pub fn kernel_profile(&self) -> KernelProfile {
-        self.core.profile
     }
 
     /// Registers an actor, returning its id. Ids are dense and assigned in
@@ -479,15 +419,8 @@ impl<M: 'static> Simulation<M> {
     }
 
     /// Live (armed, not yet fired or cancelled) timers, for leak tests.
-    /// Always 0 on the legacy profile, which does not track liveness.
     pub fn live_timers(&self) -> usize {
         self.core.timers.live()
-    }
-
-    /// Size of the legacy cancelled-timer set (the structure whose
-    /// unbounded growth the optimized profile eliminates).
-    pub fn cancelled_set_len(&self) -> usize {
-        self.core.cancelled.len()
     }
 
     /// Downcasts actor `id` to its concrete type for inspection.
@@ -548,7 +481,6 @@ impl<M: 'static> Simulation<M> {
         debug_assert!(sched.at >= self.now, "event queue went backwards");
         self.now = sched.at;
         self.core.metrics.events_dispatched += 1;
-        let legacy = self.core.profile == KernelProfile::Legacy;
         match sched.payload {
             Payload::Crash => {
                 self.mark_crashed(sched.to);
@@ -558,32 +490,17 @@ impl<M: 'static> Simulation<M> {
             Payload::Deliver(ev) => {
                 if self.is_crashed(sched.to) {
                     let (now, to) = (self.now, sched.to);
-                    if legacy {
-                        // Faithful legacy cost: the string was built even
-                        // with tracing disabled.
-                        self.core.trace.push(
-                            now,
-                            to,
-                            format!("dropped {} (crashed)", ev.kind_name()),
-                        );
-                    } else {
-                        self.core
-                            .trace
-                            .push_with(now, to, || format!("dropped {} (crashed)", ev.kind_name()));
-                        // Never-delivered timers still release their slot.
-                        if let EventKind::Timer { id, .. } = ev {
-                            self.core.timers.retire(id);
-                        }
+                    self.core
+                        .trace
+                        .push_with(now, to, || format!("dropped {} (crashed)", ev.kind_name()));
+                    // Never-delivered timers still release their slot.
+                    if let EventKind::Timer { id, .. } = ev {
+                        self.core.timers.retire(id);
                     }
                     return true;
                 }
                 if let EventKind::Timer { id, .. } = ev {
-                    let fired = if legacy {
-                        !self.core.cancelled.remove(&id)
-                    } else {
-                        self.core.timers.retire(id)
-                    };
-                    if !fired {
+                    if !self.core.timers.retire(id) {
                         return true;
                     }
                     self.core.metrics.timers_fired += 1;
@@ -593,19 +510,14 @@ impl<M: 'static> Simulation<M> {
                 }
                 if self.core.trace.is_enabled() {
                     let (now, to) = (self.now, sched.to);
-                    if legacy {
-                        let name = ev.kind_name();
-                        self.core.trace.push(now, to, format!("deliver {name}"));
-                    } else {
-                        // Static text per event kind: no allocation.
-                        let line: &'static str = match &ev {
-                            EventKind::Start => "deliver start",
-                            EventKind::Msg { .. } => "deliver msg",
-                            EventKind::Timer { .. } => "deliver timer",
-                            EventKind::LeaderChange { .. } => "deliver leader",
-                        };
-                        self.core.trace.push(now, to, line);
-                    }
+                    // Static text per event kind: no allocation.
+                    let line: &'static str = match &ev {
+                        EventKind::Start => "deliver start",
+                        EventKind::Msg { .. } => "deliver msg",
+                        EventKind::Timer { .. } => "deliver timer",
+                        EventKind::LeaderChange { .. } => "deliver leader",
+                    };
+                    self.core.trace.push(now, to, line);
                 }
                 let mut actor = self.actors[sched.to.index()]
                     .take()
@@ -619,35 +531,22 @@ impl<M: 'static> Simulation<M> {
                     actor.on_event(&mut ctx, ev);
                 }
                 self.actors[sched.to.index()] = Some(actor);
-                if legacy {
-                    // Faithful legacy cost: a fresh buffer per dispatch.
-                    for (at, to, ev) in std::mem::take(&mut self.core.pending) {
-                        self.seq += 1;
-                        self.queue.push(Scheduled {
-                            at,
-                            seq: self.seq,
-                            to,
-                            payload: Payload::Deliver(ev),
-                        });
-                    }
-                } else {
-                    // Swap the pending buffer out, drain it, swap it back:
-                    // its capacity is reused across every dispatch.
-                    let mut batch = std::mem::replace(
-                        &mut self.core.pending,
-                        std::mem::take(&mut self.pending_scratch),
-                    );
-                    for (at, to, ev) in batch.drain(..) {
-                        self.seq += 1;
-                        self.queue.push(Scheduled {
-                            at,
-                            seq: self.seq,
-                            to,
-                            payload: Payload::Deliver(ev),
-                        });
-                    }
-                    self.pending_scratch = batch;
+                // Swap the pending buffer out, drain it, swap it back:
+                // its capacity is reused across every dispatch.
+                let mut batch = std::mem::replace(
+                    &mut self.core.pending,
+                    std::mem::take(&mut self.pending_scratch),
+                );
+                for (at, to, ev) in batch.drain(..) {
+                    self.seq += 1;
+                    self.queue.push(Scheduled {
+                        at,
+                        seq: self.seq,
+                        to,
+                        payload: Payload::Deliver(ev),
+                    });
                 }
+                self.pending_scratch = batch;
             }
         }
         true
@@ -754,11 +653,7 @@ mod tests {
     }
 
     fn build(rounds: u32) -> (Simulation<TMsg>, ActorId, ActorId) {
-        build_on(rounds, KernelProfile::Optimized)
-    }
-
-    fn build_on(rounds: u32, profile: KernelProfile) -> (Simulation<TMsg>, ActorId, ActorId) {
-        let mut sim = Simulation::with_profile(99, profile);
+        let mut sim = Simulation::new(99);
         let ponger = sim.add(Ponger { pongs_sent: 0 });
         let pinger = sim.add(Pinger {
             target: ponger,
@@ -771,33 +666,29 @@ mod tests {
 
     #[test]
     fn ping_pong_latency_is_two_delays_per_round() {
-        for profile in [KernelProfile::Optimized, KernelProfile::Legacy] {
-            let (mut sim, _, pinger) = build_on(3, profile);
-            let out = sim.run_to_quiescence(Time::from_delays(100));
-            assert_eq!(out, RunOutcome::Quiescent);
-            let p = sim.actor_as::<Pinger>(pinger).unwrap();
-            assert_eq!(p.pongs, vec![0, 1, 2]);
-            // 3 round trips at 2 delays each.
-            assert_eq!(p.decided_at, Some(Time::from_delays(6)));
-            assert_eq!(sim.metrics().first_decision_delays(), Some(6.0));
-            assert_eq!(sim.metrics().messages_sent, 6);
-            assert_eq!(sim.metrics().messages_delivered, 6);
-        }
+        let (mut sim, _, pinger) = build(3);
+        let out = sim.run_to_quiescence(Time::from_delays(100));
+        assert_eq!(out, RunOutcome::Quiescent);
+        let p = sim.actor_as::<Pinger>(pinger).unwrap();
+        assert_eq!(p.pongs, vec![0, 1, 2]);
+        // 3 round trips at 2 delays each.
+        assert_eq!(p.decided_at, Some(Time::from_delays(6)));
+        assert_eq!(sim.metrics().first_decision_delays(), Some(6.0));
+        assert_eq!(sim.metrics().messages_sent, 6);
+        assert_eq!(sim.metrics().messages_delivered, 6);
     }
 
     #[test]
     fn crashed_actor_receives_nothing() {
-        for profile in [KernelProfile::Optimized, KernelProfile::Legacy] {
-            let (mut sim, ponger, pinger) = build_on(5, profile);
-            sim.crash_at(ponger, Time::from_delays(3));
-            sim.run_to_quiescence(Time::from_delays(100));
-            let p = sim.actor_as::<Pinger>(pinger).unwrap();
-            // Rounds complete at 2 and 4... but the ping landing after t=3 is
-            // dropped, so only the first round's pong (t=2) arrives.
-            assert_eq!(p.pongs, vec![0]);
-            assert!(sim.is_crashed(ponger));
-            assert_eq!(sim.metrics().first_decision(), None);
-        }
+        let (mut sim, ponger, pinger) = build(5);
+        sim.crash_at(ponger, Time::from_delays(3));
+        sim.run_to_quiescence(Time::from_delays(100));
+        let p = sim.actor_as::<Pinger>(pinger).unwrap();
+        // Rounds complete at 2 and 4... but the ping landing after t=3 is
+        // dropped, so only the first round's pong (t=2) arrives.
+        assert_eq!(p.pongs, vec![0]);
+        assert!(sim.is_crashed(ponger));
+        assert_eq!(sim.metrics().first_decision(), None);
     }
 
     #[test]
@@ -820,9 +711,9 @@ mod tests {
     }
 
     #[test]
-    fn determinism_across_identical_runs_and_profiles() {
-        let mk = |profile| {
-            let mut sim: Simulation<TMsg> = Simulation::with_profile(5, profile);
+    fn determinism_across_identical_runs() {
+        let mk = || {
+            let mut sim: Simulation<TMsg> = Simulation::new(5);
             sim.set_default_delay(DelayModel::Uniform {
                 lo: Duration::from_delays(1),
                 hi: Duration::from_delays(4),
@@ -837,10 +728,7 @@ mod tests {
             sim.run_to_quiescence(Time::from_delays(10_000));
             sim.actor_as::<Pinger>(pinger).unwrap().decided_at
         };
-        assert_eq!(mk(KernelProfile::Optimized), mk(KernelProfile::Optimized));
-        // The two kernels must produce the same schedule, not just any
-        // deterministic one each.
-        assert_eq!(mk(KernelProfile::Optimized), mk(KernelProfile::Legacy));
+        assert_eq!(mk(), mk());
     }
 
     struct TimerActor {
@@ -866,19 +754,18 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order_and_cancel() {
-        for profile in [KernelProfile::Optimized, KernelProfile::Legacy] {
-            let mut sim: Simulation<TMsg> = Simulation::with_profile(1, profile);
-            let a = sim.add(TimerActor {
-                fired: Vec::new(),
-                cancel_second: true,
-            });
-            sim.run_to_quiescence(Time::from_delays(10));
-            assert_eq!(sim.actor_as::<TimerActor>(a).unwrap().fired, vec![1, 3]);
-        }
+        let mut sim: Simulation<TMsg> = Simulation::new(1);
+        let a = sim.add(TimerActor {
+            fired: Vec::new(),
+            cancel_second: true,
+        });
+        sim.run_to_quiescence(Time::from_delays(10));
+        assert_eq!(sim.actor_as::<TimerActor>(a).unwrap().fired, vec![1, 3]);
     }
 
     /// Cancelling timers that already fired must not accumulate state
-    /// (the legacy kernel leaked a tombstone per such cancel).
+    /// (the retired pre-overhaul kernel leaked a tombstone per such
+    /// cancel).
     struct CancelAfterFire {
         last: Option<TimerId>,
         rounds: u32,
@@ -914,16 +801,6 @@ mod tests {
         });
         sim.run_to_quiescence(Time::from_delays(10_000));
         assert_eq!(sim.live_timers(), 0, "timer slots leaked");
-        assert_eq!(sim.cancelled_set_len(), 0);
-
-        // The legacy kernel demonstrates the leak this replaced.
-        let mut sim: Simulation<TMsg> = Simulation::with_profile(1, KernelProfile::Legacy);
-        sim.add(CancelAfterFire {
-            last: None,
-            rounds: 500,
-        });
-        sim.run_to_quiescence(Time::from_delays(10_000));
-        assert_eq!(sim.cancelled_set_len(), 501, "legacy leak shape changed");
     }
 
     #[test]
@@ -1008,18 +885,17 @@ mod tests {
     }
 
     #[test]
-    fn traces_match_across_profiles() {
-        let run = |profile| {
-            let (mut sim, ponger, _) = build_on(4, profile);
+    fn trace_records_crash_and_dropped_delivery() {
+        let run = || {
+            let (mut sim, ponger, _) = build(4);
             sim.enable_trace(10_000);
             sim.crash_at(ponger, Time::from_delays(3));
             sim.run_to_quiescence(Time::from_delays(100));
             sim.trace().dump()
         };
-        let opt = run(KernelProfile::Optimized);
-        let legacy = run(KernelProfile::Legacy);
-        assert_eq!(opt, legacy);
-        assert!(opt.contains("CRASH"));
-        assert!(opt.contains("dropped msg (crashed)"));
+        let a = run();
+        assert_eq!(a, run(), "trace is part of the determinism contract");
+        assert!(a.contains("CRASH"));
+        assert!(a.contains("dropped msg (crashed)"));
     }
 }

@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use simnet::{Actor, ActorId, Context, EventKind, KernelProfile, Simulation, Time};
+use simnet::{Actor, ActorId, Context, EventKind, Simulation, Time};
 
 struct Pinger {
     peer: ActorId,
@@ -27,8 +27,8 @@ impl Actor<u64> for Pinger {
 }
 
 /// Dispatches `events` ping-pong messages and returns the wall seconds.
-fn pingpong_secs(profile: KernelProfile, events: u64) -> f64 {
-    let mut sim: Simulation<u64> = Simulation::with_profile(1, profile);
+fn pingpong_secs(events: u64) -> f64 {
+    let mut sim: Simulation<u64> = Simulation::new(1);
     let a = ActorId(0);
     let b = ActorId(1);
     sim.add(Pinger {
@@ -57,7 +57,7 @@ fn pingpong_secs(profile: KernelProfile, events: u64) -> f64 {
 fn kernel_sustains_event_rate() {
     const EVENTS: u64 = 2_000_000;
     const BUDGET_SECS: f64 = 10.0;
-    let secs = pingpong_secs(KernelProfile::Optimized, EVENTS);
+    let secs = pingpong_secs(EVENTS);
     assert!(
         secs < BUDGET_SECS,
         "dispatched {EVENTS} events in {secs:.2}s (budget {BUDGET_SECS}s)"

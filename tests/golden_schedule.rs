@@ -1,24 +1,27 @@
-//! Golden-schedule regression for the kernel overhaul.
+//! Golden-schedule regression pins for the kernel.
 //!
 //! Two layers of protection:
 //!
-//! 1. **Recorded fixtures** — seeded common-case runs must keep producing
-//!    exactly these decision times, message counts and memory-op counts.
-//!    If a kernel change shifts any schedule, these fail before anything
-//!    subtler does.
-//! 2. **Differential runs** — the `Legacy` kernel profile is the faithful
-//!    pre-overhaul implementation (binary-heap queue, eager allocations,
-//!    tombstone timer set). Every scenario here must produce identical
-//!    virtual-time results — decisions, metrics, and trace lines — on both
-//!    kernels, including under jittered (RNG-driven) delays, crashes and
-//!    failover, and for the SMR log at `batch = 1` (the batching knob's
-//!    compatibility mode).
+//! 1. **Recorded fixtures** — seeded runs (common-case, jittered,
+//!    crash-and-failover) must keep producing exactly these decision
+//!    times, message counts, memory-op counts, and trace dumps. If a
+//!    kernel change shifts any schedule, these fail before anything
+//!    subtler does. The pre-overhaul heap kernel once served as a live
+//!    differential reference (the `Legacy` profile); it is retired —
+//!    these pins, plus the scenario fuzzer's seed ranges
+//!    (`tests/fuzz_regressions.rs`), now carry that role.
+//! 2. **Repetition** — pinned scenarios are also run twice in fresh
+//!    kernels, guarding the determinism contract itself (a pin could
+//!    stay green by accident if the schedule were merely *usually* the
+//!    recorded one).
 
-use agreement::harness::{run_fast_robust, run_mp_paxos, run_protected, run_smr, Scenario};
+use agreement::harness::{
+    run_fast_robust, run_mp_paxos, run_protected, run_smr, RunReport, Scenario,
+};
 use agreement::protected::memory_actor;
 use agreement::smr::SmrNode;
 use agreement::types::{Msg, Value};
-use simnet::{ActorId, DelayModel, Duration, KernelProfile, Simulation, Time};
+use simnet::{ActorId, DelayModel, Duration, Simulation, Time};
 
 #[test]
 fn golden_common_case_fixtures() {
@@ -54,78 +57,118 @@ fn golden_smr_schedule_fixture() {
     assert_eq!(r.log, (0..10).map(|c| Value(1000 + c)).collect::<Vec<_>>());
 }
 
-/// Every scenario-level quantity the harness reports must be identical on
-/// both kernels.
-fn assert_profiles_agree(build: impl Fn(KernelProfile) -> Scenario) {
-    let opt = build(KernelProfile::Optimized);
-    let leg = build(KernelProfile::Legacy);
-    for (a, b) in [
-        (run_mp_paxos(&opt), run_mp_paxos(&leg)),
-        (run_protected(&opt), run_protected(&leg)),
-        (run_fast_robust(&opt, 60).0, run_fast_robust(&leg, 60).0),
-    ] {
-        assert_eq!(a.decisions, b.decisions);
-        assert_eq!(a.first_decision_delays, b.first_decision_delays);
-        assert_eq!(a.messages, b.messages);
-        assert_eq!(a.mem_ops, b.mem_ops);
-        assert_eq!(a.elapsed_delays, b.elapsed_delays);
-        assert_eq!(a.all_decided, b.all_decided);
+/// One run's schedule fingerprint — everything in the report a schedule
+/// shift would move, in tenth-of-a-delay units so the pins are integers.
+type Fingerprint = (Option<u64>, u64, u64, u64);
+
+fn fingerprint(r: &RunReport) -> Fingerprint {
+    (
+        r.first_decision_delays.map(|d| (d * 10.0).round() as u64),
+        r.messages,
+        r.mem_ops,
+        (r.elapsed_delays * 10.0).round() as u64,
+    )
+}
+
+/// Fingerprints of the three pinned protocols on one scenario, asserting
+/// every run decided correctly before anything is compared.
+fn pins_for(s: &Scenario) -> [Fingerprint; 3] {
+    let mp = run_mp_paxos(s);
+    let pmp = run_protected(s);
+    let (fr, _) = run_fast_robust(s, 60);
+    for r in [&mp, &pmp, &fr] {
+        assert!(r.all_decided && r.agreement, "{r:?}");
+    }
+    [fingerprint(&mp), fingerprint(&pmp), fingerprint(&fr)]
+}
+
+#[test]
+fn golden_jittered_schedules_are_pinned() {
+    // Uniform link jitter drives the seeded RNG on every send, so these
+    // pins freeze dispatch order AND RNG draw order. Recorded on the
+    // wheel kernel; `[mp_paxos, protected, fast_robust]` per seed.
+    let recorded: [(u64, [Fingerprint; 3]); 3] = [
+        (
+            3,
+            [
+                (Some(48), 6, 0, 76),
+                (Some(49), 8, 3, 78),
+                (Some(54), 167, 84, 516),
+            ],
+        ),
+        (
+            9,
+            [
+                (Some(39), 6, 0, 53),
+                (Some(42), 8, 3, 65),
+                (Some(47), 180, 90, 552),
+            ],
+        ),
+        (
+            77,
+            [
+                (Some(47), 6, 0, 72),
+                (Some(42), 8, 3, 79),
+                (Some(67), 172, 87, 495),
+            ],
+        ),
+    ];
+    for (seed, expect) in recorded {
+        let mut s = Scenario::common_case(3, 3, seed);
+        s.delay = DelayModel::Uniform {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(4),
+        };
+        s.max_delays = 3_000;
+        let got = pins_for(&s);
+        assert_eq!(got, expect, "seed {seed}: schedule diverged from pin");
+        assert_eq!(pins_for(&s), got, "seed {seed}: rerun diverged");
     }
 }
 
 #[test]
-fn kernels_agree_on_common_case() {
-    for seed in [1, 7, 42, 1234] {
-        assert_profiles_agree(|kernel| {
-            let mut s = Scenario::common_case(3, 3, seed);
-            s.kernel = kernel;
-            s
-        });
+fn golden_crash_failover_schedules_are_pinned() {
+    // A process crash, a memory crash, and an Ω re-announcement: the
+    // failover path's schedule, frozen per seed.
+    let recorded: [(u64, [Fingerprint; 3]); 2] = [
+        (
+            5,
+            [
+                (Some(20), 9, 0, 30),
+                (Some(20), 9, 3, 30),
+                (Some(20), 1620, 1224, 2600),
+            ],
+        ),
+        (
+            11,
+            [
+                (Some(20), 9, 0, 30),
+                (Some(20), 9, 3, 30),
+                (Some(20), 1620, 1224, 2600),
+            ],
+        ),
+    ];
+    for (seed, expect) in recorded {
+        let mut s = Scenario::common_case(4, 3, seed);
+        s.crash_procs = vec![(0, 6)];
+        s.crash_mems = vec![(2, 9)];
+        s.announce = vec![(15, 1)];
+        s.max_delays = 2_000;
+        let got = pins_for(&s);
+        assert_eq!(got, expect, "seed {seed}: schedule diverged from pin");
+        assert_eq!(pins_for(&s), got, "seed {seed}: rerun diverged");
     }
 }
 
 #[test]
-fn kernels_agree_under_jittered_delays() {
-    // Uniform link jitter drives the seeded RNG on every send: identical
-    // results require identical dispatch order AND identical RNG draw
-    // order on both kernels.
-    for seed in [3, 9, 77] {
-        assert_profiles_agree(|kernel| {
-            let mut s = Scenario::common_case(3, 3, seed);
-            s.delay = DelayModel::Uniform {
-                lo: Duration::from_delays(1),
-                hi: Duration::from_delays(4),
-            };
-            s.max_delays = 3_000;
-            s.kernel = kernel;
-            s
-        });
-    }
-}
-
-#[test]
-fn kernels_agree_under_crashes_and_failover() {
-    for seed in [5, 11] {
-        assert_profiles_agree(|kernel| {
-            let mut s = Scenario::common_case(4, 3, seed);
-            s.crash_procs = vec![(0, 6)];
-            s.crash_mems = vec![(2, 9)];
-            s.announce = vec![(15, 1)];
-            s.max_delays = 2_000;
-            s.kernel = kernel;
-            s
-        });
-    }
-}
-
-#[test]
-fn kernels_agree_on_smr_batch1_and_traces_match() {
-    // Full SMR cluster with tracing on: both kernels must produce the
-    // same decision times AND byte-identical trace dumps.
-    let run = |profile: KernelProfile| {
+fn golden_smr_trace_fixture() {
+    // Full SMR cluster with tracing on and a mid-run memory crash: the
+    // decision schedule, message/mem-op counts, and the byte-exact trace
+    // dump are all pinned (and must reproduce across fresh kernels).
+    let run = || {
         let n = 3u32;
         let m = 3u32;
-        let mut sim: Simulation<Msg> = Simulation::with_profile(11, profile);
+        let mut sim: Simulation<Msg> = Simulation::new(11);
         sim.enable_trace(100_000);
         let procs: Vec<ActorId> = (0..n).map(ActorId).collect();
         let mems: Vec<ActorId> = (n..n + m).map(ActorId).collect();
@@ -145,7 +188,7 @@ fn kernels_agree_on_smr_batch1_and_traces_match() {
             sim.add(memory_actor(ActorId(0)));
         }
         // A mid-run crash of one memory exercises the drop-to-crashed
-        // trace path on both kernels.
+        // trace path.
         sim.crash_at(mems[2], Time::from_delays(9));
         sim.run_to_quiescence(Time::from_delays(60));
         let leader = sim.actor_as::<SmrNode>(ActorId(0)).unwrap();
@@ -157,32 +200,28 @@ fn kernels_agree_on_smr_batch1_and_traces_match() {
             sim.trace().dump(),
         )
     };
-    let (log_o, decided_o, msgs_o, ops_o, trace_o) = run(KernelProfile::Optimized);
-    let (log_l, decided_l, msgs_l, ops_l, trace_l) = run(KernelProfile::Legacy);
-    assert!(!log_o.is_empty());
-    assert_eq!(log_o, log_l);
-    assert_eq!(decided_o, decided_l);
-    assert_eq!(msgs_o, msgs_l);
-    assert_eq!(ops_o, ops_l);
-    assert_eq!(trace_o, trace_l);
-    assert!(trace_o.contains("CRASH"));
-    assert!(trace_o.contains("dropped msg (crashed)"));
+    let (log, decided, msgs, ops, trace) = run();
+    assert_eq!(log, (0..12).map(|c| Value(100 + c)).collect::<Vec<_>>());
+    assert_eq!(decided.len(), 12);
+    assert_eq!((msgs, ops), (81, 36), "trace fixture schedule shifted");
+    assert!(trace.contains("CRASH"));
+    assert!(trace.contains("dropped msg (crashed)"));
+    let (log2, decided2, msgs2, ops2, trace2) = run();
+    assert_eq!((log, decided, msgs, ops), (log2, decided2, msgs2, ops2));
+    assert_eq!(trace, trace2, "trace dumps diverged across runs");
 }
 
 #[test]
 fn smr_batch1_wire_path_is_unchanged() {
     // batch=1 must take the exact pre-batching wire path: same message
     // count, same mem-op count, same per-entry decision times as the
-    // recorded fixture, on both kernels.
-    for kernel in [KernelProfile::Optimized, KernelProfile::Legacy] {
-        let mut s = Scenario::common_case(3, 3, 7);
-        s.max_delays = 100;
-        s.kernel = kernel;
-        let r = run_smr(&s, 10);
-        assert_eq!(r.entries, 10, "{kernel:?}");
-        let expected: Vec<f64> = (1..=10).map(|i| 2.0 * i as f64).collect();
-        assert_eq!(r.decided_at_delays, expected, "{kernel:?}");
-        // 10 entries × 3 memories, one write each; no extra ops.
-        assert_eq!(r.mem_ops, 30, "{kernel:?}");
-    }
+    // recorded fixture.
+    let mut s = Scenario::common_case(3, 3, 7);
+    s.max_delays = 100;
+    let r = run_smr(&s, 10);
+    assert_eq!(r.entries, 10);
+    let expected: Vec<f64> = (1..=10).map(|i| 2.0 * i as f64).collect();
+    assert_eq!(r.decided_at_delays, expected);
+    // 10 entries × 3 memories, one write each; no extra ops.
+    assert_eq!(r.mem_ops, 30);
 }
