@@ -19,16 +19,21 @@
 //! 3. On a violation, [`shrink::shrink`] delta-debugs the scenario down
 //!    to a minimal still-failing case and [`repro::to_literal`] renders
 //!    it as a Rust expression pasteable into a regression test
-//!    (`tests/fuzz_regressions.rs` holds the corpus).
+//!    (`tests/fuzz_regressions.rs` holds the corpus);
+//!    [`artifacts::render_timeline`] re-runs the shrunk case with
+//!    tracing on and exports its timeline (JSONL / Chrome trace / HTML)
+//!    so the violating schedule can be inspected visually.
 //!
 //! [`run_campaign`] drives the loop over a seed range; the
 //! `fuzz` binary in `crates/bench` wraps it for the command line and CI.
 
+pub mod artifacts;
 pub mod gen;
 pub mod oracle;
 pub mod repro;
 pub mod shrink;
 
+pub use artifacts::{render_timeline, TimelineArtifacts};
 pub use gen::generate;
 pub use oracle::{check, check_deep, DeepChecks, Violation};
 pub use repro::to_literal;

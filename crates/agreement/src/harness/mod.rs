@@ -568,6 +568,20 @@ pub struct ShardedScenario {
     /// [`ShardedRunReport::byz_receipts_rejected`]. Placements must land
     /// in Byzantine-mode groups, not at the initial-leader slot.
     pub byz_receipt_forgers: Vec<(usize, usize)>,
+    /// Record typed observability events ([`simnet::obs::Event`]) during
+    /// the run: [`run_sharded_with_events`] returns the merged,
+    /// deterministically ordered stream (ready for the exporters in
+    /// [`simnet::obs`]). Off — the default — records nothing and is
+    /// bit-identical to the pre-observability harness. Recording is
+    /// strictly read-only: enabling it never changes a run's schedule,
+    /// metrics or report.
+    pub record_events: bool,
+    /// Aggregate command-lifecycle spans
+    /// ([`crate::spans::aggregate_spans`]) into
+    /// [`ShardedRunReport::span_stats`]: per-group, per-stage latency
+    /// histograms (submit → route → propose → decide → confirm). Implies
+    /// event recording for the duration of the run. Off by default.
+    pub record_spans: bool,
     /// **Fault-injection switch for the fuzzer's oracle demo**: when set,
     /// replicas are built *without* client-session dedup, reintroducing
     /// the pre-dedup bug where the router's at-least-once re-submission
@@ -604,8 +618,16 @@ impl ShardedScenario {
             byz_silent: Vec::new(),
             byz_equivocators: Vec::new(),
             byz_receipt_forgers: Vec::new(),
+            record_events: false,
+            record_spans: false,
             disable_session_dedup: false,
         }
+    }
+
+    /// Whether this scenario records typed observability events (either
+    /// flag turns the recorder on; span aggregation needs the events).
+    pub fn obs_enabled(&self) -> bool {
+        self.record_events || self.record_spans
     }
 
     /// Group `g`'s failure mode (missing entries are crash-mode).
@@ -744,6 +766,11 @@ pub struct ShardedRunReport {
     /// cumulative — the work the `f + 1` rule did, fabricated claims
     /// included (0 in all-crash deployments).
     pub byz_withheld_reports: u64,
+    /// Per-group command-lifecycle span statistics (empty unless the
+    /// scenario set [`ShardedScenario::record_spans`]). Deterministic
+    /// like everything else here: a run's span stats are identical
+    /// across replays and worker-thread counts.
+    pub span_stats: Vec<crate::spans::GroupSpanStats>,
 }
 
 /// Runs the sharded multi-group replicated-log service.
@@ -754,6 +781,18 @@ pub struct ShardedRunReport {
 /// committed (or the budget ends), and reduces the router's observations
 /// to a [`ShardedRunReport`].
 pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
+    run_sharded_with_events(scenario).0
+}
+
+/// [`run_sharded`], also returning the run's typed observability events
+/// (empty unless the scenario set [`ShardedScenario::record_events`] or
+/// [`ShardedScenario::record_spans`]). The stream is merged across
+/// kernel partitions in deterministic `(time, partition, seq)` order,
+/// ready for [`simnet::obs::to_jsonl`], [`simnet::obs::to_chrome_trace`]
+/// or [`simnet::obs::to_html_timeline`].
+pub fn run_sharded_with_events(
+    scenario: &ShardedScenario,
+) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
     let topo = scenario.topology();
     for &(g, i) in scenario
         .byz_silent
@@ -801,11 +840,16 @@ pub fn run_sharded(scenario: &ShardedScenario) -> ShardedRunReport {
             scenario.groups,
         )
     };
-    if scenario.partitions > 1 {
+    let (mut report, events) = if scenario.partitions > 1 {
         run_sharded_partitioned(scenario, &topo, workload)
     } else {
         run_sharded_monolithic(scenario, &topo, workload)
+    };
+    if scenario.record_spans {
+        report.span_stats =
+            crate::spans::aggregate_spans(&events, scenario.groups, scenario.total_cmds);
     }
+    (report, events)
 }
 
 /// Builds the router for a sharded run, wiring in dynamic routing when
@@ -1058,9 +1102,12 @@ fn run_sharded_monolithic(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
-) -> ShardedRunReport {
+) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
     let mut sim: Simulation<Msg> = Simulation::new(scenario.seed);
     sim.set_default_delay(scenario.delay.clone());
+    if scenario.obs_enabled() {
+        sim.enable_obs();
+    }
     let byz = byz_auth(scenario, topo);
     for g in 0..scenario.groups {
         for i in 0..scenario.n {
@@ -1098,6 +1145,7 @@ fn run_sharded_monolithic(
             .is_some_and(RouterActor::done)
     });
 
+    let events = sim.take_obs_events();
     let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
         collect_replica_state(scenario, topo, |p, mode| {
             replica_state_of(match mode {
@@ -1118,7 +1166,7 @@ fn run_sharded_monolithic(
         .actor_as::<RouterActor>(router_id)
         .expect("router exists");
     let peak = sim.metrics().peak_queue_len;
-    reduce_sharded(
+    let report = reduce_sharded(
         scenario,
         router,
         &logs,
@@ -1128,7 +1176,8 @@ fn run_sharded_monolithic(
         sim.now(),
         sim.metrics(),
         vec![peak],
-    )
+    );
+    (report, events)
 }
 
 /// The partitioned parallel path (`partitions > 1`): groups in contiguous
@@ -1139,7 +1188,7 @@ fn run_sharded_partitioned(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
-) -> ShardedRunReport {
+) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
     let lookahead = scenario.delay.min_delay();
     assert!(
         lookahead > Duration::ZERO,
@@ -1149,6 +1198,9 @@ fn run_sharded_partitioned(
     let mut sim: ParSimulation<Msg> = ParSimulation::new(scenario.seed, parts, lookahead);
     sim.set_threads(scenario.threads);
     sim.set_default_delay(scenario.delay.clone());
+    if scenario.obs_enabled() {
+        sim.enable_obs();
+    }
     let byz = byz_auth(scenario, topo);
     for g in 0..scenario.groups {
         let part = topo.partition_of_group(g, parts);
@@ -1190,7 +1242,8 @@ fn run_sharded_partitioned(
     let elapsed = sim.now();
     let metrics = sim.merged_metrics();
     let partition_peaks = sim.partition_peak_queue_lens();
-    sim.with_actors(|view| {
+    let events = sim.take_obs_events();
+    let report = sim.with_actors(|view| {
         let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
             collect_replica_state(scenario, topo, |p, mode| {
                 replica_state_of(match mode {
@@ -1221,7 +1274,8 @@ fn run_sharded_partitioned(
             &metrics,
             partition_peaks,
         )
-    })
+    });
+    (report, events)
 }
 
 /// Reduces one sharded run's raw outcome (per-replica logs + the router's
@@ -1321,6 +1375,9 @@ fn reduce_sharded(
         byz_receipts_rejected,
         byz_unconfirmed_claims: router.byz_unconfirmed_claims(),
         byz_withheld_reports: router.byz_withheld_reports(),
+        // Filled by `run_sharded_with_events` when the scenario records
+        // spans (aggregation needs the merged event stream).
+        span_stats: Vec::new(),
         groups,
     }
 }
@@ -1441,6 +1498,53 @@ mod tests {
                 r.groups[g].max_commit_gap_ticks
             );
         }
+    }
+
+    #[test]
+    fn span_stats_cover_the_lifecycle_and_leave_the_run_untouched() {
+        let mut sc = ShardedScenario::common_case(2, 3, 3, 21);
+        sc.total_cmds = 60;
+        sc.window = 8;
+        sc.group_modes = vec![GroupMode::CrashPmp, GroupMode::Byzantine];
+        let base = run_sharded(&sc);
+        assert!(base.all_committed, "{base:?}");
+        assert!(base.span_stats.is_empty(), "spans off by default");
+
+        let mut traced = sc.clone();
+        traced.record_spans = true;
+        let (r, events) = run_sharded_with_events(&traced);
+        assert!(!events.is_empty(), "recording produced events");
+        // Observation is read-only: the traced run's report matches the
+        // untraced one field-for-field (span_stats aside).
+        let mut stripped = r.clone();
+        stripped.span_stats = Vec::new();
+        assert_eq!(stripped, base);
+        // Both groups' commands traversed every stage.
+        assert_eq!(r.span_stats.len(), 2);
+        for (g, stats) in r.span_stats.iter().enumerate() {
+            assert_eq!(stats.group, g);
+            assert_eq!(
+                stats.spans as usize, r.groups[g].committed,
+                "group {g}: every committed command spans submit→confirm"
+            );
+            let total = stats.stage("total").unwrap();
+            assert_eq!(total.count(), stats.spans);
+            assert!(total.p99() >= total.p50());
+            for name in ["route", "propose", "decide", "confirm"] {
+                assert!(
+                    stats.stage(name).unwrap().count() > 0,
+                    "group {g}: no {name} transitions"
+                );
+            }
+        }
+        // The Byzantine group's confirm stage carries the f + 1 quorum
+        // wait; the crash group's confirm is one observer notification.
+        let byz_confirm = r.span_stats[1].stage("confirm").unwrap().p50();
+        let crash_confirm = r.span_stats[0].stage("confirm").unwrap().p50();
+        assert!(
+            byz_confirm >= crash_confirm,
+            "byz confirm {byz_confirm} < crash confirm {crash_confirm}"
+        );
     }
 
     #[test]

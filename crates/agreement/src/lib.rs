@@ -20,6 +20,7 @@
 //! | Byzantine adversaries | [`adversary`] |
 //! | One-call experiment builders | [`harness`] |
 //! | Scenario fuzzer + safety oracle + shrinker | [`fuzz`] |
+//! | Command-lifecycle spans + latency histograms | [`spans`] |
 //!
 //! # Example
 //!
@@ -54,6 +55,7 @@ pub mod protected;
 pub mod robust_backup;
 pub mod sharded;
 pub mod smr;
+pub mod spans;
 pub mod trusted;
 pub mod types;
 

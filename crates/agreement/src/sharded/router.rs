@@ -479,6 +479,7 @@ impl RouterActor {
                 } else {
                     now
                 };
+                ctx.obs_mark(v.0, crate::spans::STAGE_SUBMIT, g as u64);
             }
             state.submitted.push(v);
             cmds.push(v);
@@ -486,13 +487,17 @@ impl RouterActor {
         // `state` was reborrowed away by the hold path; fetch it again.
         let state = &mut self.groups[g];
         if !cmds.is_empty() {
+            for v in &cmds {
+                ctx.obs_mark(v.0, crate::spans::STAGE_ROUTE, g as u64);
+            }
             let leader = state.leader;
             ctx.send(leader, Msg::Submit { cmds });
         }
     }
 
     /// Marks `v` committed by group `g` (first observation only).
-    fn observe_commit(&mut self, now: Time, g: usize, v: Value) {
+    fn observe_commit(&mut self, ctx: &mut Context<'_, Msg>, g: usize, v: Value) {
+        let now = ctx.now();
         let id = v.0 as usize;
         // No-op fillers and unknown ids carry no client command.
         if id == 0 || id >= self.committed.len() || self.committed[id] {
@@ -514,6 +519,7 @@ impl RouterActor {
                     rb.cross_epoch_commits += 1;
                     self.committed[id] = true;
                     self.committed_total += 1;
+                    ctx.obs_mark(v.0, crate::spans::STAGE_CONFIRM, g as u64);
                     let dest = self.group_of[id] as usize;
                     self.groups[dest].backlog.retain(|&b| b != v);
                     return;
@@ -525,6 +531,7 @@ impl RouterActor {
         }
         self.committed[id] = true;
         self.committed_total += 1;
+        ctx.obs_mark(v.0, crate::spans::STAGE_CONFIRM, g as u64);
         let state = &mut self.groups[g];
         state.committed += 1;
         state
@@ -546,6 +553,9 @@ impl RouterActor {
             .collect();
         cmds.extend(state.ctrl_in_flight.iter().copied());
         if !cmds.is_empty() {
+            for v in &cmds {
+                ctx.obs_mark(v.0, crate::spans::STAGE_ROUTE, g as u64);
+            }
             let leader = state.leader;
             ctx.send(leader, Msg::Submit { cmds });
         }
@@ -727,9 +737,11 @@ impl Actor<Msg> for RouterActor {
                     // Open loop: the harness preloaded the backlogs into
                     // the initial leaders; account for them as submitted
                     // at time zero.
-                    for state in &mut self.groups {
+                    for g in 0..self.groups.len() {
+                        let state = &mut self.groups[g];
                         while let Some(v) = state.backlog.pop_front() {
                             state.submitted.push(v);
+                            ctx.obs_mark(v.0, crate::spans::STAGE_SUBMIT, g as u64);
                         }
                     }
                 } else {
@@ -833,7 +845,7 @@ impl RouterActor {
     fn observe_value(&mut self, ctx: &mut Context<'_, Msg>, g: usize, v: Value) {
         match rebalance::decode_ctrl(v) {
             Some(ctrl) => self.observe_ctrl(ctx, g, ctrl, v),
-            None => self.observe_commit(ctx.now(), g, v),
+            None => self.observe_commit(ctx, g, v),
         }
     }
 }

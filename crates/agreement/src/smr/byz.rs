@@ -297,6 +297,9 @@ impl ByzSmrNode {
     /// and notifies observers of anything newly decided.
     fn apply_entries(&mut self, ctx: &mut Context<'_, Msg>, first: u64, values: &[Value]) {
         if self.core.settle_many(ctx.now(), first, values) {
+            for (j, v) in values.iter().enumerate() {
+                ctx.obs_mark(v.0, crate::spans::STAGE_DECIDE, first + j as u64);
+            }
             ctx.mark_decided();
             for i in 0..self.observers.len() {
                 let obs = self.observers[i];
@@ -402,6 +405,9 @@ impl ByzSmrNode {
             self.next_instance += values.len() as u64;
             first
         };
+        for (j, v) in values.iter().enumerate() {
+            ctx.obs_mark(v.0, crate::spans::STAGE_PROPOSE, first + j as u64);
+        }
         let wire = log_entries_wire(first, self.epoch, values.clone());
         self.proposing = Some((first, values.len()));
         self.neb.broadcast(ctx, &mut self.client, wire);

@@ -379,6 +379,9 @@ impl SmrNode {
     fn send_phase2(&mut self, ctx: &mut Context<'_, Msg>) {
         let b = self.ballot.expect("phase 2 without ballot");
         assert!(!self.values.is_empty(), "phase 2 without values");
+        for (j, v) in self.values.iter().enumerate() {
+            ctx.obs_mark(v.0, crate::spans::STAGE_PROPOSE, self.instance + j as u64);
+        }
         self.reset_iters();
         for i in 0..self.mems.len() {
             let mem = self.mems[i];
@@ -522,6 +525,7 @@ impl SmrNode {
 
     fn settle(&mut self, ctx: &mut Context<'_, Msg>, instance: u64, v: Value) {
         if self.core.settle(ctx.now(), instance, v) {
+            ctx.obs_mark(v.0, crate::spans::STAGE_DECIDE, instance);
             ctx.mark_decided();
         }
     }
@@ -533,6 +537,9 @@ impl SmrNode {
     /// exactly as per-entry [`SmrNode::settle`] would.
     fn settle_many(&mut self, ctx: &mut Context<'_, Msg>, first: u64, values: &[Value]) {
         if self.core.settle_many(ctx.now(), first, values) {
+            for (j, v) in values.iter().enumerate() {
+                ctx.obs_mark(v.0, crate::spans::STAGE_DECIDE, first + j as u64);
+            }
             ctx.mark_decided();
         }
     }

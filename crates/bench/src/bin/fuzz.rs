@@ -15,11 +15,44 @@
 //! Every failure prints its case seed, the violation, the shrunk
 //! scenario's fault count, and a Rust block expression rebuilding the
 //! minimal scenario — paste it into `tests/fuzz_regressions.rs` to pin
-//! the bug.
+//! the bug. Each failure also re-runs its shrunk scenario with tracing
+//! enabled and writes the timeline next to the repro under
+//! `target/fuzz-artifacts/` (`seed-N.jsonl`, `seed-N.trace.json`,
+//! `seed-N.html`) so the violating schedule can be inspected in a
+//! browser or Perfetto.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use agreement::fuzz::{fault_count, run_campaign, FuzzConfig};
+use agreement::fuzz::{fault_count, render_timeline, run_campaign, CaseFailure, FuzzConfig};
+
+/// Writes the shrunk scenario's timeline exports for one failure.
+/// Artifact I/O must never mask the violation itself, so errors are
+/// reported and swallowed.
+fn write_artifacts(dir: &Path, failure: &CaseFailure) {
+    let title = format!(
+        "fuzz seed {}: {}",
+        failure.case_seed, failure.shrunk_violation
+    );
+    let art = render_timeline(&failure.shrunk, &title);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("  (could not create {}: {e})", dir.display());
+        return;
+    }
+    let stem = dir.join(format!("seed-{}", failure.case_seed));
+    for (ext, body) in [
+        ("jsonl", &art.jsonl),
+        ("trace.json", &art.chrome),
+        ("html", &art.html),
+    ] {
+        let path = stem.with_extension(ext);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("  timeline: {}", path.display()),
+            Err(e) => eprintln!("  (could not write {}: {e})", path.display()),
+        }
+    }
+    println!("  ({} events traced)", art.events);
+}
 
 fn main() -> ExitCode {
     let mut cfg = FuzzConfig {
@@ -82,6 +115,7 @@ fn main() -> ExitCode {
         println!("no violations");
         return ExitCode::SUCCESS;
     }
+    let artifact_dir = Path::new("target").join("fuzz-artifacts");
     for failure in &report.failures {
         println!();
         println!(
@@ -94,6 +128,7 @@ fn main() -> ExitCode {
             failure.shrunk_violation
         );
         println!("{}", failure.repro);
+        write_artifacts(&artifact_dir, failure);
     }
     println!();
     println!("{} of {} cases failed", report.failures.len(), report.cases);

@@ -1,7 +1,7 @@
 //! Headless perf-trajectory recorder: runs the E10 cost table, the E10b
 //! replicated-log workload, the sharded multi-group log service at
 //! G ∈ {1, 4, 16, 64}, and a kernel queue-stress microbench, then writes
-//! machine-readable `BENCH_PR6.json` at the repo root — and gates against
+//! machine-readable `BENCH_PR7.json` at the repo root — and gates against
 //! the newest prior `BENCH_PR*.json` (same workload size): >10% worsening
 //! of a deterministic virtual-time metric or >50% wall-clock entries/sec
 //! drop exits non-zero; wall-clock drops of 10–50% warn (cross-machine
@@ -42,7 +42,7 @@ use simnet::{
 };
 
 /// This snapshot's PR number (names the output file and anchors the gate).
-const PR: u32 = 6;
+const PR: u32 = 7;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -813,6 +813,61 @@ fn main() {
         "byzantine: the adversary config exercised no suppression path"
     );
 
+    // Observability (new in PR 7): the same G=4 crash and Byzantine
+    // services with command-lifecycle span recording switched on. Two
+    // quantities: the per-stage latency histograms (where the Byzantine
+    // broadcast price lands, stage by stage), and the wall-clock price of
+    // tracing itself — the fully traced run (events + spans recorded)
+    // re-measured against the untraced one. Tracing is read-only, so the
+    // traced report stripped of its span stats must equal the untraced
+    // report bit-for-bit; that is asserted here on every snapshot. The
+    // *disabled*-instrumentation cost (span marks compiled in but guarded
+    // off) is what every other configuration in this snapshot now pays,
+    // so it is gated against BENCH_PR6 by the ordinary per-label gate.
+    println!("\nperf_snapshot: observability, {byz_cmds} commands (G=4, batch=8, spans on)");
+    let obs_crash_sc = byz_scenario(Vec::new());
+    let obs_untraced =
+        measure_scenario("observability_g4_crash_untraced".to_string(), &obs_crash_sc);
+    let obs_traced = {
+        let mut sc = obs_crash_sc.clone();
+        sc.record_events = true;
+        sc.record_spans = true;
+        measure_scenario("observability_g4_crash_traced".to_string(), &sc)
+    };
+    {
+        let mut stripped = obs_traced.report.clone();
+        stripped.span_stats = Vec::new();
+        assert_eq!(
+            stripped, obs_untraced.report,
+            "observability: tracing perturbed the run"
+        );
+    }
+    let trace_overhead = obs_untraced.entries_per_sec() / obs_traced.entries_per_sec();
+    let crash_spans = obs_traced.report.span_stats.clone();
+    let byz_spans = {
+        let mut sc = byz_scenario(vec![GroupMode::Byzantine; 4]);
+        sc.record_spans = true;
+        run_sharded(&sc).span_stats
+    };
+    println!(
+        "  traced vs untraced (crash G=4): {:.0} vs {:.0} entries/s \
+         ({trace_overhead:.2}x full-tracing cost; virtual-time bit-identical)",
+        obs_traced.entries_per_sec(),
+        obs_untraced.entries_per_sec(),
+    );
+    println!("  config     stage    group-0 p50(d)  p99(d)   (all groups in the JSON)");
+    for (cfg, stats) in [("crash", &crash_spans), ("byzantine", &byz_spans)] {
+        let g0 = stats.first().expect("G=4 span stats");
+        for stage in &g0.stages {
+            println!(
+                "  {cfg:<9}  {:<8} {:>14.2}  {:>6.2}",
+                stage.stage,
+                stage.hist.p50() as f64 / TICKS_PER_DELAY as f64,
+                stage.hist.p99() as f64 / TICKS_PER_DELAY as f64,
+            );
+        }
+    }
+
     println!("\nperf_snapshot: kernel queue stress (gossip, deep in-flight queues)");
     let stress: Vec<StressResult> = vec![measure_stress(5_000, 40), measure_stress(20_000, 60)];
     for r in &stress {
@@ -986,6 +1041,49 @@ fn main() {
         json,
         "    \"crash_over_byzantine_committed_per_delay\": {byz_price:.3}"
     );
+    json.push_str("  },\n");
+    json.push_str("  \"observability\": {\n");
+    let _ = writeln!(json, "    \"total_commands\": {byz_cmds},");
+    json.push_str("    \"configs\": [\n");
+    let rows: Vec<String> = [&obs_untraced, &obs_traced]
+        .iter()
+        .map(|m| format!("      {}", sharded_json(m)))
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"untraced_over_traced_entries_per_sec\": {trace_overhead:.3},"
+    );
+    json.push_str("    \"span_stages\": [\n");
+    let rows: Vec<String> = [("crash", &crash_spans), ("byzantine", &byz_spans)]
+        .iter()
+        .flat_map(|(cfg, stats)| {
+            stats.iter().map(move |g| {
+                let stages: Vec<String> = g
+                    .stages
+                    .iter()
+                    .map(|st| {
+                        format!(
+                            "\"{0}_p50_delays\": {1:.2}, \"{0}_p99_delays\": {2:.2}",
+                            st.stage,
+                            st.hist.p50() as f64 / TICKS_PER_DELAY as f64,
+                            st.hist.p99() as f64 / TICKS_PER_DELAY as f64,
+                        )
+                    })
+                    .collect();
+                format!(
+                    "      {{ \"label\": \"spans_{cfg}_g{}\", \"config\": \"{cfg}\", \"group\": {}, \"spans\": {}, {} }}",
+                    g.group,
+                    g.group,
+                    g.spans,
+                    stages.join(", "),
+                )
+            })
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"kernel_queue_stress\": [\n");
     let rows: Vec<String> = stress

@@ -84,16 +84,27 @@ where
     pub fn submit(&mut self, ctx: &mut Context<'_, M>, mem: ActorId, req: MemRequest<V>) -> OpId {
         self.next_op += 1;
         let op = OpId(self.next_op);
-        match &req {
-            MemRequest::Read { .. } => ctx.metrics().mem_reads += 1,
+        let op_name = match &req {
+            MemRequest::Read { .. } => {
+                ctx.metrics().mem_reads += 1;
+                "read"
+            }
             // A batched write is one memory operation (one round trip),
             // exactly like a single write — that is the point of batching.
             MemRequest::Write { .. } | MemRequest::WriteMany { .. } => {
-                ctx.metrics().mem_writes += 1
+                ctx.metrics().mem_writes += 1;
+                "write"
             }
-            MemRequest::ReadRange { .. } => ctx.metrics().mem_range_reads += 1,
-            MemRequest::ChangePerm { .. } => ctx.metrics().perm_changes += 1,
-        }
+            MemRequest::ReadRange { .. } => {
+                ctx.metrics().mem_range_reads += 1;
+                "read_range"
+            }
+            MemRequest::ChangePerm { .. } => {
+                ctx.metrics().perm_changes += 1;
+                "change_perm"
+            }
+        };
+        ctx.obs_mem_op(op_name);
         if self.is_busy(mem) {
             match self.queues.iter_mut().find(|(m, _)| *m == mem) {
                 Some((_, q)) => q.push_back((op, req)),

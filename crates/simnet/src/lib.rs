@@ -101,6 +101,7 @@ mod delay;
 mod event;
 mod ids;
 mod metrics;
+pub mod obs;
 mod partition;
 mod queue;
 mod sim;

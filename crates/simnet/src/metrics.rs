@@ -10,6 +10,38 @@ use std::collections::BTreeMap;
 use crate::ids::ActorId;
 use crate::time::Time;
 
+/// Cap on the sampled queue-depth series: when reached, every other
+/// sample is discarded and the sampling stride doubles, so memory stays
+/// bounded on arbitrarily long runs while coverage stays uniform.
+const QUEUE_SAMPLE_CAP: usize = 256;
+
+/// Dispatch counts broken out by event kind — `peak_queue_len`'s
+/// companion: *what* the kernel was dispatching, not just how deep the
+/// queue got. The fields sum to [`Metrics::events_dispatched`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// `Start` events dispatched.
+    pub start: u64,
+    /// Messages delivered to live actors.
+    pub msg: u64,
+    /// Timer events dispatched to live actors (stale ones included —
+    /// they were scheduled and popped even if the actor never saw them).
+    pub timer: u64,
+    /// Leader-change announcements dispatched.
+    pub leader: u64,
+    /// Crash events executed.
+    pub crash: u64,
+    /// Events dropped because the recipient had crashed.
+    pub dropped: u64,
+}
+
+impl DispatchCounts {
+    /// Total dispatches across all kinds.
+    pub fn total(&self) -> u64 {
+        self.start + self.msg + self.timer + self.leader + self.crash + self.dropped
+    }
+}
+
 /// Counters and timestamps accumulated over one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -17,6 +49,8 @@ pub struct Metrics {
     /// changes, crashes, and drops to crashed actors). The denominator of
     /// the events/sec and allocations-per-event perf metrics.
     pub events_dispatched: u64,
+    /// The same dispatches broken out per event kind.
+    pub dispatches: DispatchCounts,
     /// Messages handed to the network (includes memory-operation legs).
     pub messages_sent: u64,
     /// Messages actually delivered (excludes those addressed to crashed actors).
@@ -36,6 +70,15 @@ pub struct Metrics {
     /// where queue depth — and the calendar queue's O(1) advantage over the
     /// legacy heap — shows up; this exposes it to the perf snapshots.
     pub peak_queue_len: u64,
+    /// Deterministically sampled `(ticks, queue depth)` series: one
+    /// sample every `queue_sample_stride` dispatches, decimated (stride
+    /// doubled, every other sample dropped) whenever the series would
+    /// exceed its cap. Purely a function of the dispatch sequence, so it
+    /// is identical across replays and worker-thread counts.
+    queue_depth_samples: Vec<(u64, u64)>,
+    /// Current sampling stride in dispatches (starts at 1, doubles on
+    /// decimation).
+    queue_sample_stride: u64,
     /// When each actor first reported a decision, in event order.
     decisions: BTreeMap<ActorId, Time>,
     /// When each actor reported aborting (Cheap Quorum panic path).
@@ -92,6 +135,36 @@ impl Metrics {
         self.mem_reads + self.mem_writes + self.mem_range_reads + self.perm_changes
     }
 
+    /// Offers one queue-depth observation (taken by the kernel at every
+    /// dispatch, *before* the pop). Kept only if the current dispatch
+    /// count lands on the sampling stride; the series decimates itself to
+    /// stay under a fixed cap.
+    pub fn sample_queue_depth(&mut self, at: Time, depth: u64) {
+        let stride = self.queue_sample_stride.max(1);
+        if !self.events_dispatched.is_multiple_of(stride) {
+            return;
+        }
+        self.queue_depth_samples.push((at.0, depth));
+        if self.queue_depth_samples.len() >= QUEUE_SAMPLE_CAP {
+            let mut keep = false;
+            self.queue_depth_samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.queue_sample_stride = stride * 2;
+        }
+    }
+
+    /// The sampled `(ticks, queue depth)` series, in time order.
+    pub fn queue_depth_samples(&self) -> &[(u64, u64)] {
+        &self.queue_depth_samples
+    }
+
+    /// The current queue-depth sampling stride, in dispatches.
+    pub fn queue_sample_stride(&self) -> u64 {
+        self.queue_sample_stride.max(1)
+    }
+
     /// Folds another partition's metrics into this record (the partitioned
     /// kernel keeps one [`Metrics`] per sub-kernel and merges at the end):
     /// event/message/memory counters sum; `peak_queue_len` takes the max —
@@ -101,6 +174,12 @@ impl Metrics {
     /// keeping the earliest per actor (decisions are irrevocable).
     pub fn absorb(&mut self, other: &Metrics) {
         self.events_dispatched += other.events_dispatched;
+        self.dispatches.start += other.dispatches.start;
+        self.dispatches.msg += other.dispatches.msg;
+        self.dispatches.timer += other.dispatches.timer;
+        self.dispatches.leader += other.dispatches.leader;
+        self.dispatches.crash += other.dispatches.crash;
+        self.dispatches.dropped += other.dispatches.dropped;
         self.messages_sent += other.messages_sent;
         self.messages_delivered += other.messages_delivered;
         self.timers_fired += other.timers_fired;
@@ -109,6 +188,39 @@ impl Metrics {
         self.mem_range_reads += other.mem_range_reads;
         self.perm_changes += other.perm_changes;
         self.peak_queue_len = self.peak_queue_len.max(other.peak_queue_len);
+        // Queue-depth series: merge-sort by time (each series is already
+        // time-ordered; partition index is immaterial after the merge)
+        // and re-decimate to the cap. Deterministic because absorb is
+        // called in fixed partition order.
+        let mut merged =
+            Vec::with_capacity(self.queue_depth_samples.len() + other.queue_depth_samples.len());
+        {
+            let (a, b) = (&self.queue_depth_samples, &other.queue_depth_samples);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+        }
+        while merged.len() >= QUEUE_SAMPLE_CAP {
+            let mut keep = false;
+            merged.retain(|_| {
+                keep = !keep;
+                keep
+            });
+        }
+        self.queue_depth_samples = merged;
+        self.queue_sample_stride = self
+            .queue_sample_stride
+            .max(other.queue_sample_stride)
+            .max(1);
         for (&actor, &at) in &other.decisions {
             self.decisions
                 .entry(actor)
@@ -154,5 +266,63 @@ mod tests {
         m.mem_range_reads = 1;
         m.perm_changes = 4;
         assert_eq!(m.mem_ops(), 10);
+    }
+
+    #[test]
+    fn dispatch_counts_sum_and_absorb() {
+        let mut a = Metrics::new();
+        a.events_dispatched = 5;
+        a.dispatches.msg = 3;
+        a.dispatches.timer = 2;
+        let mut b = Metrics::new();
+        b.events_dispatched = 2;
+        b.dispatches.start = 1;
+        b.dispatches.crash = 1;
+        a.absorb(&b);
+        assert_eq!(a.dispatches.total(), 7);
+        assert_eq!(a.dispatches.total(), a.events_dispatched);
+    }
+
+    #[test]
+    fn queue_samples_decimate_under_cap() {
+        let mut m = Metrics::new();
+        for i in 0..10_000u64 {
+            m.events_dispatched = i;
+            m.sample_queue_depth(Time(i * 10), i % 97);
+        }
+        assert!(m.queue_depth_samples().len() < QUEUE_SAMPLE_CAP);
+        assert!(m.queue_sample_stride() > 1, "stride doubled at least once");
+        // Series stays time-ordered.
+        let s = m.queue_depth_samples();
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn queue_samples_are_replay_identical() {
+        let run = || {
+            let mut m = Metrics::new();
+            for i in 0..5_000u64 {
+                m.events_dispatched = i;
+                m.sample_queue_depth(Time(i * 3), (i * 7) % 31);
+            }
+            m.queue_depth_samples().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn absorb_merges_queue_series_in_time_order() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for i in 0..50u64 {
+            a.events_dispatched = i;
+            a.sample_queue_depth(Time(i * 4), i);
+            b.events_dispatched = i;
+            b.sample_queue_depth(Time(i * 4 + 2), 100 + i);
+        }
+        a.absorb(&b);
+        let s = a.queue_depth_samples();
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

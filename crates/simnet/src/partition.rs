@@ -87,6 +87,7 @@ use crate::delay::DelayModel;
 use crate::event::EventKind;
 use crate::ids::ActorId;
 use crate::metrics::Metrics;
+use crate::obs::{self, EventBody};
 use crate::queue::{Payload, Scheduled, WheelQueue};
 use crate::sim::{Context, Core, RunOutcome};
 use crate::time::{Duration, Time};
@@ -173,9 +174,13 @@ struct SubKernel<M> {
 
 impl<M: 'static> SubKernel<M> {
     fn new(part: u32, parts: usize, rng: StdRng) -> SubKernel<M> {
+        let mut core = Core::new(rng);
+        // Events this sub-kernel records carry its partition index, so a
+        // merged stream stays attributable (and deterministically ordered).
+        core.obs.set_partition(part);
         SubKernel {
             part,
-            core: Core::new(rng),
+            core,
             queue: WheelQueue::new(),
             seq: 0,
             now: Time::ZERO,
@@ -224,22 +229,36 @@ impl<M: 'static> SubKernel<M> {
             debug_assert!(sched.at >= self.now, "partition queue went backwards");
             self.now = sched.at;
             self.core.metrics.events_dispatched += 1;
+            self.core.metrics.sample_queue_depth(self.now, depth);
             match sched.payload {
                 Payload::Crash => {
                     self.mark_crashed(sched.to);
+                    self.core.metrics.dispatches.crash += 1;
                     let (now, to) = (self.now, sched.to);
                     self.core.trace.push(now, to, "CRASH");
+                    self.core.obs.record(now, to, || EventBody::Crash);
                 }
                 Payload::Deliver(ev) => {
                     if self.is_crashed(sched.to) {
+                        self.core.metrics.dispatches.dropped += 1;
                         let (now, to) = (self.now, sched.to);
+                        let kind = ev.kind_name();
                         self.core
                             .trace
-                            .push_with(now, to, || format!("dropped {} (crashed)", ev.kind_name()));
+                            .push_with(now, to, || format!("dropped {kind} (crashed)"));
+                        self.core
+                            .obs
+                            .record(now, to, || EventBody::Dropped { kind });
                         if let EventKind::Timer { id, .. } = ev {
                             self.core.retire_timer(id);
                         }
                         continue;
+                    }
+                    match &ev {
+                        EventKind::Start => self.core.metrics.dispatches.start += 1,
+                        EventKind::Msg { .. } => self.core.metrics.dispatches.msg += 1,
+                        EventKind::Timer { .. } => self.core.metrics.dispatches.timer += 1,
+                        EventKind::LeaderChange { .. } => self.core.metrics.dispatches.leader += 1,
                     }
                     if let EventKind::Timer { id, .. } = ev {
                         if !self.core.retire_timer(id) {
@@ -259,6 +278,33 @@ impl<M: 'static> SubKernel<M> {
                         };
                         let (now, to) = (self.now, sched.to);
                         self.core.trace.push(now, to, line);
+                    }
+                    if self.core.obs.is_enabled() {
+                        let (now, to) = (self.now, sched.to);
+                        match &ev {
+                            EventKind::Start => self
+                                .core
+                                .obs
+                                .record(now, to, || EventBody::Dispatch { kind: "start" }),
+                            EventKind::Msg { from, .. } => {
+                                let from = *from;
+                                self.core
+                                    .obs
+                                    .record(now, to, || EventBody::Deliver { from });
+                            }
+                            EventKind::Timer { tag, .. } => {
+                                let tag = *tag;
+                                self.core
+                                    .obs
+                                    .record(now, to, || EventBody::TimerFired { tag });
+                            }
+                            EventKind::LeaderChange { leader } => {
+                                let leader = *leader;
+                                self.core
+                                    .obs
+                                    .record(now, to, || EventBody::LeaderChange { leader });
+                            }
+                        }
                     }
                     let mut actor = self.actors[sched.to.index()]
                         .take()
@@ -540,6 +586,26 @@ impl<M: Send + 'static> ParSimulation<M> {
             merged.absorb(&kernel.get_mut().expect("unpoisoned").core.metrics);
         }
         merged
+    }
+
+    /// Enables structured event recording (see [`crate::obs`]) on every
+    /// partition. Strictly read-only: recording never perturbs the run.
+    pub fn enable_obs(&mut self) {
+        for kernel in &mut self.parts {
+            kernel.get_mut().expect("unpoisoned").core.obs.enable();
+        }
+    }
+
+    /// Drains every partition's recorded events into one stream, ordered
+    /// by `(time, partition, per-partition seq)` — identical for any
+    /// worker-thread count, since each partition's stream is.
+    pub fn take_obs_events(&mut self) -> Vec<obs::Event> {
+        let buffers = self
+            .parts
+            .iter_mut()
+            .map(|k| k.get_mut().expect("unpoisoned").core.obs.take())
+            .collect();
+        obs::merge_events(buffers)
     }
 
     /// Per-partition peak event-queue depths, indexed by partition. Under
@@ -1047,6 +1113,48 @@ mod tests {
         assert_eq!(plan.partition_of(ActorId(0)), 2);
         assert_eq!(plan.partition_of(ActorId(1)), 0);
         assert_eq!(plan.map(), &[2, 0, 2]);
+    }
+
+    #[test]
+    fn obs_events_are_thread_count_invariant() {
+        let traced_run = |threads: usize| {
+            let mut sim: ParSimulation<TMsg> = ParSimulation::new(42, 4, Duration::from_delays(1));
+            sim.set_default_delay(DelayModel::Uniform {
+                lo: Duration::from_delays(1),
+                hi: Duration::from_delays(4),
+            });
+            let n = 24u32;
+            for i in 0..n {
+                sim.add_to(
+                    i as usize % 4,
+                    Gossip {
+                        peers: n,
+                        fanout: 3,
+                        received: 0,
+                        last_timer: None,
+                    },
+                );
+            }
+            sim.enable_obs();
+            sim.set_threads(threads);
+            sim.run_to_quiescence(Time::from_delays(10_000));
+            (
+                sim.take_obs_events(),
+                sim.merged_metrics().events_dispatched,
+            )
+        };
+        let (events1, dispatched1) = traced_run(1);
+        assert!(!events1.is_empty());
+        // Recording is read-only: the untraced gossip baseline dispatches
+        // the same events.
+        assert_eq!(dispatched1, gossip_run(1, 4).1.events_dispatched);
+        for threads in [2, 4] {
+            let (events_t, _) = traced_run(threads);
+            assert_eq!(
+                events1, events_t,
+                "{threads} threads: merged obs streams differ"
+            );
+        }
     }
 
     #[test]

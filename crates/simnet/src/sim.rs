@@ -11,6 +11,7 @@ use crate::delay::DelayModel;
 use crate::event::EventKind;
 use crate::ids::{ActorId, TimerId};
 use crate::metrics::Metrics;
+use crate::obs::{Event, EventBody, ObsRecorder, TraceSink};
 use crate::queue::{Payload, Scheduled, WheelQueue};
 use crate::time::{Duration, Time};
 use crate::trace::Trace;
@@ -88,6 +89,7 @@ pub(crate) struct Core<M> {
     pub(crate) rng: StdRng,
     pub(crate) metrics: Metrics,
     pub(crate) trace: Trace,
+    pub(crate) obs: ObsRecorder,
     pub(crate) default_delay: DelayModel,
     pub(crate) link_overrides: BTreeMap<(ActorId, ActorId), DelayModel>,
     pub(crate) delay_hook: Option<DelayHook<M>>,
@@ -103,6 +105,7 @@ impl<M> Core<M> {
             rng,
             metrics: Metrics::new(),
             trace: Trace::new(),
+            obs: ObsRecorder::new(),
             default_delay: DelayModel::synchronous(),
             link_overrides: BTreeMap::new(),
             delay_hook: None,
@@ -172,9 +175,16 @@ impl<'a, M> Context<'a, M> {
         };
         self.core.metrics.messages_sent += 1;
         let from = self.me;
+        let deliver_at = self.now + delay;
+        // Observability reads the already-sampled delay; it never draws
+        // randomness or alters scheduling.
+        let (now, me) = (self.now, self.me);
+        self.core
+            .obs
+            .record(now, me, || EventBody::Send { to, deliver_at });
         self.core
             .pending
-            .push((self.now + delay, to, EventKind::Msg { from, msg }));
+            .push((deliver_at, to, EventKind::Msg { from, msg }));
     }
 
     /// Arms a one-shot timer firing after `after`; `tag` distinguishes
@@ -182,9 +192,14 @@ impl<'a, M> Context<'a, M> {
     /// [`Context::cancel_timer`].
     pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
         let id = self.core.timers.arm();
+        let fire_at = self.now + after;
+        let (now, me) = (self.now, self.me);
+        self.core
+            .obs
+            .record(now, me, || EventBody::TimerSet { tag, fire_at });
         self.core
             .pending
-            .push((self.now + after, self.me, EventKind::Timer { id, tag }));
+            .push((fire_at, self.me, EventKind::Timer { id, tag }));
         id
     }
 
@@ -236,6 +251,39 @@ impl<'a, M> Context<'a, M> {
     pub fn note_with(&mut self, f: impl FnOnce() -> String) {
         let (me, now) = (self.me, self.now);
         self.core.trace.push_with(now, me, f);
+    }
+
+    /// Whether structured event recording ([`crate::obs`]) is active, so
+    /// layers can skip building expensive observation payloads.
+    pub fn obs_enabled(&self) -> bool {
+        self.core.obs.is_enabled()
+    }
+
+    /// Records a span lifecycle mark ([`EventBody::Mark`]) if structured
+    /// recording is enabled: `span` identifies the span (e.g. a client
+    /// command id), `stage` the lifecycle stage, `data` one
+    /// application-defined word. Free when recording is disabled.
+    pub fn obs_mark(&mut self, span: u64, stage: u8, data: u64) {
+        let (me, now) = (self.me, self.now);
+        self.core
+            .obs
+            .record(now, me, || EventBody::Mark { span, stage, data });
+    }
+
+    /// Records a lazily-built structured note ([`EventBody::Note`]); `f`
+    /// runs only when structured recording is enabled.
+    pub fn obs_note_with(&mut self, f: impl FnOnce() -> String) {
+        let (me, now) = (self.me, self.now);
+        self.core.obs.record(now, me, || EventBody::Note {
+            text: std::borrow::Cow::Owned(f()),
+        });
+    }
+
+    /// Records a memory-operation observation ([`EventBody::MemOp`]);
+    /// called by the memory-client substrate alongside its op counters.
+    pub fn obs_mem_op(&mut self, op: &'static str) {
+        let (me, now) = (self.me, self.now);
+        self.core.obs.record(now, me, || EventBody::MemOp { op });
     }
 }
 
@@ -366,6 +414,23 @@ impl<M: 'static> Simulation<M> {
         &self.core.trace
     }
 
+    /// Enables structured event recording (see [`crate::obs`]). Strictly
+    /// read-only: a recording run is bit-identical to a non-recording one.
+    pub fn enable_obs(&mut self) {
+        self.core.obs.enable();
+    }
+
+    /// Enables structured recording and streams every event into `sink`
+    /// as it is recorded (the in-kernel buffer still fills too).
+    pub fn attach_obs_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.core.obs.attach_sink(sink);
+    }
+
+    /// Drains the structured events recorded so far, in recording order.
+    pub fn take_obs_events(&mut self) -> Vec<Event> {
+        self.core.obs.take()
+    }
+
     /// Schedules an event for delivery to `to` at `at` (clamped to now).
     /// This is how harnesses inject leader-oracle announcements or any
     /// scripted stimulus.
@@ -481,23 +546,37 @@ impl<M: 'static> Simulation<M> {
         debug_assert!(sched.at >= self.now, "event queue went backwards");
         self.now = sched.at;
         self.core.metrics.events_dispatched += 1;
+        self.core.metrics.sample_queue_depth(self.now, depth);
         match sched.payload {
             Payload::Crash => {
                 self.mark_crashed(sched.to);
+                self.core.metrics.dispatches.crash += 1;
                 let (now, to) = (self.now, sched.to);
                 self.core.trace.push(now, to, "CRASH");
+                self.core.obs.record(now, to, || EventBody::Crash);
             }
             Payload::Deliver(ev) => {
                 if self.is_crashed(sched.to) {
+                    self.core.metrics.dispatches.dropped += 1;
                     let (now, to) = (self.now, sched.to);
+                    let kind = ev.kind_name();
                     self.core
                         .trace
-                        .push_with(now, to, || format!("dropped {} (crashed)", ev.kind_name()));
+                        .push_with(now, to, || format!("dropped {kind} (crashed)"));
+                    self.core
+                        .obs
+                        .record(now, to, || EventBody::Dropped { kind });
                     // Never-delivered timers still release their slot.
                     if let EventKind::Timer { id, .. } = ev {
                         self.core.timers.retire(id);
                     }
                     return true;
+                }
+                match &ev {
+                    EventKind::Start => self.core.metrics.dispatches.start += 1,
+                    EventKind::Msg { .. } => self.core.metrics.dispatches.msg += 1,
+                    EventKind::Timer { .. } => self.core.metrics.dispatches.timer += 1,
+                    EventKind::LeaderChange { .. } => self.core.metrics.dispatches.leader += 1,
                 }
                 if let EventKind::Timer { id, .. } = ev {
                     if !self.core.timers.retire(id) {
@@ -518,6 +597,33 @@ impl<M: 'static> Simulation<M> {
                         EventKind::LeaderChange { .. } => "deliver leader",
                     };
                     self.core.trace.push(now, to, line);
+                }
+                if self.core.obs.is_enabled() {
+                    let (now, to) = (self.now, sched.to);
+                    match &ev {
+                        EventKind::Start => self
+                            .core
+                            .obs
+                            .record(now, to, || EventBody::Dispatch { kind: "start" }),
+                        EventKind::Msg { from, .. } => {
+                            let from = *from;
+                            self.core
+                                .obs
+                                .record(now, to, || EventBody::Deliver { from });
+                        }
+                        EventKind::Timer { tag, .. } => {
+                            let tag = *tag;
+                            self.core
+                                .obs
+                                .record(now, to, || EventBody::TimerFired { tag });
+                        }
+                        EventKind::LeaderChange { leader } => {
+                            let leader = *leader;
+                            self.core
+                                .obs
+                                .record(now, to, || EventBody::LeaderChange { leader });
+                        }
+                    }
                 }
                 let mut actor = self.actors[sched.to.index()]
                     .take()
@@ -882,6 +988,64 @@ mod tests {
         sim.run_to_quiescence(Time::from_delays(100));
         let p = sim.actor_as::<Pinger>(pinger).unwrap();
         assert_eq!(p.decided_at, Some(Time::from_delays(11)));
+    }
+
+    #[test]
+    fn obs_records_typed_events_and_stays_read_only() {
+        use crate::obs::EventBody;
+        let traced = || {
+            let (mut sim, ponger, _) = build(4);
+            sim.enable_obs();
+            sim.crash_at(ponger, Time::from_delays(3));
+            sim.run_to_quiescence(Time::from_delays(100));
+            let evs = sim.take_obs_events();
+            (evs, sim.now(), sim.metrics().events_dispatched)
+        };
+        let untraced = || {
+            let (mut sim, ponger, _) = build(4);
+            sim.crash_at(ponger, Time::from_delays(3));
+            sim.run_to_quiescence(Time::from_delays(100));
+            (sim.now(), sim.metrics().events_dispatched)
+        };
+        let (evs, now, dispatched) = traced();
+        // Read-only contract: recording changes nothing observable.
+        assert_eq!((now, dispatched), untraced());
+        let (evs2, ..) = traced();
+        assert_eq!(evs, evs2, "typed events are deterministic");
+        assert!(evs.iter().any(|e| matches!(e.body, EventBody::Crash)));
+        assert!(evs.iter().any(|e| matches!(e.body, EventBody::Send { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Deliver { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Dropped { .. })));
+        // Monolithic kernel: everything is partition 0, seqs are dense.
+        assert!(evs.iter().all(|e| e.partition == 0));
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn obs_sink_streams_alongside_buffer() {
+        use crate::obs::CountingSink;
+        let (mut sim, _, _) = build(3);
+        sim.attach_obs_sink(Box::new(CountingSink::new()));
+        sim.run_to_quiescence(Time::from_delays(100));
+        let buffered = sim.take_obs_events().len();
+        assert!(buffered > 0);
+    }
+
+    #[test]
+    fn per_kind_dispatch_counts_sum_to_total() {
+        let (mut sim, ponger, _) = build(4);
+        sim.crash_at(ponger, Time::from_delays(3));
+        sim.run_to_quiescence(Time::from_delays(100));
+        let m = sim.metrics();
+        assert_eq!(m.dispatches.total(), m.events_dispatched);
+        assert!(m.dispatches.msg > 0);
+        assert_eq!(m.dispatches.crash, 1);
+        assert!(m.dispatches.dropped > 0);
+        assert!(!m.queue_depth_samples().is_empty());
     }
 
     #[test]

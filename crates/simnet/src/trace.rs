@@ -33,12 +33,20 @@ impl fmt::Display for TraceEntry {
 /// A bounded in-memory trace. Disabled by default; enabling it records every
 /// dispatched event plus any [`Context::note`] calls made by actors.
 ///
+/// The buffer is a ring: once `cap` entries are held, each new entry
+/// overwrites the *oldest* one (which is counted as dropped), so what
+/// survives is always the most recent window — the part a post-mortem
+/// actually needs.
+///
 /// [`Context::note`]: crate::Context::note
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
     cap: usize,
+    /// Ring storage: grows up to `cap`, then wraps.
     entries: Vec<TraceEntry>,
+    /// Next write position once the ring is full (the oldest entry).
+    head: usize,
     dropped: u64,
 }
 
@@ -49,6 +57,7 @@ impl Trace {
             enabled: false,
             cap: 100_000,
             entries: Vec::new(),
+            head: 0,
             dropped: 0,
         }
     }
@@ -57,12 +66,23 @@ impl Trace {
     /// the cap are counted as dropped rather than stored).
     pub fn enable(&mut self, cap: usize) {
         self.enabled = true;
-        self.cap = cap;
+        self.cap = cap.max(1);
     }
 
     /// Whether recording is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    fn insert(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.cap {
+            self.entries.push(entry);
+        } else {
+            // Full: overwrite the oldest entry and advance the ring head.
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
     }
 
     /// Records an entry if enabled. Accepts both `&'static str` (stored
@@ -71,11 +91,7 @@ impl Trace {
         if !self.enabled {
             return;
         }
-        if self.entries.len() >= self.cap {
-            self.dropped += 1;
-            return;
-        }
-        self.entries.push(TraceEntry {
+        self.insert(TraceEntry {
             at,
             actor,
             text: text.into(),
@@ -83,41 +99,56 @@ impl Trace {
     }
 
     /// Records a lazily-built entry: `f` runs only when the trace is
-    /// enabled and under its cap, so disabled runs pay nothing.
+    /// enabled, so disabled runs pay nothing.
     pub fn push_with(&mut self, at: Time, actor: ActorId, f: impl FnOnce() -> String) {
         if !self.enabled {
             return;
         }
-        if self.entries.len() >= self.cap {
-            self.dropped += 1;
-            return;
-        }
-        self.entries.push(TraceEntry {
+        self.insert(TraceEntry {
             at,
             actor,
             text: Cow::Owned(f()),
         });
     }
 
-    /// The recorded entries, in order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// The recorded entries, oldest first (at most the configured cap,
+    /// and always the most recent ones).
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        let split = if self.entries.len() == self.cap {
+            self.head
+        } else {
+            0
+        };
+        self.entries[split..]
+            .iter()
+            .chain(self.entries[..split].iter())
     }
 
-    /// How many entries were discarded after the cap was reached.
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were overwritten after the cap was reached.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Renders the whole trace, one entry per line.
+    /// Renders the whole trace, one entry per line, oldest first. A
+    /// leading marker reports how many older entries were overwritten.
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        for e in &self.entries {
-            out.push_str(&e.to_string());
-            out.push('\n');
-        }
         if self.dropped > 0 {
             out.push_str(&format!("... {} entries dropped\n", self.dropped));
+        }
+        for e in self.entries() {
+            out.push_str(&e.to_string());
+            out.push('\n');
         }
         out
     }
@@ -134,7 +165,8 @@ mod tests {
         t.push_with(Time::ZERO, ActorId(0), || {
             panic!("must not run when disabled")
         });
-        assert!(t.entries().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.entries().count(), 0);
     }
 
     #[test]
@@ -144,9 +176,31 @@ mod tests {
         for i in 0..5 {
             t.push(Time::from_delays(i), ActorId(0), format!("e{i}"));
         }
-        assert_eq!(t.entries().len(), 2);
+        // Ring semantics: the *most recent* `cap` entries survive, the
+        // overwritten older ones are counted as dropped.
+        assert_eq!(t.len(), 2);
+        let texts: Vec<&str> = t.entries().map(|e| e.text.as_ref()).collect();
+        assert_eq!(texts, vec!["e3", "e4"]);
         assert_eq!(t.dropped(), 3);
         assert!(t.dump().contains("3 entries dropped"));
+    }
+
+    #[test]
+    fn ring_keeps_order_across_multiple_wraps() {
+        let mut t = Trace::new();
+        t.enable(3);
+        for i in 0..10 {
+            t.push(Time::from_delays(i), ActorId(0), format!("e{i}"));
+        }
+        let texts: Vec<&str> = t.entries().map(|e| e.text.as_ref()).collect();
+        assert_eq!(texts, vec!["e7", "e8", "e9"]);
+        assert_eq!(t.dropped(), 7);
+        // Dump renders oldest-to-newest with the drop marker up front.
+        let dump = t.dump();
+        let e7 = dump.find("e7").unwrap();
+        let e9 = dump.find("e9").unwrap();
+        assert!(dump.starts_with("... 7 entries dropped"));
+        assert!(e7 < e9);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!    diverge (prefix consistency), and the hash partition is respected:
 //!    a command never commits in a group its key does not map to.
 
-use agreement::harness::{run_sharded, ShardedRunReport, ShardedScenario};
-use agreement::sharded::WorkloadSpec;
+use agreement::harness::{run_sharded, run_sharded_with_events, ShardedRunReport, ShardedScenario};
+use agreement::sharded::{KeyRange, ScriptedMigration, WorkloadSpec};
 use simnet::{DelayModel, Duration};
 
 /// G=4 closed-loop Zipf run with leader crashes in 2 of the 4 groups.
@@ -200,6 +200,57 @@ fn session_dedup_suppresses_failover_duplicates() {
             }
         }
     }
+}
+
+#[test]
+fn tracing_is_invisible_to_the_run_across_thread_counts() {
+    // Observer effect, pinned: enabling full tracing + spans on a
+    // jittered crash + migration run must leave every virtual-time
+    // quantity — logs, decisions, latency percentiles, kernel metrics —
+    // bit-identical to the untraced run, at every partitioned-kernel
+    // worker-thread count. And the recorded event stream itself must be
+    // thread-count invariant (recording rides the deterministic
+    // schedule, so threads may only change wall-clock time).
+    let mut sc = crashy_scenario(83);
+    sc.delay = DelayModel::Uniform {
+        lo: Duration::from_delays(1),
+        hi: Duration::from_delays(3),
+    };
+    sc.max_delays = 40_000;
+    // A scripted migration racing group 0's crash + failover.
+    sc.migrations = vec![ScriptedMigration {
+        at_delays: 40,
+        range: KeyRange { lo: 0, hi: 512 },
+        to: 3,
+    }];
+    sc.partitions = 4;
+    let mut streams = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut untraced = sc.clone();
+        untraced.threads = threads;
+        let base = run_sharded(&untraced);
+        assert!(base.all_committed, "threads={threads}: {base:?}");
+        assert!(base.all_logs_agree && base.no_cross_group_leak);
+        assert!(base.span_stats.is_empty(), "untraced run grew span stats");
+
+        let mut traced = untraced.clone();
+        traced.record_events = true;
+        traced.record_spans = true;
+        let (mut report, events) = run_sharded_with_events(&traced);
+        assert!(!events.is_empty(), "threads={threads}: nothing recorded");
+        assert!(!report.span_stats.is_empty());
+        report.span_stats = Vec::new();
+        assert_reports_identical(&base, &report);
+        streams.push(events);
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "2 worker threads changed the traced event stream"
+    );
+    assert_eq!(
+        streams[0], streams[2],
+        "4 worker threads changed the traced event stream"
+    );
 }
 
 #[test]
