@@ -70,6 +70,13 @@ pub fn generate(case_seed: u64) -> ShardedScenario {
             }
         })
         .collect();
+    // Byzantine pipelining knobs (window 1 without the fast path is the
+    // classic engine, bit-identical to pre-pipelining runs — kept in the
+    // pool so the fuzzer still exercises the pinned configuration).
+    if sc.group_modes.contains(&GroupMode::Byzantine) {
+        sc.byz_pipeline_window = [1, 2, 4, 8][rng.below(4) as usize];
+        sc.byz_fast_path = rng.chance(500);
+    }
     for g in 0..groups {
         match sc.group_modes[g] {
             GroupMode::CrashPmp => {
@@ -204,6 +211,15 @@ mod tests {
             }
             for &(g, i) in &sc.byz_receipt_forgers {
                 assert!(i != 0, "seed {seed}: forger at leader slot of {g}");
+            }
+            assert!(
+                [1, 2, 4, 8].contains(&sc.byz_pipeline_window),
+                "seed {seed}: bad pipeline window {}",
+                sc.byz_pipeline_window
+            );
+            if !sc.group_modes.contains(&GroupMode::Byzantine) {
+                assert_eq!(sc.byz_pipeline_window, 1, "seed {seed}");
+                assert!(!sc.byz_fast_path, "seed {seed}");
             }
             for &(g, _) in &sc.crash_leaders {
                 assert_eq!(sc.group_modes[g], GroupMode::CrashPmp, "seed {seed}");

@@ -211,7 +211,9 @@ fn audit(sc: &ShardedScenario, r: &ShardedRunReport) -> Result<(), Violation> {
     if sc.group_modes.iter().all(|&m| m == GroupMode::CrashPmp)
         && (r.equivocations_blocked != 0
             || r.byz_receipts_rejected != 0
-            || r.byz_unconfirmed_claims != 0)
+            || r.byz_unconfirmed_claims != 0
+            || r.byz_fast_commits != 0
+            || r.byz_fast_confirms != 0)
     {
         return Err(Violation::PhantomByzActivity);
     }

@@ -89,6 +89,16 @@ pub fn to_literal(sc: &ShardedScenario) -> String {
             sc.byz_receipt_forgers
         );
     }
+    if sc.byz_pipeline_window != d.byz_pipeline_window {
+        let _ = writeln!(
+            s,
+            "    sc.byz_pipeline_window = {};",
+            sc.byz_pipeline_window
+        );
+    }
+    if sc.byz_fast_path != d.byz_fast_path {
+        let _ = writeln!(s, "    sc.byz_fast_path = {};", sc.byz_fast_path);
+    }
     if sc.migrations != d.migrations {
         let migs: Vec<String> = sc
             .migrations

@@ -119,6 +119,16 @@ fn candidates(sc: &ShardedScenario) -> Vec<ShardedScenario> {
         out.push(c);
     }
     // Complexity dimensions, cheapest-to-understand scenario first.
+    if sc.byz_fast_path {
+        let mut c = sc.clone();
+        c.byz_fast_path = false;
+        out.push(c);
+    }
+    if sc.byz_pipeline_window > 1 {
+        let mut c = sc.clone();
+        c.byz_pipeline_window = 1;
+        out.push(c);
+    }
     if sc.partitions > 1 {
         let mut c = sc.clone();
         c.partitions = 1;

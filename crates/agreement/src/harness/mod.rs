@@ -582,6 +582,18 @@ pub struct ShardedScenario {
     /// histograms (submit → route → propose → decide → confirm). Implies
     /// event recording for the duration of the run. Off by default.
     pub record_spans: bool,
+    /// Byzantine pipeline window: how many signed broadcasts each
+    /// Byzantine-mode leader keeps in flight before stalling on
+    /// self-delivery ([`ByzSmrNode::with_pipeline_window`]). `1` — the
+    /// default — is the classic one-slot protocol, bit-identical to the
+    /// pre-pipeline harness. Ignored by crash-mode groups.
+    pub byz_pipeline_window: usize,
+    /// Speculative fast path for Byzantine-mode leaders: settle own
+    /// batches at the broadcast write ack instead of self-delivery
+    /// ([`ByzSmrNode::with_fast_path`]); the router counts the commits
+    /// whose confirmation quorum the early report completed
+    /// ([`ShardedRunReport::byz_fast_confirms`]). Off by default.
+    pub byz_fast_path: bool,
     /// **Fault-injection switch for the fuzzer's oracle demo**: when set,
     /// replicas are built *without* client-session dedup, reintroducing
     /// the pre-dedup bug where the router's at-least-once re-submission
@@ -618,6 +630,8 @@ impl ShardedScenario {
             byz_silent: Vec::new(),
             byz_equivocators: Vec::new(),
             byz_receipt_forgers: Vec::new(),
+            byz_pipeline_window: 1,
+            byz_fast_path: false,
             record_events: false,
             record_spans: false,
             disable_session_dedup: false,
@@ -766,6 +780,15 @@ pub struct ShardedRunReport {
     /// cumulative — the work the `f + 1` rule did, fabricated claims
     /// included (0 in all-crash deployments).
     pub byz_withheld_reports: u64,
+    /// Byzantine pipeline: batches leaders settled at the broadcast
+    /// write ack instead of self-delivery, summed over every
+    /// Byzantine-mode replica (0 unless
+    /// [`ShardedScenario::byz_fast_path`] is set).
+    pub byz_fast_commits: u64,
+    /// Byzantine pipeline: confirmations whose `f + 1` quorum the
+    /// fast-path leader's speculative write-ack report completed (0
+    /// unless [`ShardedScenario::byz_fast_path`] is set).
+    pub byz_fast_confirms: u64,
     /// Per-group command-lifecycle span statistics (empty unless the
     /// scenario set [`ShardedScenario::record_spans`]). Deterministic
     /// like everything else here: a run's span stats are identical
@@ -823,6 +846,10 @@ pub fn run_sharded_with_events(
             "receipt forger cannot occupy group {g}'s initial-leader slot"
         );
     }
+    assert!(
+        scenario.byz_pipeline_window >= 1,
+        "the Byzantine pipeline window is 1-based (1 = the classic one-slot protocol)"
+    );
     let workload = if scenario.dynamic_routing() {
         let table = RoutingTable::even(scenario.workload.key_space(), scenario.groups);
         sharded::partition_with_table(
@@ -874,6 +901,9 @@ fn build_router(
         let mut router = RouterActor::new(*topo, workload, scenario.window);
         if scenario.has_byzantine() {
             router = router.with_group_modes(scenario.group_modes.clone(), scenario.n);
+            if scenario.byz_fast_path {
+                router = router.with_byz_fast_path();
+            }
         }
         if paced {
             router = router.with_paced_arrivals(interval_ticks);
@@ -897,6 +927,9 @@ fn build_router(
     );
     if scenario.has_byzantine() {
         router = router.with_group_modes(scenario.group_modes.clone(), scenario.n);
+        if scenario.byz_fast_path {
+            router = router.with_byz_fast_path();
+        }
     }
     if paced {
         router = router.with_paced_arrivals(interval_ticks);
@@ -1030,6 +1063,8 @@ fn sharded_replica(
                 Duration::from_delays(1),
             )
             .with_batch(scenario.batch)
+            .with_pipeline_window(scenario.byz_pipeline_window)
+            .with_fast_path(scenario.byz_fast_path)
             .with_observer(topo.router());
             if !scenario.disable_session_dedup {
                 node = node.with_session_dedup();
@@ -1063,20 +1098,22 @@ fn sharded_memory(
 fn collect_replica_state(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
-    node: impl Fn(Pid, GroupMode) -> (Vec<Value>, u64, u64, u64),
-) -> (Vec<Vec<Vec<Value>>>, u64, u64, u64) {
+    node: impl Fn(Pid, GroupMode) -> (Vec<Value>, u64, u64, u64, u64),
+) -> (Vec<Vec<Vec<Value>>>, u64, u64, u64, u64) {
     let mut duplicates_suppressed = 0u64;
     let mut equivocations_blocked = 0u64;
     let mut receipts_rejected = 0u64;
+    let mut fast_commits = 0u64;
     let logs = (0..scenario.groups)
         .map(|g| {
             topo.procs(g)
                 .iter()
                 .map(|&p| {
-                    let (log, dups, equivs, forged) = node(p, scenario.mode_of(g));
+                    let (log, dups, equivs, forged, fast) = node(p, scenario.mode_of(g));
                     duplicates_suppressed += dups;
                     equivocations_blocked += equivs;
                     receipts_rejected += forged;
+                    fast_commits += fast;
                     log
                 })
                 .collect()
@@ -1087,14 +1124,17 @@ fn collect_replica_state(
         duplicates_suppressed,
         equivocations_blocked,
         receipts_rejected,
+        fast_commits,
     )
 }
 
 /// Resolves one replica's post-run state by downcasting to its mode's
 /// node type on any actor view. Adversary slots (and crashed actors the
 /// view no longer exposes) read as empty.
-fn replica_state_of(log_dups: Option<(Vec<Value>, u64, u64, u64)>) -> (Vec<Value>, u64, u64, u64) {
-    log_dups.unwrap_or((Vec::new(), 0, 0, 0))
+fn replica_state_of(
+    log_dups: Option<(Vec<Value>, u64, u64, u64, u64)>,
+) -> (Vec<Value>, u64, u64, u64, u64) {
+    log_dups.unwrap_or((Vec::new(), 0, 0, 0, 0))
 }
 
 /// The classic single-kernel path (`partitions == 1`).
@@ -1146,18 +1186,19 @@ fn run_sharded_monolithic(
     });
 
     let events = sim.take_obs_events();
-    let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
+    let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected, fast_commits) =
         collect_replica_state(scenario, topo, |p, mode| {
             replica_state_of(match mode {
                 GroupMode::CrashPmp => sim
                     .actor_as::<SmrNode>(p)
-                    .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0)),
+                    .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0, 0)),
                 GroupMode::Byzantine => sim.actor_as::<ByzSmrNode>(p).map(|n| {
                     (
                         n.log(),
                         n.duplicates_suppressed(),
                         n.equivocations_blocked(),
                         n.receipts_rejected(),
+                        n.fast_commits(),
                     )
                 }),
             })
@@ -1173,6 +1214,7 @@ fn run_sharded_monolithic(
         duplicates_suppressed,
         equivocations_blocked,
         receipts_rejected,
+        fast_commits,
         sim.now(),
         sim.metrics(),
         vec![peak],
@@ -1244,18 +1286,19 @@ fn run_sharded_partitioned(
     let partition_peaks = sim.partition_peak_queue_lens();
     let events = sim.take_obs_events();
     let report = sim.with_actors(|view| {
-        let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected) =
+        let (logs, duplicates_suppressed, equivocations_blocked, receipts_rejected, fast_commits) =
             collect_replica_state(scenario, topo, |p, mode| {
                 replica_state_of(match mode {
                     GroupMode::CrashPmp => view
                         .actor_as::<SmrNode>(p)
-                        .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0)),
+                        .map(|n| (n.log(), n.duplicates_suppressed(), 0, 0, 0)),
                     GroupMode::Byzantine => view.actor_as::<ByzSmrNode>(p).map(|n| {
                         (
                             n.log(),
                             n.duplicates_suppressed(),
                             n.equivocations_blocked(),
                             n.receipts_rejected(),
+                            n.fast_commits(),
                         )
                     }),
                 })
@@ -1270,6 +1313,7 @@ fn run_sharded_partitioned(
             duplicates_suppressed,
             equivocations_blocked,
             receipts_rejected,
+            fast_commits,
             elapsed,
             &metrics,
             partition_peaks,
@@ -1289,6 +1333,7 @@ fn reduce_sharded(
     duplicates_suppressed: u64,
     equivocations_blocked: u64,
     byz_receipts_rejected: u64,
+    byz_fast_commits: u64,
     elapsed: Time,
     metrics: &Metrics,
     partition_peak_queue_lens: Vec<u64>,
@@ -1375,6 +1420,8 @@ fn reduce_sharded(
         byz_receipts_rejected,
         byz_unconfirmed_claims: router.byz_unconfirmed_claims(),
         byz_withheld_reports: router.byz_withheld_reports(),
+        byz_fast_commits,
+        byz_fast_confirms: router.byz_fast_confirms(),
         // Filled by `run_sharded_with_events` when the scenario records
         // spans (aggregation needs the merged event stream).
         span_stats: Vec::new(),

@@ -25,6 +25,35 @@
 //! The engine below is a sub-state-machine (like [`swmr::RepEngine`]):
 //! actors call [`NebEngine::poll`] periodically, feed every replication
 //! event through `NebEngine::on_rep_event`, and drain deliveries.
+//!
+//! Delivery attempts are keyed `(sender, k)`, so the engine can probe a
+//! *window* of a sender's upcoming slots concurrently
+//! ([`NebEngine::set_pipeline_depth`] / [`NebEngine::set_focus`]) while
+//! still releasing deliveries strictly in per-sender sequence order —
+//! audited slots that complete out of order wait in a ready buffer until
+//! `Last[q]` reaches them. At the default depth 1 the engine is
+//! move-for-move identical to the classic head-of-line loop.
+//!
+//! Pipelining must respect the model's scarcest resource: a process may
+//! have **one outstanding operation per memory** (§3), and replicated
+//! operations go to *all* memories, so every logical op — useful or not —
+//! serializes through the same per-memory FIFO at a full round-trip each.
+//! Naive depth-`W` probing (`W` speculative reads per poll) floods that
+//! FIFO with ⊥-reads and makes deeper windows *slower*. In pipelined mode
+//! (`depth > 1`) the engine therefore spends ops only where they pay:
+//!
+//! * **Row-probe discovery** — the focused sender's row is scanned with a
+//!   single strided range read (one op discovers every written slot, and
+//!   the returned values skip the per-slot read entirely, going straight
+//!   to the copy step).
+//! * **Shared column audit** — one range read over all the sender's
+//!   columns audits every pending copy at once, amortizing the audit
+//!   across the window (the copy-before-audit order each slot needs is
+//!   preserved: a slot is only covered by an audit read issued after its
+//!   copy completed).
+//! * **Idle-row backoff** — rows that read ⊥ are re-probed with
+//!   exponential backoff (capped), so rows that are idle in steady state
+//!   (followers never broadcast) stop consuming FIFO slots.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -122,11 +151,59 @@ pub struct NebEngine {
     rep: RepEngine<RegVal, Msg>,
     next_k: u64,
     last: BTreeMap<Pid, u64>,
-    attempts: BTreeMap<Pid, Attempt>,
+    /// In-flight delivery attempts, keyed `(sender, k)` — up to
+    /// `depth` concurrent slots for the focused sender, one for the rest.
+    attempts: BTreeMap<(Pid, u64), Attempt>,
     /// Senders caught equivocating; no further deliveries are attempted.
     blocked: BTreeMap<Pid, u64>,
     deliveries: VecDeque<Delivery>,
+    /// How many of the focused sender's slots to probe concurrently
+    /// (1 = the classic head-of-line loop).
+    depth: usize,
+    /// The one sender probed `depth` slots ahead (the group's leader —
+    /// followers' rows stay at depth 1 to avoid read amplification on
+    /// rows that are idle in steady state).
+    focus: Option<Pid>,
+    /// Whether this process runs delivery attempts on its *own* row.
+    /// On (the default) is Algorithm 2 verbatim. A fast-path leader
+    /// turns it off: it settles own broadcasts at the write ack instead
+    /// ([`NebEngine::take_broadcast_written`]), and its self-audit is
+    /// vacuous — the copy target `slots[p, k, p]` *is* the broadcast
+    /// register, and a correct process never equivocates against itself.
+    self_delivery: bool,
+    /// Whether [`NebEngine::broadcast`] write acks are tracked and
+    /// surfaced through [`NebEngine::take_broadcast_written`].
+    observe_writes: bool,
+    /// Outstanding broadcast writes being tracked: completion id → k.
+    bcast_writes: BTreeMap<RepId, u64>,
+    /// Sequence numbers whose broadcast write has been acknowledged by a
+    /// replication quorum, not yet drained by the owner.
+    written: Vec<u64>,
+    /// Audited-but-unreleased deliveries: slots that passed their audit
+    /// out of order, waiting for `Last[q]` to reach them.
+    ready: BTreeMap<(Pid, u64), Delivery>,
+    /// Poll ticks seen (the idle-row backoff clock).
+    polls: u64,
+    /// Pipelined discovery: at most one in-flight whole-row range read
+    /// per focused sender, replacing per-slot probes.
+    row_probe: BTreeMap<Pid, RepId>,
+    /// Completed copies awaiting the next shared column audit.
+    await_audit: BTreeMap<(Pid, u64), NebSlot>,
+    /// At most one in-flight shared column audit per sender: the read id
+    /// and the slots it covers (each covered slot's copy completed before
+    /// the read was issued, preserving Algorithm 2's copy-then-audit
+    /// order).
+    col_audit: BTreeMap<Pid, (RepId, Vec<(u64, NebSlot)>)>,
+    /// Idle-row backoff (pipelined mode only): earliest poll tick at
+    /// which a sender's row may be probed again, and the current backoff.
+    idle_until: BTreeMap<Pid, u64>,
+    idle_backoff: BTreeMap<Pid, u64>,
 }
+
+/// Longest the idle-row backoff may defer a probe, in poll ticks. Bounds
+/// the extra discovery latency on a cold row (e.g. a brand-new leader's
+/// first broadcast) while keeping steady-state waste negligible.
+const IDLE_BACKOFF_CAP: u64 = 16;
 
 impl std::fmt::Debug for NebEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -160,7 +237,50 @@ impl NebEngine {
             attempts: BTreeMap::new(),
             blocked: BTreeMap::new(),
             deliveries: VecDeque::new(),
+            depth: 1,
+            focus: None,
+            self_delivery: true,
+            observe_writes: false,
+            bcast_writes: BTreeMap::new(),
+            written: Vec::new(),
+            ready: BTreeMap::new(),
+            polls: 0,
+            row_probe: BTreeMap::new(),
+            await_audit: BTreeMap::new(),
+            col_audit: BTreeMap::new(),
+            idle_until: BTreeMap::new(),
+            idle_backoff: BTreeMap::new(),
         }
+    }
+
+    /// Sets how many of the focused sender's slots are probed
+    /// concurrently (clamped to at least 1; 1 is the classic loop).
+    pub fn set_pipeline_depth(&mut self, depth: usize) {
+        self.depth = depth.max(1);
+    }
+
+    /// Sets the one sender probed `depth` slots ahead (the group's
+    /// current leader; everyone else stays at depth 1).
+    pub fn set_focus(&mut self, focus: Option<Pid>) {
+        self.focus = focus;
+    }
+
+    /// Enables or disables delivery attempts on this process's own row
+    /// (see the `self_delivery` field; a fast-path leader disables it).
+    pub fn set_self_delivery(&mut self, on: bool) {
+        self.self_delivery = on;
+    }
+
+    /// Enables or disables broadcast write-ack tracking
+    /// ([`NebEngine::take_broadcast_written`]).
+    pub fn set_observe_writes(&mut self, on: bool) {
+        self.observe_writes = on;
+    }
+
+    /// Drains the sequence numbers whose broadcast write has completed
+    /// since the last call (empty unless write observation is on).
+    pub fn take_broadcast_written(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.written)
     }
 
     /// Writes this process's delivery receipt for `d` (a fire-and-forget
@@ -207,28 +327,210 @@ impl NebEngine {
         self.next_k += 1;
         let sig = self.signer.sign(&wire.sign_view(k));
         let slot = NebSlot { k, wire, sig };
-        self.rep.write(
+        let rep = self.rep.write(
             ctx,
             client,
             row_region(self.me),
             slot_reg(self.me, k, self.me),
             RegVal::Neb(slot),
         );
+        if self.observe_writes {
+            self.bcast_writes.insert(rep, k);
+        }
         k
     }
 
-    /// Starts a delivery attempt for every sender without one in flight.
-    /// Call periodically (this is Algorithm 2's outer `while true` loop,
-    /// paced by the caller's timer).
+    /// Starts delivery attempts for every sender slot in window without
+    /// one in flight. Call periodically (this is Algorithm 2's outer
+    /// `while true` loop, paced by the caller's timer).
     pub fn poll(&mut self, ctx: &mut Context<'_, Msg>, client: &mut MemoryClient<RegVal, Msg>) {
+        self.polls += 1;
         for q in self.procs.clone() {
-            if self.attempts.contains_key(&q) || self.blocked.contains_key(&q) {
+            self.launch_attempts(ctx, client, q);
+        }
+    }
+
+    /// Launches missing delivery attempts on `q`'s row. In pipelined mode
+    /// the focused sender's row is discovered by a single range read (see
+    /// the module docs); everyone else gets the classic head-slot probe,
+    /// deferred by the idle backoff when the row keeps reading ⊥.
+    fn launch_attempts(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        q: Pid,
+    ) {
+        if self.blocked.contains_key(&q) || (!self.self_delivery && q == self.me) {
+            return;
+        }
+        if self.depth > 1 && self.focus == Some(q) {
+            // The shared column audit's range read also returns q's own
+            // row, so it doubles as discovery; the dedicated row probe
+            // only runs when q's pipeline is completely dry (nothing in
+            // flight whose completion would discover new slots).
+            let busy = self.col_audit.contains_key(&q)
+                || self.attempts.range((q, 0)..=(q, u64::MAX)).next().is_some()
+                || self
+                    .await_audit
+                    .range((q, 0)..=(q, u64::MAX))
+                    .next()
+                    .is_some();
+            if !busy && !self.row_probe.contains_key(&q) {
+                let rep = self.rep.read_range(
+                    ctx,
+                    client,
+                    ALL_REGION,
+                    Some(RegionSpec::Pattern {
+                        space: spaces::NEB,
+                        a: Some(q.0 as u64),
+                        b: None,
+                        c: Some(q.0 as u64),
+                    }),
+                );
+                self.row_probe.insert(q, rep);
+            }
+            self.maybe_launch_audit(ctx, client, q);
+            return;
+        }
+        if self.depth > 1 {
+            // Copies orphaned by a focus change still need their audit.
+            if self.await_audit.keys().any(|&(aq, _)| aq == q) {
+                self.maybe_launch_audit(ctx, client, q);
+            }
+            if self.polls < self.idle_until.get(&q).copied().unwrap_or(0) {
+                return;
+            }
+        }
+        let head = self.last[&q];
+        if self.attempts.contains_key(&(q, head))
+            || self.ready.contains_key(&(q, head))
+            || self.await_audit.contains_key(&(q, head))
+        {
+            return;
+        }
+        let rep = self.rep.read(ctx, client, ALL_REGION, slot_reg(q, head, q));
+        self.attempts.insert((q, head), Attempt::ReadSlot(rep));
+    }
+
+    /// Adopts the slots returned by a row probe of `q`: every validly
+    /// signed, in-window, not-yet-attempted slot goes straight to the
+    /// copy step (the probe already read its value).
+    fn adopt_row(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        q: Pid,
+        rows: BTreeMap<RegId, RegVal>,
+    ) {
+        if self.blocked.contains_key(&q) {
+            return;
+        }
+        let depth = if self.depth > 1 && self.focus == Some(q) {
+            self.depth as u64
+        } else {
+            1
+        };
+        let head = self.last[&q];
+        let covered = |s: &Self, k: u64| {
+            s.col_audit
+                .get(&q)
+                .is_some_and(|(_, cov)| cov.iter().any(|&(ck, _)| ck == k))
+        };
+        for (reg, val) in rows {
+            if reg.b & RECEIPT_BIT != 0 {
+                continue; // q's self-receipts share the row; not slots
+            }
+            let k = reg.b;
+            if k < head
+                || k >= head + depth
+                || self.attempts.contains_key(&(q, k))
+                || self.ready.contains_key(&(q, k))
+                || self.await_audit.contains_key(&(q, k))
+                || covered(self, k)
+            {
                 continue;
             }
-            let k = self.last[&q];
-            let rep = self.rep.read(ctx, client, ALL_REGION, slot_reg(q, k, q));
-            self.attempts.insert(q, Attempt::ReadSlot(rep));
+            let RegVal::Neb(slot) = val else { continue };
+            if slot.k != k
+                || !self
+                    .verifier
+                    .valid(q, &slot.wire.sign_view(slot.k), &slot.sig)
+            {
+                continue;
+            }
+            let rep = self.rep.write(
+                ctx,
+                client,
+                row_region(self.me),
+                slot_reg(self.me, k, q),
+                RegVal::Neb(slot.clone()),
+            );
+            self.attempts.insert((q, k), Attempt::Copy { slot, rep });
         }
+    }
+
+    /// Issues the shared column audit for `q` if none is in flight and
+    /// copies are waiting: one range read over all of `q`'s columns covers
+    /// every pending slot at once.
+    fn maybe_launch_audit(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        q: Pid,
+    ) {
+        if self.col_audit.contains_key(&q) {
+            return;
+        }
+        let keys: Vec<u64> = self
+            .await_audit
+            .range((q, 0)..=(q, u64::MAX))
+            .map(|(&(_, k), _)| k)
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        let covered: Vec<(u64, NebSlot)> = keys
+            .into_iter()
+            .map(|k| (k, self.await_audit.remove(&(q, k)).expect("listed above")))
+            .collect();
+        let rep = self.rep.read_range(
+            ctx,
+            client,
+            ALL_REGION,
+            Some(RegionSpec::Pattern {
+                space: spaces::NEB,
+                a: None,
+                b: None,
+                c: Some(q.0 as u64),
+            }),
+        );
+        self.col_audit.insert(q, (rep, covered));
+    }
+
+    /// Drops every in-flight structure for `q` after it was caught
+    /// equivocating — nothing from an equivocator is ever delivered.
+    fn purge(&mut self, q: Pid) {
+        self.attempts.retain(|&(aq, _), _| aq != q);
+        self.ready.retain(|&(rq, _), _| rq != q);
+        self.await_audit.retain(|&(aq, _), _| aq != q);
+        self.row_probe.remove(&q);
+        self.col_audit.remove(&q);
+    }
+
+    /// Moves `ready` slots at the head of `q`'s sequence into the delivery
+    /// queue; returns whether anything was released.
+    fn release_ready(&mut self, q: Pid) -> bool {
+        let mut released = false;
+        loop {
+            let head = self.last[&q];
+            let Some(d) = self.ready.remove(&(q, head)) else {
+                break;
+            };
+            self.deliveries.push_back(d);
+            *self.last.get_mut(&q).expect("known sender") += 1;
+            released = true;
+        }
+        released
     }
 
     /// Whether `q` has been caught equivocating (at which sequence number).
@@ -258,16 +560,37 @@ impl NebEngine {
         client: &mut MemoryClient<RegVal, Msg>,
         ev: RepEvent<RegVal>,
     ) {
-        // Find which sender's attempt this event advances.
-        let Some((&q, _)) = self.attempts.iter().find(|(_, a)| match a {
+        // Tracked broadcast write acks surface to the owner (empty map —
+        // the default — makes this a no-op).
+        if let Some(k) = self.bcast_writes.remove(&ev.id) {
+            if matches!(ev.result, RepResult::WriteOk) {
+                self.written.push(k);
+            }
+            return;
+        }
+        // Row-probe completions (pipelined discovery).
+        if let Some((&q, _)) = self.row_probe.iter().find(|(_, &r)| r == ev.id) {
+            self.row_probe.remove(&q);
+            if let RepResult::RangeOk(rows) = ev.result {
+                self.adopt_row(ctx, client, q, rows);
+            }
+            return; // the next poll tick relaunches the probe
+        }
+        // Shared column-audit completions.
+        if let Some((&q, _)) = self.col_audit.iter().find(|(_, (r, _))| *r == ev.id) {
+            let (_, covered) = self.col_audit.remove(&q).expect("found above");
+            self.on_col_audit(ctx, client, q, covered, ev.result);
+            return;
+        }
+        // Find which delivery attempt this event advances.
+        let Some((&(q, k), _)) = self.attempts.iter().find(|(_, a)| match a {
             Attempt::ReadSlot(r) | Attempt::Copy { rep: r, .. } | Attempt::Audit { rep: r, .. } => {
                 *r == ev.id
             }
         }) else {
             return;
         };
-        let attempt = self.attempts.remove(&q).expect("found above");
-        let k = self.last[&q];
+        let attempt = self.attempts.remove(&(q, k)).expect("found above");
         match (attempt, ev.result) {
             (Attempt::ReadSlot(_), RepResult::ReadOk(Some(RegVal::Neb(slot)))) => {
                 // Step 1 checks: signed by q, keyed k.
@@ -278,6 +601,9 @@ impl NebEngine {
                 {
                     return; // pretend we saw nothing; retry next poll
                 }
+                if self.depth > 1 {
+                    self.idle_backoff.insert(q, 1); // the row woke up
+                }
                 let rep = self.rep.write(
                     ctx,
                     client,
@@ -285,10 +611,25 @@ impl NebEngine {
                     slot_reg(self.me, k, q),
                     RegVal::Neb(slot.clone()),
                 );
-                self.attempts.insert(q, Attempt::Copy { slot, rep });
+                self.attempts.insert((q, k), Attempt::Copy { slot, rep });
             }
-            (Attempt::ReadSlot(_), _) => {} // ⊥ / junk / failed: retry later
+            (Attempt::ReadSlot(_), _) => {
+                // ⊥ / junk / failed: retry later. In pipelined mode an
+                // idle row backs off exponentially — speculative reads
+                // compete with useful ops for the per-memory FIFO slots.
+                if self.depth > 1 && self.focus != Some(q) {
+                    let b = self.idle_backoff.entry(q).or_insert(1);
+                    self.idle_until.insert(q, self.polls + *b);
+                    *b = (*b * 2).min(IDLE_BACKOFF_CAP);
+                }
+            }
             (Attempt::Copy { slot, .. }, RepResult::WriteOk) => {
+                if self.depth > 1 && self.focus == Some(q) {
+                    // Pipelined: join the next shared column audit.
+                    self.await_audit.insert((q, k), slot);
+                    self.maybe_launch_audit(ctx, client, q);
+                    return;
+                }
                 let rep = self.rep.read_range(
                     ctx,
                     client,
@@ -300,7 +641,7 @@ impl NebEngine {
                         c: Some(q.0 as u64),
                     }),
                 );
-                self.attempts.insert(q, Attempt::Audit { slot, rep });
+                self.attempts.insert((q, k), Attempt::Audit { slot, rep });
             }
             (Attempt::Copy { .. }, _) => {} // copy failed: retry later
             (Attempt::Audit { slot, .. }, RepResult::RangeOk(column)) => {
@@ -315,19 +656,100 @@ impl NebEngine {
                         // q signed two different messages for k: equivocation.
                         ctx.note_with(|| format!("nebcast: {q} equivocated at k={k}"));
                         self.blocked.insert(q, k);
+                        // Abandon the rest of q's window: nothing from an
+                        // equivocator is ever delivered (no-ops at depth 1).
+                        self.purge(q);
                         return;
                     }
                 }
-                self.deliveries.push_back(Delivery {
+                // Audited out-of-order slots wait in the ready buffer;
+                // deliveries are released strictly in sequence order.
+                self.ready.insert(
+                    (q, k),
+                    Delivery {
+                        from: q,
+                        k,
+                        wire: slot.wire,
+                        sig: slot.sig,
+                    },
+                );
+                let released = self.release_ready(q);
+                // Per-slot completion chaining: a released head frees
+                // window room — probe q's next slots now instead of
+                // waiting for the timer (classic depth keeps the timer
+                // cadence, bit-identical to the head-of-line loop).
+                if released && self.depth > 1 {
+                    self.launch_attempts(ctx, client, q);
+                }
+            }
+            (Attempt::Audit { .. }, _) => {} // audit failed: retry later
+        }
+    }
+
+    /// Resolves a completed shared column audit: checks every covered
+    /// slot's column for a validly signed conflicting copy, then releases
+    /// the survivors in sequence order.
+    fn on_col_audit(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        client: &mut MemoryClient<RegVal, Msg>,
+        q: Pid,
+        covered: Vec<(u64, NebSlot)>,
+        result: RepResult<RegVal>,
+    ) {
+        let RepResult::RangeOk(all) = result else {
+            // Audit read failed: the covered slots rejoin the queue and
+            // the next poll retries.
+            for (k, slot) in covered {
+                self.await_audit.insert((q, k), slot);
+            }
+            return;
+        };
+        if self.blocked.contains_key(&q) {
+            return;
+        }
+        for (k, slot) in covered {
+            for (reg, other) in &all {
+                if reg.b != k {
+                    continue; // other columns and receipts (RECEIPT_BIT)
+                }
+                let RegVal::Neb(other) = other else { continue };
+                if other.k == k
+                    && other.wire != slot.wire
+                    && self
+                        .verifier
+                        .valid(q, &other.wire.sign_view(other.k), &other.sig)
+                {
+                    ctx.note_with(|| format!("nebcast: {q} equivocated at k={k}"));
+                    self.blocked.insert(q, k);
+                    self.purge(q);
+                    return;
+                }
+            }
+            self.ready.insert(
+                (q, k),
+                Delivery {
                     from: q,
                     k,
                     wire: slot.wire,
                     sig: slot.sig,
-                });
-                *self.last.get_mut(&q).expect("known sender") += 1;
-            }
-            (Attempt::Audit { .. }, _) => {} // audit failed: retry later
+                },
+            );
         }
+        self.release_ready(q);
+        // The audit read covered q's whole column space, including q's
+        // own row — adopt any newly written in-window slots from it
+        // directly (audit doubles as discovery).
+        let fresh: BTreeMap<RegId, RegVal> = all
+            .into_iter()
+            .filter(|(reg, _)| reg.a == q.0 as u64 && reg.c == q.0 as u64)
+            .collect();
+        self.adopt_row(ctx, client, q, fresh);
+        // Chain the next round of work for q (the row probe if the
+        // pipeline drained, and an audit for any copies that completed
+        // while this one was in flight).
+        self.launch_attempts(ctx, client, q);
+        self.maybe_launch_audit(ctx, client, q);
     }
 
     /// Drains queued deliveries (in per-sender sequence order).

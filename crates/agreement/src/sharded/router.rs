@@ -164,6 +164,18 @@ struct ByzConfirm {
     /// cumulative work the confirmation layer did; every fabricated
     /// claim lands here at least once).
     withheld: u64,
+    /// Whether the deployment's Byzantine leaders run the speculative
+    /// fast path (their report arrives at the broadcast write ack rather
+    /// than self-delivery). Purely observational at the router: the
+    /// `f + 1` distinct-report quorum is never relaxed — the fast path
+    /// moves the *leader's* report earlier, and this flag tracks how
+    /// often that early report was load-bearing.
+    fast_path: bool,
+    /// Confirmations where the group leader's speculative report was
+    /// already in the reporter set when a follower's corroboration
+    /// completed the quorum — the commits the fast path confirmed at the
+    /// earliest sound point.
+    fast_confirms: u64,
 }
 
 /// The router actor. Build with [`RouterActor::new`], register it *after*
@@ -241,7 +253,24 @@ impl RouterActor {
                 quorum: (n - 1) / 2 + 1,
                 pending: BTreeMap::new(),
                 withheld: 0,
+                fast_path: false,
+                fast_confirms: 0,
             });
+        }
+        self
+    }
+
+    /// Declares that Byzantine-mode leaders run the speculative fast
+    /// path, so their reports arrive at the broadcast write ack. The
+    /// confirmation quorum is unchanged (reducing it below `f + 1`
+    /// distinct reports would let a lying leader plus stragglers commit
+    /// fabricated claims); the router just counts how often the leader's
+    /// early report completed a quorum ([`RouterActor::byz_fast_confirms`]).
+    /// Call after [`RouterActor::with_group_modes`]; a no-op on all-crash
+    /// deployments.
+    pub fn with_byz_fast_path(mut self) -> RouterActor {
+        if let Some(byz) = self.byz.as_mut() {
+            byz.fast_path = true;
         }
         self
     }
@@ -262,6 +291,7 @@ impl RouterActor {
         if !self.byz_group(g) {
             return true;
         }
+        let leader = self.groups[g].leader;
         let byz = self.byz.as_mut().expect("byz_group implies state");
         let entry = byz
             .pending
@@ -272,6 +302,12 @@ impl RouterActor {
         };
         let new_reporter = reporters.insert(from.0);
         if reporters.len() >= byz.quorum {
+            if byz.fast_path && from != leader && reporters.contains(&leader.0) {
+                // The leader's speculative write-ack report was already
+                // banked when this follower corroboration closed the
+                // quorum: the fast path bought this commit its headroom.
+                byz.fast_confirms += 1;
+            }
             *entry = None;
             return true;
         }
@@ -296,6 +332,14 @@ impl RouterActor {
     /// pending their confirmation quorum, cumulative over the run.
     pub fn byz_withheld_reports(&self) -> u64 {
         self.byz.as_ref().map_or(0, |b| b.withheld)
+    }
+
+    /// Confirmations where a fast-path leader's speculative write-ack
+    /// report was load-bearing — already in the reporter set when a
+    /// follower's corroboration completed the `f + 1` quorum (0 unless
+    /// [`RouterActor::with_byz_fast_path`] is on).
+    pub fn byz_fast_confirms(&self) -> u64 {
+        self.byz.as_ref().map_or(0, |b| b.fast_confirms)
     }
 
     /// Enables paced arrivals: command `i` becomes eligible for

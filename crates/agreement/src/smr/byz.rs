@@ -39,6 +39,35 @@
 //! footnote-2's broadcast latency, which is exactly the paper's price for
 //! tolerating `f` Byzantine replicas with only `n ≥ 2f + 1`.
 //!
+//! # Pipelined broadcasts and the speculative fast path
+//!
+//! Nothing in Algorithm 2 forces the leader to stall on that ≈6-delay
+//! self-delivery before broadcasting again — sequence numbers already
+//! totally order its wires. [`ByzSmrNode::with_pipeline_window`] lets the
+//! leader keep up to `W` broadcasts in flight, one pipeline slot per
+//! sequence number (broadcast-written → self-delivered → retired), with
+//! slots *retired strictly in order* so the dense log prefix, workload
+//! cursor and session dedup behave exactly as the one-slot protocol; the
+//! broadcast engine probes the leader's row the same `W` slots ahead on
+//! every replica, so follower deliveries (and their receipts) pipeline
+//! too. `W = 1` is bit-identical to the classic stall-and-wait loop.
+//!
+//! [`ByzSmrNode::with_fast_path`] additionally lets the leader settle
+//! its own batch at the broadcast *write ack* (2 delays) instead of its
+//! self-delivery (≈6): sound because the leader's self-delivery only
+//! audits the leader against itself — its copy target is the broadcast
+//! register, and a correct leader never equivocates against itself —
+//! while *commitment* evidence never came from the leader's say-so in
+//! the first place: the router's `f + 1` distinct-report quorum still
+//! requires a correct follower's genuine audited delivery, follower
+//! receipts still carry all takeover durability, and every follower
+//! still runs the full read + copy + audit path. A Byzantine leader
+//! gains nothing: speculating on its own batch only changes what *it*
+//! claims, and its claims were never sufficient. On demotion or takeover
+//! the speculative slots are discarded exactly like conservative
+//! unretired slots (the scan re-adopts from receipts), so every
+//! adversary drill runs unchanged.
+//!
 //! # Modeled threat
 //!
 //! The adversaries this node is hardened (and tested) against are the
@@ -57,7 +86,7 @@
 //! are demoted to unreceipted candidates and counted
 //! ([`ByzSmrNode::receipts_rejected`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rdma_sim::{LegalChange, MemoryActor, MemoryClient};
 use sigsim::{SigVerifier, Signer};
@@ -133,6 +162,25 @@ impl Candidate {
     }
 }
 
+/// One in-flight pipelined broadcast: a batch the leader has broadcast
+/// and not yet retired (see the module docs' pipeline section).
+struct PipeSlot {
+    /// The broadcast sequence number carrying this batch.
+    k: u64,
+    /// First instance of the batch.
+    first: u64,
+    /// The batch's values (kept for the fast path's write-ack settle).
+    values: Vec<Value>,
+    /// `(consumed, suppressed)` workload accounting taken from
+    /// [`LogCore::take_own_round`] for a fresh-command round; `None` for
+    /// recovery re-broadcasts.
+    own: Option<(usize, u64)>,
+    /// Whether the batch has settled at this leader (self-delivery, or
+    /// the fast path's write ack). Slots retire from the front of the
+    /// pipeline only once delivered, in broadcast order.
+    delivered: bool,
+}
+
 /// A replica serving a totally-ordered command log under Byzantine
 /// failures (see the module docs for the protocol).
 pub struct ByzSmrNode {
@@ -156,11 +204,17 @@ pub struct ByzSmrNode {
     is_leader: bool,
     /// This leadership term's epoch (takeover count, carried in wires).
     epoch: u64,
-    /// The broadcast in flight: `(first instance, batch length)` of the
-    /// batch whose self-delivery we await before proposing the next.
-    proposing: Option<(u64, usize)>,
-    /// Whether the in-flight batch consumed workload slots.
-    proposing_own: bool,
+    /// The broadcasts in flight, in broadcast order: up to `window`
+    /// unretired slots (the pipeline ring).
+    pipeline: VecDeque<PipeSlot>,
+    /// How many broadcasts the leader keeps in flight (1 = the classic
+    /// stall-on-self-delivery protocol, bit-identical to pre-pipeline).
+    window: usize,
+    /// Whether the leader settles own batches at the broadcast write ack
+    /// (see the module docs' fast-path section).
+    fast_path: bool,
+    /// Batches settled via the fast path's write ack over the run.
+    fast_commits: u64,
     /// Next instance fresh commands are proposed at.
     next_instance: u64,
     /// A promoted leader's pending scan, if one is in flight.
@@ -219,8 +273,10 @@ impl ByzSmrNode {
             current_leader: initial_leader,
             is_leader: me == initial_leader,
             epoch: 0,
-            proposing: None,
-            proposing_own: false,
+            pipeline: VecDeque::new(),
+            window: 1,
+            fast_path: false,
+            fast_commits: 0,
             next_instance: 0,
             scanning: None,
             need_scan: false,
@@ -242,6 +298,29 @@ impl ByzSmrNode {
     /// identical semantics, shared implementation in [`LogCore`]).
     pub fn with_session_dedup(mut self) -> ByzSmrNode {
         self.core.dedup = true;
+        self
+    }
+
+    /// Sets the leader's pipeline window: up to `window` broadcasts kept
+    /// in flight before stalling on self-delivery (clamped to ≥ 1; 1 is
+    /// the classic one-slot protocol, bit-identical to pre-pipeline
+    /// behaviour). The broadcast engine probes the current leader's row
+    /// the same `window` slots ahead on every replica.
+    pub fn with_pipeline_window(mut self, window: usize) -> ByzSmrNode {
+        self.window = window.max(1);
+        self.neb.set_pipeline_depth(self.window);
+        self.neb.set_focus(Some(self.current_leader));
+        self
+    }
+
+    /// Enables the speculative fast path: the leader settles own batches
+    /// at the broadcast write ack (2 delays) instead of its ≈6-delay
+    /// self-delivery (see the module docs for why this is sound; every
+    /// follower still runs the full audited delivery path).
+    pub fn with_fast_path(mut self, on: bool) -> ByzSmrNode {
+        self.fast_path = on;
+        self.neb.set_observe_writes(on);
+        self.neb.set_self_delivery(!on);
         self
     }
 
@@ -286,6 +365,12 @@ impl ByzSmrNode {
     /// equivocation rewrite racing a scan).
     pub fn receipts_rejected(&self) -> u64 {
         self.receipts_rejected
+    }
+
+    /// Batches this node settled via the fast path's write ack (0 unless
+    /// [`ByzSmrNode::with_fast_path`] is on and this node led).
+    pub fn fast_commits(&self) -> u64 {
+        self.fast_commits
     }
 
     /// `(instance, time)` of each settle at this replica, in settle order.
@@ -340,19 +425,81 @@ impl ByzSmrNode {
             self.parked.push(d);
             return;
         }
-        let batch_len = values.len();
         let values = values.clone();
+        if d.from == self.me {
+            // The pipeline's overlap, per stage: the leader's own wire
+            // came back around (read-only mark; see `crate::spans`).
+            for (j, v) in values.iter().enumerate() {
+                ctx.obs_mark(v.0, crate::spans::STAGE_DELIVER, first + j as u64);
+            }
+        }
         self.neb.acknowledge(ctx, &mut self.client, &d);
         self.apply_entries(ctx, first, &values);
-        // Self-delivery completes the in-flight proposal: the batch is
+        // Self-delivery completes the slot's proposal: the batch is
         // committed (any correct replica's audit now intersects ours).
-        if d.from == self.me && self.proposing == Some((first, batch_len)) {
-            if self.proposing_own {
-                self.core.commit_own_round();
+        // Retirement stays in broadcast order behind earlier slots.
+        if d.from == self.me {
+            if let Some(slot) = self
+                .pipeline
+                .iter_mut()
+                .find(|s| s.k == d.k && !s.delivered)
+            {
+                slot.delivered = true;
+                self.retire_ready();
+                self.drive(ctx);
             }
-            self.proposing = None;
-            self.drive(ctx);
         }
+    }
+
+    /// Retires delivered slots from the pipeline's front, banking their
+    /// dedup accounting. Slots retire strictly in broadcast order, so a
+    /// later batch's settle never outruns an earlier batch's bookkeeping.
+    fn retire_ready(&mut self) {
+        while self.pipeline.front().is_some_and(|s| s.delivered) {
+            let slot = self.pipeline.pop_front().expect("front checked");
+            if let Some((_, suppressed)) = slot.own {
+                self.core.bank_suppressed(suppressed);
+            }
+        }
+    }
+
+    /// Discards every in-flight pipeline slot (demotion or takeover):
+    /// delivered slots bank their accounting — their values are settled
+    /// in the log — while undelivered slots roll the workload cursor
+    /// back so the commands are re-proposed (or dedup-suppressed) later,
+    /// exactly as the one-slot protocol abandoned its in-flight round.
+    fn clear_pipeline(&mut self) {
+        for slot in std::mem::take(&mut self.pipeline) {
+            if let Some((consumed, suppressed)) = slot.own {
+                if slot.delivered {
+                    self.core.bank_suppressed(suppressed);
+                } else {
+                    self.core.unconsume(consumed);
+                }
+            }
+        }
+    }
+
+    /// Handles a broadcast write ack under the fast path: the leader's
+    /// batch settles at the 2-delay write-commit point instead of its
+    /// ≈6-delay self-delivery (see the module docs for the soundness
+    /// argument — commitment evidence still comes from follower quorums).
+    fn on_written(&mut self, ctx: &mut Context<'_, Msg>, k: u64) {
+        if !self.fast_path || !self.is_leader {
+            return; // stale ack from before a demotion: slot already cleared
+        }
+        let Some(slot) = self.pipeline.iter_mut().find(|s| s.k == k && !s.delivered) else {
+            return;
+        };
+        slot.delivered = true;
+        let (first, values) = (slot.first, slot.values.clone());
+        self.fast_commits += 1;
+        for (j, v) in values.iter().enumerate() {
+            ctx.obs_mark(v.0, crate::spans::STAGE_DELIVER, first + j as u64);
+        }
+        self.apply_entries(ctx, first, &values);
+        self.retire_ready();
+        self.drive(ctx);
     }
 
     /// Replays parked deliveries from the (new) current leader, in their
@@ -376,41 +523,65 @@ impl ByzSmrNode {
         }
     }
 
-    /// Proposes the next batch (leader only): adopted recovery values
-    /// first (re-broadcast under the new epoch), then fresh workload.
+    /// Proposes batches until the pipeline window is full (leader only):
+    /// adopted recovery values first (re-broadcast under the new epoch),
+    /// then fresh workload.
     fn drive(&mut self, ctx: &mut Context<'_, Msg>) {
-        if !self.is_leader || self.proposing.is_some() || self.scanning.is_some() || self.need_scan
-        {
+        if !self.is_leader || self.scanning.is_some() || self.need_scan {
             return;
         }
-        let mut values = Vec::new();
-        let first = if let Some((&first, _)) = self.recover.iter().next() {
-            // Recovery re-broadcast: a run of consecutive adopted values.
-            self.proposing_own = false;
-            for i in first..first + self.batch as u64 {
-                match self.recover.remove(&i) {
-                    Some(v) => values.push(v),
-                    None => break,
+        while self.pipeline.len() < self.window {
+            let mut values = Vec::new();
+            let (first, own) = if let Some((&first, _)) = self.recover.iter().next() {
+                // Recovery re-broadcast: a run of consecutive adopted values.
+                for i in first..first + self.batch as u64 {
+                    match self.recover.remove(&i) {
+                        Some(v) => values.push(v),
+                        None => break,
+                    }
                 }
+                (first, None)
+            } else {
+                if self.core.workload_drained() {
+                    return;
+                }
+                // A deep pipeline overlaps fresh fills with rounds whose
+                // values have not settled yet — bar their ids (and the
+                // adopted recovery plan's) so a router re-submission
+                // can't ride into a second instance.
+                let pipeline = &self.pipeline;
+                let recover = &self.recover;
+                self.core.fill_own(
+                    self.batch,
+                    self.next_instance,
+                    |_| false,
+                    |v| {
+                        pipeline.iter().any(|s| s.values.contains(&v))
+                            || recover.values().any(|&rv| rv == v)
+                    },
+                    &mut values,
+                );
+                // Take the round's accounting now so the next loop
+                // iteration fills fresh workload; the slot carries it
+                // until retirement (or rollback on abandonment).
+                let own = Some(self.core.take_own_round());
+                let first = self.next_instance;
+                self.next_instance += values.len() as u64;
+                (first, own)
+            };
+            for (j, v) in values.iter().enumerate() {
+                ctx.obs_mark(v.0, crate::spans::STAGE_PROPOSE, first + j as u64);
             }
-            first
-        } else {
-            if self.core.workload_drained() {
-                return;
-            }
-            self.proposing_own = true;
-            self.core
-                .fill_own(self.batch, self.next_instance, |_| false, &mut values);
-            let first = self.next_instance;
-            self.next_instance += values.len() as u64;
-            first
-        };
-        for (j, v) in values.iter().enumerate() {
-            ctx.obs_mark(v.0, crate::spans::STAGE_PROPOSE, first + j as u64);
+            let wire = log_entries_wire(first, self.epoch, values.clone());
+            let k = self.neb.broadcast(ctx, &mut self.client, wire);
+            self.pipeline.push_back(PipeSlot {
+                k,
+                first,
+                values,
+                own,
+                delivered: false,
+            });
         }
-        let wire = log_entries_wire(first, self.epoch, values.clone());
-        self.proposing = Some((first, values.len()));
-        self.neb.broadcast(ctx, &mut self.client, wire);
     }
 
     /// Starts the takeover scan: one replicated range read of the whole
@@ -418,7 +589,7 @@ impl ByzSmrNode {
     /// delivered value's receipt (and audit copy) was itself written to a
     /// majority, so the scan's read quorum intersects it.
     fn start_scan(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.proposing = None;
+        self.clear_pipeline();
         self.recover.clear();
         self.scanning =
             Some(
@@ -563,11 +734,14 @@ impl Actor<Msg> for ByzSmrNode {
                 let was = self.is_leader;
                 self.current_leader = leader;
                 self.is_leader = leader == self.me;
+                // Pipelined delivery follows the leadership: the new
+                // leader's row is the one worth probing ahead.
+                self.neb.set_focus(Some(leader));
                 if self.is_leader && !was {
                     self.need_scan = true;
                     self.start_scan(ctx);
                 } else if !self.is_leader {
-                    self.proposing = None;
+                    self.clear_pipeline();
                     self.scanning = None;
                     self.need_scan = false;
                     self.recover.clear();
@@ -582,6 +756,9 @@ impl Actor<Msg> for ByzSmrNode {
                     return;
                 };
                 if self.neb.on_completion(ctx, &mut self.client, c.clone()) {
+                    for k in self.neb.take_broadcast_written() {
+                        self.on_written(ctx, k);
+                    }
                     for d in self.neb.take_deliveries() {
                         self.on_delivery(ctx, d);
                     }

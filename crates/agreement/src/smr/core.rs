@@ -115,13 +115,19 @@ impl LogCore {
     /// slots and skipping already-seen ids when dedup is on. `barred`
     /// marks instances that must not be filled from the workload (a
     /// recovered value waits there); filling stops at the first barred
-    /// instance. When everything available was a duplicate, a no-op
-    /// filler is emitted so the round still advances the log.
+    /// instance. `pending` marks values already carried by an unsettled
+    /// in-flight round (a pipelined leader's earlier slots, or adopted
+    /// recovery values not yet re-committed) — with dedup on they are
+    /// suppressed exactly like seen ids, since at window 1 every such
+    /// value settles into `seen_cmds` before a fresh fill can observe
+    /// it. When everything available was a duplicate, a no-op filler is
+    /// emitted so the round still advances the log.
     pub fn fill_own(
         &mut self,
         batch: usize,
         first_instance: u64,
         barred: impl Fn(u64) -> bool,
+        pending: impl Fn(Value) -> bool,
         out: &mut Vec<Value>,
     ) {
         self.own_consumed = 0;
@@ -138,7 +144,7 @@ impl LogCore {
             // router's at-least-once failover re-submissions). The
             // skipped slot is still consumed from the workload — on
             // commit, `next_cmd` advances past it.
-            if self.dedup && v != Value(u64::MAX) && self.seen_cmds.contains(&v.0) {
+            if self.dedup && v != Value(u64::MAX) && (self.seen_cmds.contains(&v.0) || pending(v)) {
                 self.own_suppressed += 1;
                 continue;
             }
@@ -160,6 +166,35 @@ impl LogCore {
         self.duplicates_suppressed += self.own_suppressed;
         self.own_consumed = 0;
         self.own_suppressed = 0;
+    }
+
+    /// Takes ownership of the in-flight round's accounting so another
+    /// round can start while this one is still replicating (the pipelined
+    /// leader's per-slot bookkeeping): advances the workload cursor past
+    /// the consumed slots — the next [`LogCore::fill_own`] reads fresh
+    /// commands — and returns `(consumed, suppressed)` for the slot to
+    /// carry. On commit the owner banks the suppression count
+    /// ([`LogCore::bank_suppressed`]); on abandonment it rolls the cursor
+    /// back ([`LogCore::unconsume`]).
+    pub fn take_own_round(&mut self) -> (usize, u64) {
+        let taken = (self.own_consumed, self.own_suppressed);
+        self.next_cmd += self.own_consumed;
+        self.own_consumed = 0;
+        self.own_suppressed = 0;
+        taken
+    }
+
+    /// Banks a committed pipelined round's dedup-suppression count (the
+    /// cursor already advanced in [`LogCore::take_own_round`]).
+    pub fn bank_suppressed(&mut self, suppressed: u64) {
+        self.duplicates_suppressed += suppressed;
+    }
+
+    /// Rolls the workload cursor back over an abandoned pipelined round's
+    /// consumed slots, so a later round re-proposes them.
+    pub fn unconsume(&mut self, consumed: usize) {
+        debug_assert!(consumed <= self.next_cmd, "rollback past the cursor");
+        self.next_cmd -= consumed.min(self.next_cmd);
     }
 
     /// Marks `instance` decided as `v` (first decision wins). Returns
@@ -241,7 +276,7 @@ mod tests {
         c.seen_cmds.insert(2);
         c.seen_cmds.insert(3);
         let mut out = Vec::new();
-        c.fill_own(4, 0, |_| false, &mut out);
+        c.fill_own(4, 0, |_| false, |_| false, &mut out);
         assert_eq!(out, vec![Value(u64::MAX)], "all duplicates -> filler");
         assert_eq!(c.own_consumed, 3);
         assert_eq!(c.own_suppressed, 3);
@@ -255,7 +290,7 @@ mod tests {
     fn fill_own_stops_at_barred_instance() {
         let mut c = LogCore::new(vec![Value(1), Value(2), Value(3)]);
         let mut out = Vec::new();
-        c.fill_own(4, 10, |i| i == 12, &mut out);
+        c.fill_own(4, 10, |i| i == 12, |_| false, &mut out);
         assert_eq!(out, vec![Value(1), Value(2)]);
         assert_eq!(c.own_consumed, 2);
     }

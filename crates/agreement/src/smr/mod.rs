@@ -293,6 +293,7 @@ impl SmrNode {
                 self.batch,
                 self.instance,
                 |i| recover.contains_key(&i),
+                |_| false, // one slot in flight: settles before the next fill
                 &mut self.values,
             );
         }

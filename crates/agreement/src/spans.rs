@@ -7,7 +7,10 @@
 //! Byzantine mode's non-equivocating broadcast), **decide** (a replica
 //! settles it into the log) and **confirm** (the router counts it
 //! committed — immediately for crash groups, at the `f + 1` quorum for
-//! Byzantine ones).
+//! Byzantine ones). Byzantine groups additionally mark **deliver** — the
+//! leader's own broadcast coming back around (self-delivery, or the
+//! fast path's write ack) — making the pipeline's overlap visible
+//! between propose and decide; crash groups never emit it.
 //!
 //! The protocol actors emit one [`simnet::obs::EventBody::Mark`] per
 //! stage transition through [`simnet::Context::obs_mark`] — span id =
@@ -37,9 +40,14 @@ pub const STAGE_PROPOSE: u8 = 2;
 pub const STAGE_DECIDE: u8 = 3;
 /// Stage code of the router counting the command committed.
 pub const STAGE_CONFIRM: u8 = 4;
+/// Stage code of a Byzantine leader's broadcast coming back around:
+/// self-delivery (read + copy + audit), or the fast path's write ack.
+/// Sits between propose and decide in the lifecycle; crash groups never
+/// emit it, so their histograms are untouched.
+pub const STAGE_DELIVER: u8 = 5;
 
 /// Number of distinct stage codes.
-const STAGES: usize = 5;
+const STAGES: usize = 6;
 
 /// Log2 bucket count: bucket `b` holds durations in
 /// `[2^(b-1), 2^b)` ticks (bucket 0 holds 0-tick durations); the last
@@ -123,8 +131,9 @@ impl LatencyHistogram {
 /// One stage-transition latency distribution of a group.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StageLatency {
-    /// Transition name: `"route"`, `"propose"`, `"decide"`, `"confirm"`
-    /// or `"total"` (submit → confirm).
+    /// Transition name: `"route"`, `"propose"`, `"deliver"` (Byzantine
+    /// broadcast self-delivery), `"decide"`, `"confirm"` or `"total"`
+    /// (submit → confirm).
     pub stage: &'static str,
     /// Latency distribution of the transition, in ticks.
     pub hist: LatencyHistogram,
@@ -139,7 +148,7 @@ pub struct GroupSpanStats {
     /// confirm mark).
     pub spans: u64,
     /// One entry per stage transition, fixed order:
-    /// route, propose, decide, confirm, total.
+    /// route, propose, deliver, decide, confirm, total.
     pub stages: Vec<StageLatency>,
 }
 
@@ -168,9 +177,13 @@ impl GroupSpanStats {
 }
 
 /// The stage transitions a span report carries: `(from, to, name)`.
-const TRANSITIONS: [(u8, u8, &str); 5] = [
+/// `deliver` (propose → broadcast self-delivery) only populates for
+/// Byzantine groups; `decide` keeps its propose → decide endpoints so
+/// crash-group histograms are identical with or without the stage.
+const TRANSITIONS: [(u8, u8, &str); 6] = [
     (STAGE_SUBMIT, STAGE_ROUTE, "route"),
     (STAGE_ROUTE, STAGE_PROPOSE, "propose"),
+    (STAGE_PROPOSE, STAGE_DELIVER, "deliver"),
     (STAGE_PROPOSE, STAGE_DECIDE, "decide"),
     (STAGE_DECIDE, STAGE_CONFIRM, "confirm"),
     (STAGE_SUBMIT, STAGE_CONFIRM, "total"),

@@ -42,7 +42,7 @@ use simnet::{
 };
 
 /// This snapshot's PR number (names the output file and anchors the gate).
-const PR: u32 = 7;
+const PR: u32 = 8;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;
@@ -813,6 +813,76 @@ fn main() {
         "byzantine: the adversary config exercised no suppression path"
     );
 
+    // Pipelined signed broadcast (new in PR 8): the same G=4 all-Byzantine
+    // service swept across pipeline windows {1, 2, 4, 8}, conservative
+    // versus speculative fast-path commit, against a crash baseline at the
+    // same router window. The router window is 64 here (not the section
+    // above's 16): a 16-command window holds only two batches of 8 in
+    // flight, which starves any pipeline deeper than 2 — the sweep would
+    // plateau at the router, not the broadcast engine. Window 1
+    // conservative is the classic one-slot engine (bit-identical to PR 7);
+    // the headline config (window 8 + fast path) is gated at ≤3x the
+    // crash baseline — the ISSUE 8 target for closing the Byzantine
+    // throughput gap.
+    println!(
+        "\nperf_snapshot: pipelined Byzantine broadcast, {byz_cmds} commands \
+         (G=4, batch=8, window=64)"
+    );
+    let pipe_scenario = |pipeline: usize, fast: bool| -> ShardedScenario {
+        let mut sc = byz_scenario(vec![GroupMode::Byzantine; 4]);
+        sc.window = 64;
+        sc.byz_pipeline_window = pipeline;
+        sc.byz_fast_path = fast;
+        sc
+    };
+    let pipe_crash = {
+        let mut sc = byz_scenario(Vec::new());
+        sc.window = 64;
+        measure_scenario("byz_pipeline_crash_baseline".to_string(), &sc)
+    };
+    let mut pipe: Vec<MeasuredShard> = Vec::new();
+    for &w in &[1usize, 2, 4, 8] {
+        for &fast in &[false, true] {
+            let label = format!(
+                "byz_pipeline_w{w}_{}",
+                if fast { "fast" } else { "conservative" }
+            );
+            pipe.push(measure_scenario(label, &pipe_scenario(w, fast)));
+        }
+    }
+    let pipe_gap =
+        |m: &MeasuredShard| pipe_crash.report.committed_per_delay / m.report.committed_per_delay;
+    println!(
+        "  {:<28} {:>8.2} cmds/delay          (crash baseline)",
+        pipe_crash.label, pipe_crash.report.committed_per_delay,
+    );
+    for m in &pipe {
+        println!(
+            "  {:<28} {:>8.2} cmds/delay {:>6.2}x gap {:>6} fast-commits {:>6} fast-confirms ({:.3}s)",
+            m.label,
+            m.report.committed_per_delay,
+            pipe_gap(m),
+            m.report.byz_fast_commits,
+            m.report.byz_fast_confirms,
+            m.wall_secs,
+        );
+    }
+    let headline = pipe.last().expect("w8 fast measured");
+    let headline_gap = pipe_gap(headline);
+    println!(
+        "\n  headline (window 8 + fast path): {headline_gap:.2}x of crash \
+         (target ≤3x; window-1 conservative was {:.2}x)",
+        pipe_gap(&pipe[0]),
+    );
+    assert!(
+        headline_gap <= 3.0,
+        "byz_pipeline: headline gap {headline_gap:.2}x exceeds the 3x target"
+    );
+    assert!(
+        headline.report.byz_fast_commits > 0 && headline.report.byz_fast_confirms > 0,
+        "byz_pipeline: the fast path never engaged in the headline config"
+    );
+
     // Observability (new in PR 7): the same G=4 crash and Byzantine
     // services with command-lifecycle span recording switched on. Two
     // quantities: the per-stage latency histograms (where the Byzantine
@@ -1040,6 +1110,44 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"crash_over_byzantine_committed_per_delay\": {byz_price:.3}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"byz_pipeline\": {\n");
+    let _ = writeln!(json, "    \"total_commands\": {byz_cmds},");
+    json.push_str("    \"router_window\": 64,\n");
+    json.push_str("    \"configs\": [\n");
+    let rows: Vec<String> = [&pipe_crash]
+        .into_iter()
+        .chain(&pipe)
+        .map(|m| {
+            format!(
+                "      {{ \"label\": \"{}\", \"groups\": {}, \"entries\": {}, \"wall_secs\": {:.6}, \"entries_per_sec\": {:.0}, \"committed_per_delay\": {:.3}, \"elapsed_delays\": {:.1}, \"gap_vs_crash\": {:.3}, \"byz_fast_commits\": {}, \"byz_fast_confirms\": {}, \"duplicates_suppressed\": {}, \"events_dispatched\": {}, \"allocations\": {} }}",
+                m.label,
+                m.groups,
+                m.report.committed,
+                m.wall_secs,
+                m.entries_per_sec(),
+                m.report.committed_per_delay,
+                m.report.elapsed_delays,
+                pipe_gap(m),
+                m.report.byz_fast_commits,
+                m.report.byz_fast_confirms,
+                m.report.duplicates_suppressed,
+                m.report.events_dispatched,
+                m.allocs,
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"headline_w8_fast_gap_vs_crash\": {headline_gap:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"w1_conservative_gap_vs_crash\": {:.3}",
+        pipe_gap(&pipe[0])
     );
     json.push_str("  },\n");
     json.push_str("  \"observability\": {\n");

@@ -197,3 +197,79 @@ fn migration_into_byzantine_group_is_exactly_once() {
         assert_eq!(ids, sorted, "key {key} commands reordered: {ids:?}");
     }
 }
+
+/// The pipelined variant of the adversarial scenario: same faults, but
+/// Byzantine groups run a 4-deep broadcast window with the speculative
+/// fast path on.
+fn pipelined_adversarial_scenario(seed: u64) -> ShardedScenario {
+    let mut sc = adversarial_scenario(seed);
+    sc.byz_pipeline_window = 4;
+    sc.byz_fast_path = true;
+    sc
+}
+
+/// Thread invariance of the windowed + fast-path machinery: the pipeline
+/// ring, write-ack settles, and router fast-confirm accounting are all
+/// inside the deterministic simulation, so `(seed, partitions)` still
+/// pins the run bit-for-bit across 1/2/4 worker threads.
+#[test]
+fn pipelined_fast_path_run_is_thread_count_invariant() {
+    let mut sc = pipelined_adversarial_scenario(59);
+    sc.partitions = 4;
+    let reports: Vec<ShardedRunReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut s = sc.clone();
+            s.threads = threads;
+            run_sharded(&s)
+        })
+        .collect();
+    assert_adversarial_outcome(&sc, &reports[0]);
+    assert!(
+        reports[0].byz_fast_commits > 0,
+        "fast path never fired: {:?}",
+        reports[0]
+    );
+    assert_eq!(reports[0], reports[1], "2 threads changed the run");
+    assert_eq!(reports[0], reports[2], "4 threads changed the run");
+}
+
+/// Takeover out of a deep pipeline: an honest leader is demoted by Ω
+/// mid-stream with a 4-deep window of unretired slots (fast path off →
+/// some self-delivered; fast path on → some settled at the write ack), a
+/// Byzantine replica has been forging delivery receipts all along, and
+/// the successor's scan must (a) reject the forged receipts on
+/// provenance, (b) adopt the receipted prefix, and (c) keep the service
+/// exactly-once with agreeing logs.
+#[test]
+fn windowed_takeover_adopts_receipted_prefix_exactly_once() {
+    for fast in [false, true] {
+        let mut sc = ShardedScenario::common_case(1, 3, 3, 23);
+        sc.group_modes = vec![GroupMode::Byzantine];
+        sc.total_cmds = 160;
+        sc.window = 16;
+        sc.batch = 2;
+        sc.max_delays = 40_000;
+        sc.byz_pipeline_window = 4;
+        sc.byz_fast_path = fast;
+        // Replica 2 forges receipts for wires it never delivered; the
+        // scan's provenance check must strip their adoption preference.
+        sc.byz_receipt_forgers = vec![(0, 2)];
+        // Demote the (honest, pipelining) initial leader mid-stream.
+        sc.announce = vec![(0, 1, 120)];
+        let r = run_sharded(&sc);
+        assert!(r.all_committed, "fast={fast}: {r:?}");
+        assert!(r.all_logs_agree, "fast={fast}: replica logs diverged");
+        assert_exactly_once(&sc, &r);
+        assert!(
+            r.byz_receipts_rejected > 0,
+            "fast={fast}: forged receipts were never caught: {r:?}"
+        );
+        if fast {
+            assert!(
+                r.byz_fast_commits > 0,
+                "fast path never fired before the takeover: {r:?}"
+            );
+        }
+    }
+}
