@@ -39,10 +39,18 @@ pub fn render_timeline(sc: &ShardedScenario, title: &str) -> TimelineArtifacts {
     traced.record_events = true;
     traced.record_spans = true;
     let (_report, events) = run_sharded_with_events(&traced);
+    render_events(&events, title)
+}
+
+/// Renders an already-captured observability stream in all three export
+/// formats — for callers that produced the events themselves, like the
+/// schedule explorer ([`crate::explore`]) replaying a failing choice
+/// vector under its kernel hook.
+pub fn render_events(events: &[obs::Event], title: &str) -> TimelineArtifacts {
     TimelineArtifacts {
-        jsonl: obs::to_jsonl(&events),
-        chrome: obs::to_chrome_trace(&events),
-        html: obs::to_html_timeline(title, &events),
+        jsonl: obs::to_jsonl(events),
+        chrome: obs::to_chrome_trace(events),
+        html: obs::to_html_timeline(title, events),
         events: events.len(),
     }
 }

@@ -33,11 +33,11 @@ pub mod oracle;
 pub mod repro;
 pub mod shrink;
 
-pub use artifacts::{render_timeline, TimelineArtifacts};
+pub use artifacts::{render_events, render_timeline, TimelineArtifacts};
 pub use gen::generate;
-pub use oracle::{check, check_deep, DeepChecks, Violation};
+pub use oracle::{audit_report, check, check_deep, DeepChecks, Violation};
 pub use repro::to_literal;
-pub use shrink::{fault_count, shrink};
+pub use shrink::{fault_count, shrink, shrink_with_budget, ShrinkOutcome};
 
 use crate::harness::ShardedScenario;
 
@@ -136,6 +136,9 @@ pub struct CaseFailure {
     pub shrunk_violation: Violation,
     /// Rust expression rebuilding `shrunk`, for a regression test.
     pub repro: String,
+    /// Whether shrinking this failure ran out of its candidate budget
+    /// before reaching a fixed point (`shrunk` may not be minimal).
+    pub shrink_budget_exhausted: bool,
 }
 
 /// Aggregate outcome of a campaign: failures plus coverage counters
@@ -168,6 +171,10 @@ pub struct CampaignReport {
     pub sweeps: u64,
     /// Total client commands committed across all passing cases.
     pub commands_committed: u64,
+    /// Failures whose shrink ran out of budget before a fixed point —
+    /// an infrastructure failure even in non-strict campaigns (see
+    /// [`campaign_exit_code`]).
+    pub shrink_budget_exhausted: u64,
 }
 
 /// Runs `cfg.cases` generated scenarios through the oracle, shrinking
@@ -203,11 +210,13 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
         match check_deep(&sc, deep) {
             Ok(run) => report.commands_committed += run.committed as u64,
             Err(violation) => {
-                let (shrunk, shrunk_violation) = if cfg.shrink {
-                    shrink(&sc)
+                let (shrunk, shrunk_violation, budget_exhausted) = if cfg.shrink {
+                    let out = shrink_with_budget(&sc, 200);
+                    (out.scenario, out.violation, out.budget_exhausted)
                 } else {
-                    (sc.clone(), violation.clone())
+                    (sc.clone(), violation.clone(), false)
                 };
+                report.shrink_budget_exhausted += u64::from(budget_exhausted);
                 let repro = to_literal(&shrunk);
                 report.failures.push(CaseFailure {
                     case_seed,
@@ -216,9 +225,90 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
                     shrunk,
                     shrunk_violation,
                     repro,
+                    shrink_budget_exhausted: budget_exhausted,
                 });
             }
         }
     }
     report
+}
+
+/// Maps a campaign outcome to the `fuzz` bin's process exit code:
+///
+/// * `0` — clean, or violations found in a non-strict campaign with
+///   every shrink reaching a fixed point;
+/// * `1` — violations in a strict campaign;
+/// * `2` — shrinking itself failed (a shrink budget expired before a
+///   fixed point), in any campaign mode. The shrinker's "minimal
+///   scenario" claim is unreliable, so this is an infrastructure
+///   failure, not a mere finding — unless strict violations (code 1)
+///   already dominate.
+pub fn campaign_exit_code(strict: bool, report: &CampaignReport) -> u8 {
+    if strict && !report.failures.is_empty() {
+        1
+    } else if report.shrink_budget_exhausted > 0 {
+        2
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exit-code contract pinned (ISSUE 9 satellite): shrink-budget
+    /// exhaustion is non-zero even when the campaign is not strict.
+    #[test]
+    fn exit_codes_are_pinned() {
+        let clean = CampaignReport::default();
+        assert_eq!(campaign_exit_code(false, &clean), 0);
+        assert_eq!(campaign_exit_code(true, &clean), 0);
+
+        let sc = generate(0);
+        let failure = CaseFailure {
+            case_seed: 0,
+            violation: Violation::CrossGroupLeak,
+            scenario: sc.clone(),
+            shrunk: sc,
+            shrunk_violation: Violation::CrossGroupLeak,
+            repro: String::new(),
+            shrink_budget_exhausted: false,
+        };
+        let mut failing = CampaignReport::default();
+        failing.failures.push(failure.clone());
+        assert_eq!(campaign_exit_code(false, &failing), 0);
+        assert_eq!(campaign_exit_code(true, &failing), 1);
+
+        let mut exhausted = CampaignReport::default();
+        exhausted.failures.push(CaseFailure {
+            shrink_budget_exhausted: true,
+            ..failure
+        });
+        exhausted.shrink_budget_exhausted = 1;
+        assert_eq!(campaign_exit_code(false, &exhausted), 2);
+        // Strict violations dominate the shrink-infrastructure code.
+        assert_eq!(campaign_exit_code(true, &exhausted), 1);
+    }
+
+    /// A zero shrink budget must flag exhaustion (the scenario is the
+    /// historical dedup bug, so candidates are pending when the budget
+    /// dies; `tests/fuzz_regressions.rs` covers the fixed-point side).
+    #[test]
+    fn shrink_budget_exhaustion_is_reported() {
+        let mut sc = crate::harness::ShardedScenario::common_case(4, 3, 3, 33);
+        sc.total_cmds = 300;
+        sc.workload = crate::sharded::WorkloadSpec::Zipf {
+            keys: 1024,
+            s: 0.99,
+        };
+        sc.window = 6;
+        sc.batch = 2;
+        sc.crash_leaders = vec![(0, 15), (2, 31)];
+        sc.announce = vec![(0, 1, 70), (2, 1, 90)];
+        sc.max_delays = 20_000;
+        sc.disable_session_dedup = true;
+        let out = shrink_with_budget(&sc, 0);
+        assert!(out.budget_exhausted, "zero budget must report exhaustion");
+    }
 }

@@ -145,7 +145,7 @@ pub struct DeepChecks {
 /// callers can aggregate statistics.
 pub fn check(sc: &ShardedScenario) -> Result<ShardedRunReport, Violation> {
     let r = run_sharded(sc);
-    audit(sc, &r)?;
+    audit_report(sc, &r)?;
     Ok(r)
 }
 
@@ -174,8 +174,11 @@ fn is_client_id(v: u64, total: usize) -> bool {
     v >= 1 && v <= total as u64
 }
 
-/// Audits one report against the safety contract.
-fn audit(sc: &ShardedScenario, r: &ShardedRunReport) -> Result<(), Violation> {
+/// Audits one report against the safety contract without re-running
+/// anything — the single-run half of [`check`], exposed so callers that
+/// already hold a report (the schedule explorer audits every explored
+/// interleaving) can reuse the exact same contract.
+pub fn audit_report(sc: &ShardedScenario, r: &ShardedRunReport) -> Result<(), Violation> {
     for (g, group) in r.groups.iter().enumerate() {
         if !group.logs_agree {
             return Err(Violation::LogsDiverged { group: g });

@@ -32,6 +32,20 @@ pub fn fault_count(sc: &ShardedScenario) -> usize {
         + usize::from(sc.disable_session_dedup)
 }
 
+/// What [`shrink_with_budget`] produced.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimal still-failing scenario reached.
+    pub scenario: ShardedScenario,
+    /// The violation the minimal scenario exhibits.
+    pub violation: Violation,
+    /// Whether the run budget expired with candidate simplifications
+    /// still untried — the result may not be a local minimum. Callers
+    /// surface this as an infrastructure failure (the `fuzz` bin exits
+    /// non-zero on it): a fixed-point claim was never reached.
+    pub budget_exhausted: bool,
+}
+
 /// Shrinks `sc` (which must fail the deep oracle) to a minimal
 /// still-failing scenario; returns it with its violation.
 ///
@@ -40,6 +54,17 @@ pub fn fault_count(sc: &ShardedScenario) -> usize {
 /// Panics if `sc` passes the oracle — shrinking a passing scenario is a
 /// caller bug, not a recoverable condition.
 pub fn shrink(sc: &ShardedScenario) -> (ShardedScenario, Violation) {
+    let out = shrink_with_budget(sc, 200);
+    (out.scenario, out.violation)
+}
+
+/// [`shrink`] with an explicit candidate-run budget, reporting whether
+/// the budget expired before the greedy descent reached a fixed point.
+///
+/// # Panics
+///
+/// Panics if `sc` passes the oracle, like [`shrink`].
+pub fn shrink_with_budget(sc: &ShardedScenario, mut runs: usize) -> ShrinkOutcome {
     let deep = DeepChecks {
         replay: true,
         thread_sweep: true,
@@ -49,12 +74,16 @@ pub fn shrink(sc: &ShardedScenario) -> (ShardedScenario, Violation) {
         .expect_err("shrink() called on a scenario that passes the oracle");
     // Each candidate costs up to four runs (replay + sweep); the budget
     // bounds total shrink cost on pathological scenarios.
-    let mut runs = 200usize;
     loop {
         let mut improved = false;
         for cand in candidates(&current) {
             if runs == 0 {
-                return (current, violation);
+                // A candidate was still pending: no fixed-point claim.
+                return ShrinkOutcome {
+                    scenario: current,
+                    violation,
+                    budget_exhausted: true,
+                };
             }
             runs -= 1;
             if let Err(v) = check_deep(&cand, deep) {
@@ -65,7 +94,11 @@ pub fn shrink(sc: &ShardedScenario) -> (ShardedScenario, Violation) {
             }
         }
         if !improved {
-            return (current, violation);
+            return ShrinkOutcome {
+                scenario: current,
+                violation,
+                budget_exhausted: false,
+            };
         }
     }
 }

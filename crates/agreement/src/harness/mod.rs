@@ -817,6 +817,45 @@ pub fn run_sharded_with_events(
     scenario: &ShardedScenario,
 ) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
     let topo = scenario.topology();
+    let workload = validated_workload(scenario);
+    let (mut report, events) = if scenario.partitions > 1 {
+        run_sharded_partitioned(scenario, &topo, workload)
+    } else {
+        run_sharded_monolithic(scenario, &topo, workload, None::<fn(&mut Simulation<Msg>)>)
+    };
+    if scenario.record_spans {
+        report.span_stats =
+            crate::spans::aggregate_spans(&events, scenario.groups, scenario.total_cmds);
+    }
+    (report, events)
+}
+
+/// [`run_sharded_with_events`] on the monolithic kernel, with pre-run
+/// access to the built [`Simulation`] — how the schedule explorer
+/// ([`crate::explore`]) installs its [`simnet::ChoiceHook`] before the
+/// first dispatch. Panics on partitioned scenarios (`partitions > 1`):
+/// the choice hook is a monolithic-kernel instrument.
+pub fn run_sharded_instrumented(
+    scenario: &ShardedScenario,
+    setup: impl FnOnce(&mut Simulation<Msg>),
+) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
+    assert!(
+        scenario.partitions <= 1,
+        "instrumented runs use the monolithic kernel (partitions must be 1)"
+    );
+    let topo = scenario.topology();
+    let workload = validated_workload(scenario);
+    let (mut report, events) = run_sharded_monolithic(scenario, &topo, workload, Some(setup));
+    if scenario.record_spans {
+        report.span_stats =
+            crate::spans::aggregate_spans(&events, scenario.groups, scenario.total_cmds);
+    }
+    (report, events)
+}
+
+/// Validates a scenario's adversary placements and builds its per-group
+/// workload partition (shared by every run entry point).
+fn validated_workload(scenario: &ShardedScenario) -> sharded::PartitionedWorkload {
     for &(g, i) in scenario
         .byz_silent
         .iter()
@@ -850,7 +889,7 @@ pub fn run_sharded_with_events(
         scenario.byz_pipeline_window >= 1,
         "the Byzantine pipeline window is 1-based (1 = the classic one-slot protocol)"
     );
-    let workload = if scenario.dynamic_routing() {
+    if scenario.dynamic_routing() {
         let table = RoutingTable::even(scenario.workload.key_space(), scenario.groups);
         sharded::partition_with_table(
             &scenario.workload,
@@ -866,17 +905,7 @@ pub fn run_sharded_with_events(
             scenario.total_cmds,
             scenario.groups,
         )
-    };
-    let (mut report, events) = if scenario.partitions > 1 {
-        run_sharded_partitioned(scenario, &topo, workload)
-    } else {
-        run_sharded_monolithic(scenario, &topo, workload)
-    };
-    if scenario.record_spans {
-        report.span_stats =
-            crate::spans::aggregate_spans(&events, scenario.groups, scenario.total_cmds);
     }
-    (report, events)
 }
 
 /// Builds the router for a sharded run, wiring in dynamic routing when
@@ -1137,11 +1166,15 @@ fn replica_state_of(
     log_dups.unwrap_or((Vec::new(), 0, 0, 0, 0))
 }
 
-/// The classic single-kernel path (`partitions == 1`).
+/// The classic single-kernel path (`partitions == 1`). `setup`, when
+/// present, runs on the fully-built kernel after the scripted crashes and
+/// announcements but before the first dispatch (see
+/// [`run_sharded_instrumented`]).
 fn run_sharded_monolithic(
     scenario: &ShardedScenario,
     topo: &GroupTopology,
     workload: sharded::PartitionedWorkload,
+    setup: Option<impl FnOnce(&mut Simulation<Msg>)>,
 ) -> (ShardedRunReport, Vec<simnet::obs::Event>) {
     let mut sim: Simulation<Msg> = Simulation::new(scenario.seed);
     sim.set_default_delay(scenario.delay.clone());
@@ -1177,6 +1210,9 @@ fn run_sharded_monolithic(
         let mut targets = topo.procs(g);
         targets.push(topo.router());
         sim.announce_leader(Time::from_delays(t), &targets, topo.procs(g)[i]);
+    }
+    if let Some(setup) = setup {
+        setup(&mut sim);
     }
 
     let deadline = Time::from_delays(scenario.max_delays);

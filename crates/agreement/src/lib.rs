@@ -20,6 +20,7 @@
 //! | Byzantine adversaries | [`adversary`] |
 //! | One-call experiment builders | [`harness`] |
 //! | Scenario fuzzer + safety oracle + shrinker | [`fuzz`] |
+//! | Systematic schedule exploration (DPOR-lite) | [`explore`] |
 //! | Command-lifecycle spans + latency histograms | [`spans`] |
 //!
 //! # Example
@@ -43,6 +44,7 @@ pub mod adversary;
 pub mod aligned;
 pub mod cheap_quorum;
 pub mod disk_paxos;
+pub mod explore;
 pub mod fast_paxos;
 pub mod fast_robust;
 pub mod fuzz;

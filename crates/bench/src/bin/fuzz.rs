@@ -24,7 +24,9 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use agreement::fuzz::{fault_count, render_timeline, run_campaign, CaseFailure, FuzzConfig};
+use agreement::fuzz::{
+    campaign_exit_code, fault_count, render_timeline, run_campaign, CaseFailure, FuzzConfig,
+};
 
 /// Writes the shrunk scenario's timeline exports for one failure.
 /// Artifact I/O must never mask the violation itself, so errors are
@@ -111,30 +113,40 @@ fn main() -> ExitCode {
         report.commands_committed, report.replays, report.sweeps
     );
 
+    if report.shrink_budget_exhausted > 0 {
+        eprintln!(
+            "WARNING: {} shrink(s) ran out of budget before reaching a \
+             fixed point (repros below may not be minimal)",
+            report.shrink_budget_exhausted
+        );
+    }
     if report.failures.is_empty() {
         println!("no violations");
-        return ExitCode::SUCCESS;
-    }
-    let artifact_dir = Path::new("target").join("fuzz-artifacts");
-    for failure in &report.failures {
-        println!();
-        println!(
-            "VIOLATION seed={} : {}",
-            failure.case_seed, failure.violation
-        );
-        println!(
-            "  shrunk to {} fault(s) ({}), repro:",
-            fault_count(&failure.shrunk),
-            failure.shrunk_violation
-        );
-        println!("{}", failure.repro);
-        write_artifacts(&artifact_dir, failure);
-    }
-    println!();
-    println!("{} of {} cases failed", report.failures.len(), report.cases);
-    if strict {
-        ExitCode::FAILURE
     } else {
-        ExitCode::SUCCESS
+        let artifact_dir = Path::new("target").join("fuzz-artifacts");
+        for failure in &report.failures {
+            println!();
+            println!(
+                "VIOLATION seed={} : {}",
+                failure.case_seed, failure.violation
+            );
+            println!(
+                "  shrunk to {} fault(s) ({}){}, repro:",
+                fault_count(&failure.shrunk),
+                failure.shrunk_violation,
+                if failure.shrink_budget_exhausted {
+                    " [shrink budget exhausted]"
+                } else {
+                    ""
+                }
+            );
+            println!("{}", failure.repro);
+            write_artifacts(&artifact_dir, failure);
+        }
+        println!();
+        println!("{} of {} cases failed", report.failures.len(), report.cases);
     }
+    // Exit-code contract (pinned by `agreement::fuzz` unit tests):
+    // 0 clean, 1 strict-mode violations, 2 shrink budget exhausted.
+    ExitCode::from(campaign_exit_code(strict, &report))
 }

@@ -1,7 +1,7 @@
 //! Headless perf-trajectory recorder: runs the E10 cost table, the E10b
 //! replicated-log workload, the sharded multi-group log service at
 //! G ∈ {1, 4, 16, 64}, and a kernel queue-stress microbench, then writes
-//! machine-readable `BENCH_PR7.json` at the repo root — and gates against
+//! machine-readable `BENCH_PR9.json` at the repo root — and gates against
 //! the newest prior `BENCH_PR*.json` (same workload size): >10% worsening
 //! of a deterministic virtual-time metric or >50% wall-clock entries/sec
 //! drop exits non-zero; wall-clock drops of 10–50% warn (cross-machine
@@ -42,7 +42,7 @@ use simnet::{
 };
 
 /// This snapshot's PR number (names the output file and anchors the gate).
-const PR: u32 = 8;
+const PR: u32 = 9;
 
 /// Allocation-counting wrapper around the system allocator.
 struct CountingAlloc;

@@ -114,6 +114,6 @@ pub use event::EventKind;
 pub use ids::{ActorId, TimerId};
 pub use metrics::Metrics;
 pub use partition::{ParActors, ParSimulation, Partitioning};
-pub use sim::{Context, DelayHook, RunOutcome, Simulation};
+pub use sim::{Choice, ChoiceHook, ChoicePayload, Context, DelayHook, RunOutcome, Simulation};
 pub use time::{Duration, Time, TICKS_PER_DELAY};
 pub use trace::{Trace, TraceEntry};

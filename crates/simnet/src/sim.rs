@@ -29,6 +29,46 @@ use crate::trace::Trace;
 /// only plain data, so this costs nothing in practice.
 pub type DelayHook<M> = Box<dyn Fn(Time, ActorId, ActorId, &M) -> Option<Duration> + Send>;
 
+/// One ripe event offered to a [`ChoiceHook`]: an entry scheduled for the
+/// current virtual tick, in kernel (`seq`) order among its alternatives.
+///
+/// `seq` is the kernel-assigned scheduling sequence number — stable across
+/// replays of the same choice vector, which is what lets an explorer
+/// identify "the same event" between runs that share a prefix.
+pub struct Choice<'a, M> {
+    /// The tick every offered alternative is scheduled for.
+    pub at: Time,
+    /// Kernel scheduling sequence number (the default tie-break key).
+    pub seq: u64,
+    /// The destination actor.
+    pub to: ActorId,
+    /// What would be dispatched.
+    pub payload: ChoicePayload<'a, M>,
+}
+
+/// The payload of a [`Choice`]: a deliverable event or a scheduled crash.
+pub enum ChoicePayload<'a, M> {
+    /// An event delivery (message, timer, start, leader change).
+    Deliver(&'a EventKind<M>),
+    /// A scheduled crash of the destination actor.
+    Crash,
+}
+
+/// A schedule-choice hook (see [`Simulation::set_choice_hook`]).
+///
+/// While installed, the kernel calls it on **every** dispatch with the
+/// full slate of events ripe at the current tick, in ascending `seq`
+/// order, and dispatches the alternative whose index it returns
+/// (out-of-range indices clamp to the last alternative). Calls with a
+/// single alternative are forced — the return value is ignored — but are
+/// still made, so an explorer can observe the complete dispatch sequence
+/// (sleep-set bookkeeping needs the forced events too).
+///
+/// Determinism contract: a hook that always returns 0 reproduces the
+/// unhooked `(time, seq)` order bit-for-bit, and replaying any fixed
+/// choice vector is bit-deterministic.
+pub type ChoiceHook<M> = Box<dyn FnMut(Time, &[Choice<'_, M>]) -> usize>;
+
 /// Generation-stamped timer slots: O(1) arm/cancel/fire with bounded
 /// memory. A [`TimerId`] encodes `(slot, generation)`; cancelling or
 /// firing bumps the slot's generation, so stale ids from already-fired or
@@ -347,6 +387,10 @@ pub struct Simulation<M> {
     /// Recycled buffer that `pending` swaps with during dispatch, so
     /// dispatch never reallocates it.
     pending_scratch: Vec<(Time, ActorId, EventKind<M>)>,
+    /// Recycled buffer holding the current tick's ripe events while a
+    /// choice hook picks among them.
+    ripe_scratch: Vec<Scheduled<M>>,
+    choice_hook: Option<ChoiceHook<M>>,
     core: Core<M>,
 }
 
@@ -362,6 +406,8 @@ impl<M: 'static> Simulation<M> {
             now: Time::ZERO,
             started: false,
             pending_scratch: Vec::new(),
+            ripe_scratch: Vec::new(),
+            choice_hook: None,
             core: Core::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -402,6 +448,21 @@ impl<M: 'static> Simulation<M> {
     /// Installs a per-message delay override hook (see [`DelayHook`]).
     pub fn set_delay_hook(&mut self, hook: DelayHook<M>) {
         self.core.delay_hook = Some(hook);
+    }
+
+    /// Installs a schedule-choice hook (see [`ChoiceHook`]): on each
+    /// dispatch the hook is offered every event ripe at the current tick
+    /// and picks which one runs next. Same-tick ordering is the only
+    /// schedule freedom the kernel has — events at different ticks stay
+    /// time-ordered — so a hook enumerates exactly the legal schedules.
+    pub fn set_choice_hook(&mut self, hook: ChoiceHook<M>) {
+        self.choice_hook = Some(hook);
+    }
+
+    /// Removes the schedule-choice hook, restoring plain `(time, seq)`
+    /// dispatch order.
+    pub fn clear_choice_hook(&mut self) {
+        self.choice_hook = None;
     }
 
     /// Enables event tracing with the given entry cap.
@@ -540,9 +601,61 @@ impl<M: 'static> Simulation<M> {
         if depth > self.core.metrics.peak_queue_len {
             self.core.metrics.peak_queue_len = depth;
         }
-        let Some(sched) = self.queue.pop() else {
-            return false;
+        let sched = if self.choice_hook.is_some() {
+            match self.pop_chosen() {
+                Some(s) => s,
+                None => return false,
+            }
+        } else {
+            match self.queue.pop() {
+                Some(s) => s,
+                None => return false,
+            }
         };
+        self.dispatch(sched, depth);
+        true
+    }
+
+    /// Pops the event a [`ChoiceHook`] selects among everything ripe at
+    /// the next tick. Unchosen alternatives are pushed straight back:
+    /// their bucket is empty, the cursor has already arrived, and they are
+    /// re-inserted in ascending `seq` order, so the bucket stays sorted
+    /// and future pops (and any same-tick events the dispatch emits, which
+    /// get strictly larger seqs) keep the canonical order.
+    fn pop_chosen(&mut self) -> Option<Scheduled<M>> {
+        let t = self.queue.next_time()?;
+        let mut ripe = std::mem::take(&mut self.ripe_scratch);
+        debug_assert!(ripe.is_empty());
+        while self.queue.next_time() == Some(t) {
+            ripe.push(self.queue.pop().expect("next_time promised an event"));
+        }
+        let choices: Vec<Choice<'_, M>> = ripe
+            .iter()
+            .map(|s| Choice {
+                at: s.at,
+                seq: s.seq,
+                to: s.to,
+                payload: match &s.payload {
+                    Payload::Deliver(ev) => ChoicePayload::Deliver(ev),
+                    Payload::Crash => ChoicePayload::Crash,
+                },
+            })
+            .collect();
+        let hook = self.choice_hook.as_mut().expect("pop_chosen without hook");
+        let idx = hook(t, &choices).min(ripe.len() - 1);
+        drop(choices);
+        let chosen = ripe.remove(idx);
+        for rest in ripe.drain(..) {
+            self.queue.push(rest);
+        }
+        self.ripe_scratch = ripe;
+        Some(chosen)
+    }
+
+    /// Applies one popped queue entry: advances time, accounts metrics,
+    /// and runs the crash/deliver logic. `depth` is the queue length
+    /// sampled before the pop.
+    fn dispatch(&mut self, sched: Scheduled<M>, depth: u64) {
         debug_assert!(sched.at >= self.now, "event queue went backwards");
         self.now = sched.at;
         self.core.metrics.events_dispatched += 1;
@@ -570,7 +683,7 @@ impl<M: 'static> Simulation<M> {
                     if let EventKind::Timer { id, .. } = ev {
                         self.core.timers.retire(id);
                     }
-                    return true;
+                    return;
                 }
                 match &ev {
                     EventKind::Start => self.core.metrics.dispatches.start += 1,
@@ -580,7 +693,7 @@ impl<M: 'static> Simulation<M> {
                 }
                 if let EventKind::Timer { id, .. } = ev {
                     if !self.core.timers.retire(id) {
-                        return true;
+                        return;
                     }
                     self.core.metrics.timers_fired += 1;
                 }
@@ -655,7 +768,6 @@ impl<M: 'static> Simulation<M> {
                 self.pending_scratch = batch;
             }
         }
-        true
     }
 
     /// Runs until the predicate holds (checked between events), the queue
@@ -1046,6 +1158,143 @@ mod tests {
         assert_eq!(m.dispatches.crash, 1);
         assert!(m.dispatches.dropped > 0);
         assert!(!m.queue_depth_samples().is_empty());
+    }
+
+    /// Two peers ping a shared collector at the same tick every round, so
+    /// every round is a genuine same-tick choice point at the collector.
+    struct Fanner {
+        target: ActorId,
+        id: u32,
+        rounds: u32,
+    }
+    impl Actor<TMsg> for Fanner {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            match ev {
+                EventKind::Start => ctx.send(self.target, TMsg::Ping(self.id)),
+                EventKind::Msg {
+                    msg: TMsg::Pong(n), ..
+                } if n + 1 < self.rounds => {
+                    ctx.send(self.target, TMsg::Ping(self.id));
+                }
+                _ => {}
+            }
+        }
+    }
+    struct FanCollector {
+        arrivals: Vec<u32>,
+        round: u32,
+    }
+    impl Actor<TMsg> for FanCollector {
+        fn on_event(&mut self, ctx: &mut Context<'_, TMsg>, ev: EventKind<TMsg>) {
+            if let EventKind::Msg {
+                from,
+                msg: TMsg::Ping(id),
+            } = ev
+            {
+                self.arrivals.push(id);
+                ctx.send(from, TMsg::Pong(self.round / 2));
+                self.round += 1;
+            }
+        }
+    }
+
+    fn build_fan(rounds: u32) -> (Simulation<TMsg>, ActorId) {
+        let mut sim: Simulation<TMsg> = Simulation::new(17);
+        let collector = sim.add(FanCollector {
+            arrivals: Vec::new(),
+            round: 0,
+        });
+        for id in 0..2 {
+            sim.add(Fanner {
+                target: collector,
+                id,
+                rounds,
+            });
+        }
+        (sim, collector)
+    }
+
+    fn fan_outcome(sim: &mut Simulation<TMsg>, collector: ActorId) -> (Vec<u32>, Time, u64, u64) {
+        sim.enable_trace(10_000);
+        sim.run_to_quiescence(Time::from_delays(1_000));
+        let arrivals = sim
+            .actor_as::<FanCollector>(collector)
+            .unwrap()
+            .arrivals
+            .clone();
+        let mut h = 0xcbf29ce484222325u64;
+        for line in sim.trace().dump().bytes() {
+            h = (h ^ line as u64).wrapping_mul(0x100000001b3);
+        }
+        (arrivals, sim.now(), sim.metrics().events_dispatched, h)
+    }
+
+    #[test]
+    fn zero_choice_hook_reproduces_unhooked_run_bit_for_bit() {
+        let (mut plain, collector) = build_fan(4);
+        let plain_out = fan_outcome(&mut plain, collector);
+        let (mut hooked, collector) = build_fan(4);
+        let state = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        let s = state.clone();
+        hooked.set_choice_hook(Box::new(move |_, choices| {
+            let mut st = s.borrow_mut();
+            st.0 += 1;
+            if choices.len() == 1 {
+                st.1 += 1;
+            }
+            // Alternatives arrive in ascending seq order.
+            assert!(choices.windows(2).all(|w| w[0].seq < w[1].seq));
+            0
+        }));
+        let hooked_out = fan_outcome(&mut hooked, collector);
+        assert_eq!(plain_out, hooked_out, "always-0 hook must be the identity");
+        let (calls, forced) = *state.borrow();
+        // The hook sees every dispatch (forced single-option ones too).
+        assert_eq!(calls as u64, plain_out.2);
+        assert!(forced > 0, "expected some forced dispatches");
+        assert!(calls > forced, "expected some real choice points");
+    }
+
+    /// Replays a choice vector: positions beyond the vector take index 0.
+    fn run_fan_with_vector(vector: &[usize], rounds: u32) -> (Vec<u32>, Time, u64, u64) {
+        let (mut sim, collector) = build_fan(rounds);
+        let v = vector.to_vec();
+        let mut pos = 0usize;
+        sim.set_choice_hook(Box::new(move |_, choices| {
+            if choices.len() == 1 {
+                return 0;
+            }
+            let idx = v.get(pos).copied().unwrap_or(0);
+            pos += 1;
+            idx
+        }));
+        fan_outcome(&mut sim, collector)
+    }
+
+    #[test]
+    fn choice_vector_replay_is_bit_deterministic() {
+        for vector in [&[][..], &[1][..], &[1, 1][..], &[0, 1, 1][..]] {
+            let a = run_fan_with_vector(vector, 4);
+            let b = run_fan_with_vector(vector, 4);
+            assert_eq!(a, b, "replay of {vector:?} diverged");
+        }
+    }
+
+    #[test]
+    fn choice_hook_reorders_same_tick_events() {
+        // Choice points 0 and 1 order the three Start events; point 2 is
+        // the collector's first same-tick ping pair. Index 0 there = seq
+        // order = fanner 0's ping first; index 1 flips the arrival order.
+        let zero = run_fan_with_vector(&[], 4);
+        let one = run_fan_with_vector(&[0, 0, 1], 4);
+        assert_eq!(zero.0[..2], [0, 1]);
+        assert_eq!(one.0[..2], [1, 0]);
+        // Same multiset of work, different interleaving.
+        assert_eq!(zero.2, one.2, "same events dispatched");
+        assert_ne!(zero.3, one.3, "trace must differ");
+        // Out-of-range choice clamps to the last alternative.
+        let clamped = run_fan_with_vector(&[0, 0, 99], 4);
+        assert_eq!(clamped.0, one.0);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Regression pins for the systematic schedule explorer
+//! (`agreement::explore`).
+//!
+//! Three kinds of pin:
+//!
+//! 1. **Exhaustiveness against a hand count.** The `tiny_pmp` scenario
+//!    has five actors (three replicas, one memory, the router), all
+//!    starting at tick 0. Depth-bounding naive exploration to the first
+//!    four choice points therefore enumerates exactly the Start
+//!    orderings: `5 * 4 * 3 * 2 = 120` schedules (the fifth dispatch is
+//!    forced). If the frontier bookkeeping ever drops or double-counts
+//!    a branch, this number moves.
+//! 2. **Pruning soundness and effectiveness.** Sleep-set exploration of
+//!    the same space must reach the same set of final-state
+//!    fingerprints as the naive sweep while running strictly fewer
+//!    schedules — and the full (unbounded) pruned sweep's schedule
+//!    count is pinned so reduction regressions surface as a diff, not
+//!    a timeout.
+//! 3. **A replayable corpus of the historical dedup bug.** With
+//!    `disable_session_dedup`, the default `(time, seq)` schedule
+//!    passes; only same-tick reorderings around the leader crash
+//!    duplicate a command. The corpus pins distinct explorer-found
+//!    failing choice vectors so the kernel's choice-point semantics
+//!    (and the bug's schedule-dependence) cannot silently drift.
+
+use agreement::explore::{
+    explore, render_schedule_timeline, run_schedule, shrink_choices, ExploreConfig,
+};
+use agreement::fuzz::{audit_report, Violation};
+use agreement::harness::ShardedScenario;
+
+/// n=3 crash-mode PMP group, two commands — the hand-countable config
+/// (mirrors the `explore` bench bin's `tiny_pmp`).
+fn tiny_pmp() -> ShardedScenario {
+    let mut sc = ShardedScenario::common_case(1, 3, 1, 7);
+    sc.total_cmds = 2;
+    sc.window = 1;
+    sc.max_delays = 4_000;
+    sc
+}
+
+/// The reintroduced duplicate-commit bug on a failover schedule, tuned
+/// so the default schedule passes (mirrors the bin's `dedup`).
+fn dedup() -> ShardedScenario {
+    let mut sc = ShardedScenario::common_case(1, 3, 1, 33);
+    sc.total_cmds = 4;
+    sc.window = 1;
+    sc.max_delays = 8_000;
+    sc.crash_leaders = vec![(0, 9)];
+    sc.announce = vec![(0, 1, 23)];
+    sc.disable_session_dedup = true;
+    sc
+}
+
+/// Explorer-found interleavings that each commit a command twice.
+/// Distinct vectors, same root cause: the replica applies a retransmit
+/// it should have deduplicated by session.
+const DEDUP_CORPUS: &[&[usize]] = &[
+    &[0, 0, 0, 0, 0, 0, 0, 0, 1],
+    &[0, 0, 0, 0, 0, 0, 0, 0, 1, 2],
+    &[0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1],
+    &[0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 3],
+];
+
+#[test]
+fn start_region_matches_hand_count() {
+    let cfg = ExploreConfig {
+        max_schedules: 10_000,
+        max_depth: 4,
+        prune: false,
+    };
+    let r = explore(&tiny_pmp(), &cfg);
+    assert!(r.frontier_exhausted, "budget must cover the Start region");
+    assert_eq!(r.schedules_run, 120, "5 actors at tick 0: 5*4*3*2 orders");
+    assert_eq!(r.max_branching, 5, "first slate is the 5-way Start fan");
+    assert_eq!(r.failures_found, 0);
+    // Start order is pure bookkeeping: every ordering converges.
+    assert_eq!(r.fingerprints.len(), 1);
+}
+
+#[test]
+fn pruned_start_region_is_a_sound_reduction() {
+    let naive = explore(
+        &tiny_pmp(),
+        &ExploreConfig {
+            max_schedules: 10_000,
+            max_depth: 4,
+            prune: false,
+        },
+    );
+    let pruned = explore(
+        &tiny_pmp(),
+        &ExploreConfig {
+            max_schedules: 10_000,
+            max_depth: 4,
+            prune: true,
+        },
+    );
+    assert!(pruned.frontier_exhausted);
+    assert!(pruned.schedules_pruned > 0, "pruning must fire");
+    let useful = pruned.schedules_run - pruned.schedules_redundant;
+    assert!(
+        naive.schedules_run >= 2 * useful,
+        "pruning not load-bearing: {} naive vs {} useful",
+        naive.schedules_run,
+        useful
+    );
+    // Sound: the reduced frontier reaches every observable outcome.
+    assert_eq!(pruned.fingerprints, naive.fingerprints);
+}
+
+#[test]
+fn tiny_pmp_exhaustive_sweep_is_pinned_and_deterministic() {
+    let cfg = ExploreConfig::default();
+    let r = explore(&tiny_pmp(), &cfg);
+    assert!(r.frontier_exhausted);
+    assert_eq!(r.truncated_runs, 0);
+    assert_eq!(r.failures_found, 0);
+    assert_eq!(r.oracle_pass, r.schedules_run);
+    // The full pruned sweep's size (naive: 3600 — checked in the CI
+    // strict lane; pinned here so reduction regressions show as a diff).
+    assert_eq!(r.schedules_run, 22);
+    assert_eq!(r.fingerprints.len(), 1);
+    let again = explore(&tiny_pmp(), &cfg);
+    assert_eq!(again.schedules_run, r.schedules_run);
+    assert_eq!(again.schedules_pruned, r.schedules_pruned);
+    assert_eq!(again.choice_points, r.choice_points);
+    assert_eq!(again.fingerprints, r.fingerprints);
+}
+
+#[test]
+fn exploration_ignores_kernel_threading_knobs() {
+    // explore() normalizes to the monolithic single-threaded kernel, so
+    // the scenario's partitions/threads settings must not change what
+    // the sweep sees.
+    let base = explore(&tiny_pmp(), &ExploreConfig::default());
+    let mut threaded = tiny_pmp();
+    threaded.partitions = 2;
+    threaded.threads = 4;
+    let r = explore(&threaded, &ExploreConfig::default());
+    assert_eq!(r.schedules_run, base.schedules_run);
+    assert_eq!(r.schedules_pruned, base.schedules_pruned);
+    assert_eq!(r.fingerprints, base.fingerprints);
+}
+
+#[test]
+fn dedup_bug_is_schedule_dependent_and_found_exhaustively() {
+    let sc = dedup();
+    // The default schedule hides the bug: single-run testing passes.
+    let default_run = run_schedule(&sc, &[]);
+    assert!(
+        audit_report(&sc, &default_run.report).is_ok(),
+        "default schedule must pass for the bug to be schedule-dependent"
+    );
+    // Systematic exploration finds it, within an exhaustive sweep.
+    let r = explore(&sc, &ExploreConfig::default());
+    assert!(r.frontier_exhausted);
+    assert_eq!(r.truncated_runs, 0);
+    assert!(r.failures_found > 0, "injected dedup bug not found");
+    assert!(r.oracle_pass > 0, "some schedules must still pass");
+    assert!(
+        r.failures.len() >= DEDUP_CORPUS.len(),
+        "fewer stored failures than the pinned corpus"
+    );
+    for f in &r.failures {
+        assert!(
+            matches!(f.violation, Violation::Duplicated { .. }),
+            "unexpected violation class: {}",
+            f.violation
+        );
+    }
+}
+
+#[test]
+fn dedup_corpus_replays_to_duplicate_commits() {
+    let sc = dedup();
+    for &choices in DEDUP_CORPUS {
+        let run = run_schedule(&sc, choices);
+        match audit_report(&sc, &run.report) {
+            Err(Violation::Duplicated { .. }) => {}
+            other => panic!("corpus vector {choices:?} no longer duplicates: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dedup_failure_shrinks_to_the_minimal_vector() {
+    let sc = dedup();
+    // Shrink a deliberately-longer failing vector from the corpus.
+    let (min, v) = shrink_choices(&sc, DEDUP_CORPUS[2]);
+    assert!(matches!(v, Violation::Duplicated { .. }));
+    // One single non-default choice — flip the ninth multi-option
+    // point — is enough to trigger the duplicate.
+    assert_eq!(min, vec![0, 0, 0, 0, 0, 0, 0, 0, 1]);
+}
+
+#[test]
+fn failing_schedule_renders_a_timeline() {
+    let art = render_schedule_timeline(&dedup(), DEDUP_CORPUS[0], "dedup repro");
+    assert!(art.events > 0, "timeline captured no events");
+    assert!(art.html.contains("dedup repro"));
+    assert!(!art.jsonl.is_empty());
+    assert!(!art.chrome.is_empty());
+}
