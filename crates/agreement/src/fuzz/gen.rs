@@ -11,7 +11,7 @@
 //! carry the positive-minimum link delay the lookahead needs. A scenario
 //! that stalls anyway is therefore a finding, not generator noise.
 
-use simnet::{DelayModel, Duration};
+use simnet::{DelayModel, Duration, RdmaCost};
 
 use super::SplitMix64;
 use crate::harness::ShardedScenario;
@@ -43,13 +43,24 @@ pub fn generate(case_seed: u64) -> ShardedScenario {
         },
     };
 
-    // Links: synchronous, or uniformly jittered with lo = 1 delay so the
-    // partitioned kernel's lookahead stays legal.
+    // Links: synchronous, uniformly jittered (lo = 1 delay), or an RDMA
+    // verb-cost model — every preset keeps min_delay() positive, so the
+    // partitioned kernel's lookahead stays legal under all of them.
     if rng.chance(400) {
         sc.delay = DelayModel::Uniform {
             lo: Duration::from_delays(1),
             hi: Duration::from_delays(rng.range(2, 4)),
         };
+    } else if rng.chance(350) {
+        sc.delay = DelayModel::Rdma(match rng.below(3) {
+            0 => RdmaCost::baseline(),
+            1 => RdmaCost::write_optimized(),
+            _ => RdmaCost::congested(),
+        });
+        // Half the RDMA cases also exercise adaptive doorbell batching.
+        if rng.chance(500) {
+            sc.adaptive_batch = [4, 8, 16][rng.below(3) as usize];
+        }
     }
     if groups > 1 && rng.chance(300) {
         sc.partitions = rng.range(2, groups as u64) as usize;
@@ -232,6 +243,12 @@ mod tests {
                 assert!(
                     sc.delay.min_delay() > Duration::ZERO,
                     "seed {seed}: partitioned case without lookahead"
+                );
+            }
+            if sc.adaptive_batch > 0 {
+                assert!(
+                    matches!(sc.delay, DelayModel::Rdma(_)),
+                    "seed {seed}: adaptive batching drawn without an RDMA cost model"
                 );
             }
             assert!(

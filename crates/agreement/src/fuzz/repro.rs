@@ -11,7 +11,7 @@
 //! use agreement::harness::ShardedScenario;
 //! use agreement::sharded::{GroupMode, KeyRange, RebalanceConfig,
 //!                          ScriptedMigration, WorkloadSpec};
-//! use simnet::{DelayModel, Duration};
+//! use simnet::{DelayModel, Duration, RdmaCost};
 //! ```
 
 use std::fmt::Write as _;
@@ -48,6 +48,9 @@ pub fn to_literal(sc: &ShardedScenario) -> String {
     }
     if sc.batch != d.batch {
         let _ = writeln!(s, "    sc.batch = {};", sc.batch);
+    }
+    if sc.adaptive_batch != d.adaptive_batch {
+        let _ = writeln!(s, "    sc.adaptive_batch = {};", sc.adaptive_batch);
     }
     if sc.delay != d.delay {
         let _ = writeln!(s, "    sc.delay = {};", delay(&sc.delay));
@@ -195,17 +198,46 @@ fn dur(d: simnet::Duration) -> String {
 }
 
 fn delay(d: &DelayModel) -> String {
-    match *d {
-        DelayModel::Constant(c) => format!("DelayModel::Constant({})", dur(c)),
+    match d {
+        DelayModel::Constant(c) => format!("DelayModel::Constant({})", dur(*c)),
         DelayModel::Uniform { lo, hi } => {
-            format!("DelayModel::Uniform {{ lo: {}, hi: {} }}", dur(lo), dur(hi))
+            format!(
+                "DelayModel::Uniform {{ lo: {}, hi: {} }}",
+                dur(*lo),
+                dur(*hi)
+            )
         }
         DelayModel::PartialSynchrony { lo, hi, gst, after } => format!(
             "DelayModel::PartialSynchrony {{ lo: {}, hi: {}, gst: Time({}), after: {} }}",
-            dur(lo),
-            dur(hi),
+            dur(*lo),
+            dur(*hi),
             gst.0,
-            dur(after)
+            dur(*after)
         ),
+        DelayModel::Rdma(c) => {
+            // The fuzzer only draws the named presets; emit the matching
+            // constructor when one fits, a field literal otherwise.
+            for (name, preset) in [
+                ("baseline", simnet::RdmaCost::baseline()),
+                ("write_optimized", simnet::RdmaCost::write_optimized()),
+                ("congested", simnet::RdmaCost::congested()),
+            ] {
+                if *c == preset {
+                    return format!("DelayModel::Rdma(RdmaCost::{name}())");
+                }
+            }
+            format!(
+                "DelayModel::Rdma(RdmaCost {{ send: {}, write: {}, read: {}, cas: {}, \
+                 doorbell: {}, per_wr: {}, per_kb: {}, jitter: {} }})",
+                dur(c.send),
+                dur(c.write),
+                dur(c.read),
+                dur(c.cas),
+                dur(c.doorbell),
+                dur(c.per_wr),
+                dur(c.per_kb),
+                dur(c.jitter)
+            )
+        }
     }
 }

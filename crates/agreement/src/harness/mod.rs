@@ -53,6 +53,10 @@ pub struct Scenario {
     /// ([`run_smr`] only; single-decree protocols ignore it). `1` is the
     /// paper's unbatched protocol.
     pub batch: usize,
+    /// Adaptive doorbell-batch cap for the SMR leader (`0` = off,
+    /// fixed `batch` applies). See [`SmrNode::with_adaptive_batch`];
+    /// meaningful under [`DelayModel::Rdma`].
+    pub adaptive_batch: usize,
 }
 
 impl Scenario {
@@ -69,6 +73,7 @@ impl Scenario {
             announce: Vec::new(),
             max_delays: 5_000,
             batch: 1,
+            adaptive_batch: 0,
         }
     }
 
@@ -428,18 +433,20 @@ pub fn run_smr(scenario: &Scenario, cmds_per_node: usize) -> SmrRunReport {
         let workload: Vec<Value> = (0..cmds_per_node)
             .map(|c| Value(1000 * (i as u64 + 1) + c as u64))
             .collect();
-        sim.add(
-            SmrNode::new(
-                ActorId(i as u32),
-                procs.clone(),
-                mems.clone(),
-                ActorId(0),
-                workload,
-                f_m,
-                Duration::from_delays(20),
-            )
-            .with_batch(scenario.batch),
-        );
+        let mut node = SmrNode::new(
+            ActorId(i as u32),
+            procs.clone(),
+            mems.clone(),
+            ActorId(0),
+            workload,
+            f_m,
+            Duration::from_delays(20),
+        )
+        .with_batch(scenario.batch);
+        if scenario.adaptive_batch > 0 {
+            node = node.with_adaptive_batch(scenario.adaptive_batch);
+        }
+        sim.add(node);
     }
     for _ in 0..scenario.m {
         sim.add(protected::memory_actor(ActorId(0)));
@@ -501,6 +508,12 @@ pub struct ShardedScenario {
     pub window: usize,
     /// Log entries per replicated write (as [`Scenario::batch`]).
     pub batch: usize,
+    /// Adaptive doorbell-batch cap for crash-mode group leaders (`0` =
+    /// off, fixed `batch` applies). Each round packs the pending backlog
+    /// up to this many work requests into one doorbell-batched WRITE
+    /// burst; meaningful under [`DelayModel::Rdma`]. See
+    /// [`SmrNode::with_adaptive_batch`].
+    pub adaptive_batch: usize,
     /// `(group, crash time in delays)`: crash that group's initial leader.
     pub crash_leaders: Vec<(usize, u64)>,
     /// `(group, replica index, time in delays)`: Ω announces that replica
@@ -617,6 +630,7 @@ impl ShardedScenario {
             workload: WorkloadSpec::uniform(),
             window: 16,
             batch: 1,
+            adaptive_batch: 0,
             crash_leaders: Vec::new(),
             announce: Vec::new(),
             max_delays: 50_000,
@@ -1074,6 +1088,9 @@ fn sharded_replica(
             )
             .with_batch(scenario.batch)
             .with_observer(topo.router());
+            if scenario.adaptive_batch > 0 {
+                node = node.with_adaptive_batch(scenario.adaptive_batch);
+            }
             if !scenario.disable_session_dedup {
                 node = node.with_session_dedup();
             }

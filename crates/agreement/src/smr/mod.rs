@@ -142,6 +142,9 @@ pub struct SmrNode {
     /// `instance .. instance + values.len()` (empty when idle).
     values: Vec<Value>,
     proposing_own: bool,
+    /// Adaptive doorbell-batch cap; `0` = fixed `batch` only (see
+    /// [`SmrNode::with_adaptive_batch`]).
+    adaptive_cap: usize,
     /// Per-memory progress of the current round. Small linear vec: its
     /// capacity survives the per-round `clear()`, unlike a map's nodes.
     iters: Vec<(ActorId, MemIter)>,
@@ -177,6 +180,7 @@ impl SmrNode {
             f_m,
             retry_every,
             batch: 1,
+            adaptive_cap: 0,
             client: MemoryClient::new(),
             core: LogCore::new(workload),
             is_leader: me == initial_leader,
@@ -201,6 +205,19 @@ impl SmrNode {
     /// exactly, down to the wire.
     pub fn with_batch(mut self, batch: usize) -> SmrNode {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Enables adaptive doorbell batching: each round packs however many
+    /// commands are actually pending, up to `cap` work requests per
+    /// posting, instead of the fixed [`SmrNode::with_batch`] size. A
+    /// shallow backlog commits immediately in a small burst (latency); a
+    /// deep one fills the cap and amortizes the doorbell (throughput).
+    /// Only meaningful under [`simnet::DelayModel::Rdma`], where a burst
+    /// of `k` writes is charged one doorbell plus `k` per-WR increments;
+    /// `0` (the default) disables it.
+    pub fn with_adaptive_batch(mut self, cap: usize) -> SmrNode {
+        self.adaptive_cap = cap;
         self
     }
 
@@ -278,9 +295,16 @@ impl SmrNode {
     /// hole below pending recovered values), a no-op fills the slot.
     fn fill_values(&mut self) {
         self.values.clear();
+        // Adaptive mode lets the round grow to the backlog (capped);
+        // otherwise the configured fixed batch applies.
+        let limit = if self.adaptive_cap > 0 {
+            self.adaptive_cap
+        } else {
+            self.batch
+        };
         if self.recover.contains_key(&self.instance) {
             self.proposing_own = false;
-            for j in 0..self.batch as u64 {
+            for j in 0..limit as u64 {
                 match self.recover.get(&(self.instance + j)) {
                     Some((_, v)) => self.values.push(*v),
                     None => break,
@@ -290,7 +314,7 @@ impl SmrNode {
             self.proposing_own = true;
             let recover = &self.recover;
             self.core.fill_own(
-                self.batch,
+                limit,
                 self.instance,
                 |i| recover.contains_key(&i),
                 |_| false, // one slot in flight: settles before the next fill

@@ -133,10 +133,30 @@ pub mod gate {
         ("delays_per_entry", false),
     ];
 
+    /// Labels present in `prior` but missing from `current`: measured
+    /// configurations that silently lost regression coverage (renamed or
+    /// dropped). [`regressions`] skips them by design — new benchmarks
+    /// gate from their next PR on — so retirements must be surfaced
+    /// separately: the snapshot gate warns on every one and, under
+    /// `PERF_GATE=strict`, fails unless `PERF_GATE_RETIRED_OK` explicitly
+    /// allowlists it. Deduplicated, in prior-snapshot order.
+    pub fn retired_labels(prior: &str, current: &str) -> Vec<String> {
+        let current_labels: std::collections::BTreeSet<String> =
+            labels(current).into_iter().collect();
+        let mut seen = std::collections::BTreeSet::new();
+        labels(prior)
+            .into_iter()
+            .filter(|l| !current_labels.contains(l) && seen.insert(l.clone()))
+            .collect()
+    }
+
     /// Compares every gated metric for every label present in **both**
     /// snapshots; returns the configurations that worsened by more than
     /// `threshold` (e.g. `0.10`). Labels or fields only one side knows are
-    /// skipped — new benchmarks gate from their next PR on.
+    /// skipped — new benchmarks gate from their next PR on; labels the
+    /// prior snapshot knew but the current one dropped are reported by
+    /// [`retired_labels`] so the gate can refuse to lose coverage
+    /// silently.
     pub fn regressions(prior: &str, current: &str, threshold: f64) -> Vec<Regression> {
         let mut out = Vec::new();
         for label in labels(prior) {
@@ -243,6 +263,26 @@ pub mod gate {
         fn improvements_never_flag() {
             let current = r#"{ "a": { "label": "cfg_one", "entries_per_sec": 5000 } }"#;
             assert!(regressions(PRIOR, current, 0.10).is_empty());
+        }
+
+        #[test]
+        fn retired_labels_surface_lost_coverage() {
+            // cfg_two vanished (renamed to cfg_2): regressions() is blind
+            // to it, retired_labels() is not.
+            let current = r#"{
+  "a": { "label": "cfg_one", "entries_per_sec": 1000 },
+  "b": { "label": "cfg_2", "entries_per_sec": 1 }
+}"#;
+            assert!(regressions(PRIOR, current, 0.10).is_empty());
+            assert_eq!(retired_labels(PRIOR, current), vec!["cfg_two"]);
+            // Nothing retired when every prior label is still measured.
+            assert!(retired_labels(PRIOR, PRIOR).is_empty());
+            // Duplicated prior labels report once.
+            let dup = r#"{
+  "a": { "label": "cfg_gone", "x": 1 },
+  "b": { "label": "cfg_gone", "x": 2 }
+}"#;
+            assert_eq!(retired_labels(dup, "{}"), vec!["cfg_gone"]);
         }
 
         #[test]

@@ -116,7 +116,8 @@ where
             }
         } else {
             self.busy.push((mem, op));
-            ctx.send(mem, M::from_wire(MemWire::Req { op, req }));
+            let class = req.cost_class();
+            ctx.send_classed(mem, M::from_wire(MemWire::Req { op, req }), class);
         }
         op
     }
@@ -203,7 +204,8 @@ where
         if let Some((_, queue)) = self.queues.iter_mut().find(|(m, _)| *m == from) {
             if let Some((next_op, req)) = queue.pop_front() {
                 self.busy.push((from, next_op));
-                ctx.send(from, M::from_wire(MemWire::Req { op: next_op, req }));
+                let class = req.cost_class();
+                ctx.send_classed(from, M::from_wire(MemWire::Req { op: next_op, req }), class);
             }
         }
         Some(Completion {

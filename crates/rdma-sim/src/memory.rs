@@ -165,7 +165,8 @@ where
             return;
         };
         let resp = self.handle(from, req);
-        ctx.send(from, M::from_wire(MemWire::Resp { op, resp }));
+        let class = resp.cost_class();
+        ctx.send_classed(from, M::from_wire(MemWire::Resp { op, resp }), class);
     }
 }
 

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use simnet::{CostClass, Verb};
+
 use crate::perm::Permission;
 use crate::reg::RegId;
 use crate::region::RegionId;
@@ -93,6 +95,35 @@ impl<V> MemRequest<V> {
             MemRequest::ChangePerm { .. } => "change_perm",
         }
     }
+
+    /// Cost classification of the request leg under
+    /// [`simnet::DelayModel::Rdma`]: reads map to the READ verb, writes to
+    /// WRITE (a [`MemRequest::WriteMany`] of `k` entries is one doorbell
+    /// batch of `k` work requests), and permission changes to the atomic
+    /// CAS verb. Payload bytes are approximated from the in-memory sizes
+    /// of the register ids and values carried.
+    pub fn cost_class(&self) -> CostClass {
+        let entry = entry_bytes::<V>();
+        match self {
+            MemRequest::Read { .. } => CostClass::new(Verb::Read, entry, 1),
+            MemRequest::Write { .. } => CostClass::new(Verb::Write, entry, 1),
+            MemRequest::WriteMany { writes, .. } => {
+                let k = writes.len().max(1) as u32;
+                CostClass::new(Verb::Write, k.saturating_mul(entry), k)
+            }
+            // The request leg of a range read carries only the pattern;
+            // the payload comes back on the response leg.
+            MemRequest::ReadRange { .. } => CostClass::new(Verb::Read, entry, 1),
+            MemRequest::ChangePerm { .. } => {
+                CostClass::new(Verb::Cas, std::mem::size_of::<Permission>() as u32, 1)
+            }
+        }
+    }
+}
+
+/// Approximate serialized size of one `(register, value)` entry.
+fn entry_bytes<V>() -> u32 {
+    (std::mem::size_of::<RegId>() + std::mem::size_of::<V>()) as u32
 }
 
 /// A memory operation response.
@@ -118,6 +149,21 @@ impl<V> MemResponse<V> {
     pub fn is_ok(&self) -> bool {
         !matches!(self, MemResponse::Nak | MemResponse::PermNak)
     }
+
+    /// Cost classification of the response leg: a completion travelling
+    /// back as an inline send, sized by the payload it returns (one value
+    /// for [`MemResponse::Value`], the whole written slice for
+    /// [`MemResponse::Range`], nothing for acks/naks).
+    pub fn cost_class(&self) -> CostClass {
+        let entry = entry_bytes::<V>();
+        match self {
+            MemResponse::Value(Some(_)) => CostClass::new(Verb::Send, entry, 1),
+            MemResponse::Range(rows) => {
+                CostClass::new(Verb::Send, (rows.len() as u32).saturating_mul(entry), 1)
+            }
+            _ => CostClass::SEND,
+        }
+    }
 }
 
 /// A memory-protocol message: either leg of the round trip.
@@ -137,6 +183,17 @@ pub enum MemWire<V> {
         /// The outcome.
         resp: MemResponse<V>,
     },
+}
+
+impl<V> MemWire<V> {
+    /// Cost classification of this leg (request or response) under
+    /// [`simnet::DelayModel::Rdma`].
+    pub fn cost_class(&self) -> CostClass {
+        match self {
+            MemWire::Req { req, .. } => req.cost_class(),
+            MemWire::Resp { resp, .. } => resp.cost_class(),
+        }
+    }
 }
 
 /// Embedding of the memory wire protocol into a protocol's message type.
@@ -180,5 +237,36 @@ mod tests {
             within: None,
         };
         assert_eq!(r.kind_name(), "read_range");
+    }
+
+    #[test]
+    fn cost_classes_tag_verbs_and_batch_width() {
+        let w: MemRequest<u64> = MemRequest::Write {
+            region: RegionId(0),
+            reg: RegId::scalar(0),
+            value: 9,
+        };
+        assert_eq!(w.cost_class().verb, Verb::Write);
+        assert_eq!(w.cost_class().wrs, 1);
+
+        let many: MemRequest<u64> = MemRequest::WriteMany {
+            region: RegionId(0),
+            writes: (0..5u64).map(|i| (RegId::scalar(i as u16), i)).collect(),
+        };
+        let c = many.cost_class();
+        assert_eq!(c.verb, Verb::Write);
+        assert_eq!(c.wrs, 5);
+        assert_eq!(c.bytes, 5 * w.cost_class().bytes);
+
+        let perm: MemRequest<u64> = MemRequest::ChangePerm {
+            region: RegionId(0),
+            new: Permission::open(),
+        };
+        assert_eq!(perm.cost_class().verb, Verb::Cas);
+
+        let range: MemResponse<u64> = MemResponse::Range(vec![(RegId::scalar(0), 1); 4]);
+        assert_eq!(range.cost_class().verb, Verb::Send);
+        assert_eq!(range.cost_class().bytes, 4 * w.cost_class().bytes);
+        assert_eq!(MemResponse::<u64>::Ack.cost_class(), CostClass::SEND);
     }
 }

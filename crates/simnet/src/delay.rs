@@ -5,11 +5,178 @@
 //! common-case analyses in the paper assume synchrony — every message takes
 //! exactly one delay — which is [`DelayModel::Constant`] with
 //! [`Duration::DELAY`].
+//!
+//! [`DelayModel::Rdma`] refines the uniform per-hop charge into an
+//! RDMA-faithful cost model: senders classify each message by *verb*
+//! (inline send, one-sided WRITE/READ, CAS) and payload via [`CostClass`],
+//! and the model charges per-verb base latency, payload-size-dependent
+//! serialization, and doorbell batching — `k` work requests posted
+//! together pay one doorbell ring plus a small per-WR increment instead of
+//! `k` full rounds. Messages sent without a class (plain protocol
+//! traffic) are charged as inline sends.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::time::{Duration, Time};
+
+/// The RDMA verb a message models, for cost accounting under
+/// [`DelayModel::Rdma`]. Non-RDMA delay models ignore the verb entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// Two-sided inline send (ordinary protocol messages, completions).
+    Send,
+    /// One-sided RDMA WRITE.
+    Write,
+    /// One-sided RDMA READ.
+    Read,
+    /// Atomic compare-and-swap (here: permission changes, the memory's
+    /// atomically-checked control operation).
+    Cas,
+}
+
+/// Cost classification of one message: which verb it models, how many
+/// payload bytes it carries, and how many work requests were posted
+/// together in its doorbell batch.
+///
+/// Producers of memory traffic (the `rdma-sim` wire layer) tag each leg;
+/// everything else defaults to [`CostClass::SEND`]. Under every model but
+/// [`DelayModel::Rdma`] the class is ignored, so classification never
+/// perturbs existing schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostClass {
+    /// The verb this message models.
+    pub verb: Verb,
+    /// Approximate serialized payload size, in bytes.
+    pub bytes: u32,
+    /// Work requests posted together (≥ 1); a doorbell batch of `k`
+    /// writes is one message with `wrs = k`.
+    pub wrs: u32,
+}
+
+impl CostClass {
+    /// The default class: a payload-free inline send, one work request.
+    pub const SEND: CostClass = CostClass {
+        verb: Verb::Send,
+        bytes: 0,
+        wrs: 1,
+    };
+
+    /// Builds a class; `wrs` is clamped to at least 1 when charged.
+    pub const fn new(verb: Verb, bytes: u32, wrs: u32) -> CostClass {
+        CostClass { verb, bytes, wrs }
+    }
+}
+
+/// Per-verb cost table of [`DelayModel::Rdma`], in ticks.
+///
+/// A message classified `(verb, bytes, wrs)` is charged
+///
+/// ```text
+/// doorbell + base(verb) + per_wr · (wrs − 1) + per_kb · bytes / 1024 + U[0, jitter]
+/// ```
+///
+/// — one doorbell ring per posting, the verb's base fabric latency, a
+/// small increment for each *additional* work request in the batch (they
+/// ride the same doorbell and pipeline on the NIC), payload
+/// serialization, and optional uniform fabric jitter. Every term beyond
+/// `doorbell + base` is nonnegative, so
+/// [`RdmaCost::min_cost`] — `doorbell` plus the cheapest verb — is a true
+/// lower bound over all verb/size/batch combinations: exactly the
+/// *lookahead* the partitioned kernel ([`crate::ParSimulation`])
+/// synchronizes on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RdmaCost {
+    /// Base latency of a two-sided inline send.
+    pub send: Duration,
+    /// Base latency of a one-sided WRITE.
+    pub write: Duration,
+    /// Base latency of a one-sided READ.
+    pub read: Duration,
+    /// Base latency of an atomic CAS.
+    pub cas: Duration,
+    /// Doorbell ring (MMIO posting cost), charged once per message no
+    /// matter how many work requests it batches.
+    pub doorbell: Duration,
+    /// Increment per additional work request in a doorbell batch.
+    pub per_wr: Duration,
+    /// Payload serialization cost per 1024 bytes (charged pro rata).
+    pub per_kb: Duration,
+    /// Uniform extra fabric latency in `[0, jitter]` (`0` disables the
+    /// draw entirely, keeping RNG streams untouched).
+    pub jitter: Duration,
+}
+
+impl RdmaCost {
+    /// Symmetric verbs calibrated so a singleton small-payload operation
+    /// costs exactly one network delay — the paper's synchronous unit —
+    /// while batching and payload size become visible.
+    pub fn baseline() -> RdmaCost {
+        RdmaCost {
+            send: Duration(750),
+            write: Duration(750),
+            read: Duration(750),
+            cas: Duration(750),
+            doorbell: Duration(250),
+            per_wr: Duration(40),
+            per_kb: Duration(30),
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// Asymmetric verbs in the shape RDMA microbenchmarks report:
+    /// WRITE cheapest, READ pricier, CAS the most expensive.
+    pub fn write_optimized() -> RdmaCost {
+        RdmaCost {
+            send: Duration(800),
+            write: Duration(600),
+            read: Duration(900),
+            cas: Duration(1300),
+            doorbell: Duration(250),
+            per_wr: Duration(40),
+            per_kb: Duration(30),
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// A loaded fabric: payload bandwidth dominates and latency jitters.
+    pub fn congested() -> RdmaCost {
+        RdmaCost {
+            send: Duration(750),
+            write: Duration(750),
+            read: Duration(750),
+            cas: Duration(750),
+            doorbell: Duration(400),
+            per_wr: Duration(60),
+            per_kb: Duration(250),
+            jitter: Duration(300),
+        }
+    }
+
+    /// Cost of one classified message (see the type-level formula).
+    pub fn charge(&self, class: CostClass, rng: &mut StdRng) -> Duration {
+        let base = match class.verb {
+            Verb::Send => self.send,
+            Verb::Write => self.write,
+            Verb::Read => self.read,
+            Verb::Cas => self.cas,
+        };
+        let extra_wrs = Duration(self.per_wr.0 * (class.wrs.max(1) as u64 - 1));
+        let size = Duration(self.per_kb.0 * class.bytes as u64 / 1024);
+        let jitter = if self.jitter.0 == 0 {
+            Duration::ZERO
+        } else {
+            Duration(rng.gen_range(0..=self.jitter.0))
+        };
+        self.doorbell + base + extra_wrs + size + jitter
+    }
+
+    /// The smallest cost any class can be charged: one doorbell plus the
+    /// cheapest verb (batch, payload and jitter terms are all ≥ 0).
+    pub fn min_cost(&self) -> Duration {
+        self.doorbell + self.send.min(self.write).min(self.read).min(self.cas)
+    }
+}
 
 /// How long a message spends in flight on a link.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,7 +193,9 @@ pub enum DelayModel {
     /// Partial synchrony in the style of Dwork–Lynch–Stockmeyer: before the
     /// global stabilization time `gst` delays are uniform in `[lo, hi]`;
     /// from `gst` on, every message takes exactly `after` (a known bound
-    /// holds). This is the standard liveness assumption the paper invokes.
+    /// holds). Messages still in flight at `gst` are delivered by
+    /// `gst + after` — the DLS guarantee covers *deliveries* after
+    /// stabilization, not just sends.
     PartialSynchrony {
         /// Minimum pre-GST latency.
         lo: Duration,
@@ -37,6 +206,11 @@ pub enum DelayModel {
         /// The post-GST latency bound.
         after: Duration,
     },
+    /// RDMA-faithful verb costs: per-verb base latency, payload-size
+    /// serialization, and doorbell batching (see [`RdmaCost`]). Messages
+    /// carry a [`CostClass`]; unclassified traffic is charged as an
+    /// inline send.
+    Rdma(RdmaCost),
 }
 
 impl DelayModel {
@@ -49,29 +223,47 @@ impl DelayModel {
     /// *lookahead* bound the partitioned kernel ([`crate::ParSimulation`])
     /// synchronizes on: events executed concurrently within a window of
     /// this width cannot causally affect each other across partitions.
+    /// For [`DelayModel::Rdma`] this is the minimum over **every**
+    /// verb/size/batch combination ([`RdmaCost::min_cost`]).
     pub fn min_delay(&self) -> Duration {
-        match *self {
-            DelayModel::Constant(d) => d,
-            DelayModel::Uniform { lo, .. } => lo,
-            DelayModel::PartialSynchrony { lo, after, .. } => lo.min(after),
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { lo, .. } => *lo,
+            DelayModel::PartialSynchrony { lo, after, .. } => (*lo).min(*after),
+            DelayModel::Rdma(c) => c.min_cost(),
         }
     }
 
     /// Samples the in-flight duration for a message sent at `now`.
+    /// Equivalent to [`DelayModel::sample_classed`] with
+    /// [`CostClass::SEND`].
+    #[inline]
     pub fn sample(&self, now: Time, rng: &mut StdRng) -> Duration {
-        match *self {
-            DelayModel::Constant(d) => d,
-            DelayModel::Uniform { lo, hi } => sample_uniform(lo, hi, rng),
+        self.sample_classed(now, CostClass::SEND, rng)
+    }
+
+    /// Samples the in-flight duration for a message of cost class `class`
+    /// sent at `now`. Only [`DelayModel::Rdma`] distinguishes classes;
+    /// every other model charges its usual per-hop delay, with identical
+    /// RNG draws — classification never changes non-RDMA schedules.
+    pub fn sample_classed(&self, now: Time, class: CostClass, rng: &mut StdRng) -> Duration {
+        match self {
+            DelayModel::Constant(d) => *d,
+            DelayModel::Uniform { lo, hi } => sample_uniform(*lo, *hi, rng),
             DelayModel::PartialSynchrony { lo, hi, gst, after } => {
-                if now >= gst {
-                    after
+                if now >= *gst {
+                    *after
                 } else {
-                    // A pre-GST message may still be delayed past GST, but
-                    // no-loss requires eventual delivery; the sampled bound
-                    // already guarantees that.
-                    sample_uniform(lo, hi, rng)
+                    // A pre-GST message may be delayed past GST, but no
+                    // later than gst + after: once the network stabilizes
+                    // the known bound applies to everything still in
+                    // flight (DLS). The draw happens regardless, so the
+                    // RNG stream does not depend on the cap.
+                    let latest = (*gst + *after) - now;
+                    sample_uniform(*lo, *hi, rng).min(latest)
                 }
             }
+            DelayModel::Rdma(c) => c.charge(class, rng),
         }
     }
 }
@@ -127,6 +319,33 @@ mod tests {
     }
 
     #[test]
+    fn partial_synchrony_in_flight_messages_respect_the_dls_bound() {
+        // A message sent one tick before GST must deliver by gst + after,
+        // even though the pre-GST uniform range would allow much later.
+        let gst = Time::from_delays(100);
+        let after = Duration::DELAY;
+        let m = DelayModel::PartialSynchrony {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(50),
+            gst,
+            after,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for sent_delays in [95u64, 99, 50, 0] {
+            let sent = Time::from_delays(sent_delays);
+            for _ in 0..200 {
+                let d = m.sample(sent, &mut rng);
+                assert!(
+                    sent + d <= gst + after,
+                    "sent at {sent:?}, delivered at {:?} after gst+after",
+                    sent + d
+                );
+                assert!(d >= m.min_delay(), "cap broke the lookahead bound");
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let m = DelayModel::Uniform {
             lo: Duration::from_delays(1),
@@ -136,6 +355,75 @@ mod tests {
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..50 {
             assert_eq!(m.sample(Time::ZERO, &mut a), m.sample(Time::ZERO, &mut b));
+        }
+    }
+
+    #[test]
+    fn rdma_baseline_singleton_costs_one_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Rdma(RdmaCost::baseline());
+        // An unclassified protocol message and a small singleton write
+        // both cost exactly one network delay: calibrated to the paper's
+        // synchronous unit.
+        assert_eq!(m.sample(Time::ZERO, &mut rng), Duration::DELAY);
+        let w = m.sample_classed(Time::ZERO, CostClass::new(Verb::Write, 64, 1), &mut rng);
+        assert_eq!(w, Duration::DELAY + Duration(30 * 64 / 1024));
+    }
+
+    #[test]
+    fn rdma_doorbell_batching_amortizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = RdmaCost::baseline();
+        let one = c.charge(CostClass::new(Verb::Write, 64, 1), &mut rng);
+        let eight = c.charge(CostClass::new(Verb::Write, 8 * 64, 8), &mut rng);
+        // One batched posting of 8 WRs is far cheaper than 8 rounds...
+        assert!(eight < Duration(8 * one.0), "batching did not amortize");
+        // ...but dearer than a single WR (per-WR and payload terms).
+        assert!(eight > one);
+    }
+
+    #[test]
+    fn rdma_verbs_are_distinguished() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Rdma(RdmaCost::write_optimized());
+        let mut at = |v| m.sample_classed(Time::ZERO, CostClass::new(v, 0, 1), &mut rng);
+        let (w, r, c, s) = (
+            at(Verb::Write),
+            at(Verb::Read),
+            at(Verb::Cas),
+            at(Verb::Send),
+        );
+        assert!(
+            w < s && s < r && r < c,
+            "verb ordering: {w:?} {s:?} {r:?} {c:?}"
+        );
+    }
+
+    #[test]
+    fn rdma_min_cost_is_a_true_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for cost in [
+            RdmaCost::baseline(),
+            RdmaCost::write_optimized(),
+            RdmaCost::congested(),
+        ] {
+            let m = DelayModel::Rdma(cost);
+            let floor = m.min_delay();
+            assert!(floor > Duration::ZERO);
+            for verb in [Verb::Send, Verb::Write, Verb::Read, Verb::Cas] {
+                for bytes in [0u32, 1, 64, 4096, 1 << 20] {
+                    for wrs in [0u32, 1, 2, 32, 1024] {
+                        for _ in 0..4 {
+                            let d = m.sample_classed(
+                                Time::ZERO,
+                                CostClass::new(verb, bytes, wrs),
+                                &mut rng,
+                            );
+                            assert!(d >= floor, "{verb:?} {bytes}B x{wrs}: {d:?} < {floor:?}");
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -17,7 +17,11 @@
 //! * **Delay metric.** The paper's performance unit: a message takes one
 //!   delay; a memory operation takes two (request + response legs, each a
 //!   message here). [`Time::as_delays`] and [`Metrics::first_decision_delays`]
-//!   expose decision latency in exactly those units.
+//!   expose decision latency in exactly those units. An optional
+//!   RDMA-faithful refinement ([`DelayModel::Rdma`]) charges per-verb
+//!   costs (send/WRITE/READ/CAS), payload serialization, and doorbell
+//!   batching instead of a uniform per-hop price; senders classify
+//!   traffic via [`Context::send_classed`] and [`CostClass`].
 //! * **Failures.** [`Simulation::crash_at`] silences an actor: a crashed
 //!   process takes no more steps, a crashed memory hangs without responding
 //!   (indistinguishable from a slow one, as §3 requires). Byzantine behaviour
@@ -109,7 +113,7 @@ mod time;
 mod trace;
 
 pub use actor::{Actor, AnyActor};
-pub use delay::DelayModel;
+pub use delay::{CostClass, DelayModel, RdmaCost, Verb};
 pub use event::EventKind;
 pub use ids::{ActorId, TimerId};
 pub use metrics::Metrics;

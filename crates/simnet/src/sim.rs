@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, AnyActor};
-use crate::delay::DelayModel;
+use crate::delay::{CostClass, DelayModel};
 use crate::event::EventKind;
 use crate::ids::{ActorId, TimerId};
 use crate::metrics::Metrics;
@@ -188,7 +188,21 @@ impl<'a, M> Context<'a, M> {
 
     /// Sends `msg` to `to` over the link, with latency from the link's delay
     /// model (or the delay hook, if installed and it claims the message).
+    /// The message is charged as a plain inline send
+    /// ([`CostClass::SEND`]); traffic modelling a specific RDMA verb
+    /// should use [`Context::send_classed`].
+    #[inline]
     pub fn send(&mut self, to: ActorId, msg: M) {
+        self.send_classed(to, msg, CostClass::SEND);
+    }
+
+    /// Sends `msg` to `to`, charged under the link's delay model as cost
+    /// class `class` (verb, payload size, doorbell batch width). Only
+    /// [`DelayModel::Rdma`](crate::DelayModel::Rdma) links distinguish
+    /// classes; under every other model this is exactly [`Context::send`],
+    /// including RNG draws. A delay hook, if installed, still takes
+    /// precedence over the model.
+    pub fn send_classed(&mut self, to: ActorId, msg: M, class: CostClass) {
         let hooked = self
             .core
             .delay_hook
@@ -210,7 +224,7 @@ impl<'a, M> Context<'a, M> {
                 } else {
                     link_overrides.get(&(self.me, to)).unwrap_or(default_delay)
                 };
-                model.sample(self.now, rng)
+                model.sample_classed(self.now, class, rng)
             }
         };
         self.core.metrics.messages_sent += 1;

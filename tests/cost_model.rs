@@ -1,0 +1,166 @@
+//! The RDMA cost model's two load-bearing contracts.
+//!
+//! 1. **Lookahead soundness** — `DelayModel::min_delay()` must be a true
+//!    lower bound on `sample_classed(...)` for *every* variant, time,
+//!    seed, verb, payload size, and doorbell batch width. The partitioned
+//!    kernel synchronizes on exactly this bound (its conservative window
+//!    is one `min_delay()` of virtual time), so a single undershooting
+//!    sample would silently break bit-determinism.
+//! 2. **Bit-identity under `DelayModel::Rdma`** — a partitioned sharded
+//!    run under the RDMA cost model must produce the identical report at
+//!    1, 2, and 4 worker threads, with and without adaptive doorbell
+//!    batching.
+
+use agreement::harness::{run_sharded, ShardedRunReport, ShardedScenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{CostClass, DelayModel, Duration, RdmaCost, Time, Verb};
+
+/// The model under test for a property-case index: cycles through every
+/// variant, including all three RDMA presets.
+fn model(ix: u64) -> DelayModel {
+    match ix % 6 {
+        0 => DelayModel::Constant(Duration::from_delays(1 + ix % 5)),
+        1 => DelayModel::Uniform {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(2 + ix % 7),
+        },
+        2 => DelayModel::PartialSynchrony {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(2 + ix % 20),
+            gst: Time::from_delays(50 + ix % 100),
+            after: Duration::from_delays(1 + ix % 3),
+        },
+        3 => DelayModel::Rdma(RdmaCost::baseline()),
+        4 => DelayModel::Rdma(RdmaCost::write_optimized()),
+        _ => DelayModel::Rdma(RdmaCost::congested()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `min_delay() <= sample_classed(now, class, rng)` for every variant
+    /// across seeds, times, verbs, payload sizes, and batch widths — the
+    /// partitioned kernel's lookahead invariant.
+    #[test]
+    fn min_delay_is_a_lower_bound_on_every_sample(
+        model_ix in 0u64..60,
+        seed in 0u64..1_000_000,
+        now_delays in 0u64..500,
+        verb_ix in 0usize..4,
+        bytes in 0u32..2_000_000,
+        wrs in 0u32..5_000,
+    ) {
+        let m = model(model_ix);
+        let floor = m.min_delay();
+        let verb = [Verb::Send, Verb::Write, Verb::Read, Verb::Cas][verb_ix];
+        let class = CostClass::new(verb, bytes, wrs);
+        let now = Time::from_delays(now_delays);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let d = m.sample_classed(now, class, &mut rng);
+            prop_assert!(
+                d >= floor,
+                "{m:?} sampled {d:?} below min_delay {floor:?} for {class:?} at {now:?}"
+            );
+            // The unclassed path must respect the same floor.
+            let plain = m.sample(now, &mut rng);
+            prop_assert!(plain >= floor);
+        }
+    }
+
+    /// PartialSynchrony's DLS bound: nothing sent at `now` lands after
+    /// `gst + after`, wherever `now` falls relative to GST.
+    #[test]
+    fn partial_synchrony_never_delivers_past_gst_plus_after(
+        seed in 0u64..1_000_000,
+        now_delays in 0u64..200,
+        gst_delays in 1u64..150,
+        hi_delays in 1u64..80,
+        after_delays in 1u64..5,
+    ) {
+        let gst = Time::from_delays(gst_delays);
+        let after = Duration::from_delays(after_delays);
+        let m = DelayModel::PartialSynchrony {
+            lo: Duration::from_delays(1),
+            hi: Duration::from_delays(hi_delays.max(1)),
+            gst,
+            after,
+        };
+        let now = Time::from_delays(now_delays);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let d = m.sample(now, &mut rng);
+            if now >= gst {
+                prop_assert_eq!(d, after);
+            } else {
+                prop_assert!(now + d <= gst + after, "pre-GST send delivered at {:?}, after gst+after {:?}", now + d, gst + after);
+            }
+        }
+    }
+}
+
+/// G=4 partitioned sharded run under the RDMA cost model; `adaptive`
+/// switches the leaders to adaptive doorbell batching.
+fn rdma_scenario(threads: usize, adaptive: bool) -> ShardedScenario {
+    let mut sc = ShardedScenario::common_case(4, 3, 3, 11);
+    sc.delay = DelayModel::Rdma(RdmaCost::write_optimized());
+    sc.total_cmds = 400;
+    sc.window = 8;
+    sc.batch = 2;
+    if adaptive {
+        sc.adaptive_batch = 8;
+    }
+    sc.partitions = 4;
+    sc.threads = threads;
+    sc.max_delays = 30_000;
+    sc
+}
+
+fn assert_identical(a: &ShardedRunReport, b: &ShardedRunReport, what: &str) {
+    for (g, (ga, gb)) in a.groups.iter().zip(&b.groups).enumerate() {
+        assert_eq!(ga, gb, "{what}: group {g} reports differ");
+    }
+    assert_eq!(a, b, "{what}: reports differ");
+}
+
+#[test]
+fn rdma_model_thread_sweep_is_bit_identical() {
+    for adaptive in [false, true] {
+        let base = run_sharded(&rdma_scenario(1, adaptive));
+        assert!(base.all_committed, "adaptive={adaptive}: run incomplete");
+        assert!(base.all_logs_agree, "adaptive={adaptive}: logs diverged");
+        for threads in [2usize, 4] {
+            let other = run_sharded(&rdma_scenario(threads, adaptive));
+            assert_identical(
+                &base,
+                &other,
+                &format!("adaptive={adaptive} threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_batching_beats_per_slot_writes_under_rdma_costs() {
+    // Same closed-loop workload, fixed batch 1 vs adaptive cap 8: packing
+    // the backlog into doorbell-batched WRITE bursts must commit more
+    // commands per delay.
+    let mut fixed = rdma_scenario(1, false);
+    fixed.partitions = 1;
+    fixed.batch = 1;
+    let mut adaptive = rdma_scenario(1, true);
+    adaptive.partitions = 1;
+    adaptive.batch = 1;
+    let f = run_sharded(&fixed);
+    let a = run_sharded(&adaptive);
+    assert!(f.all_committed && a.all_committed);
+    assert!(
+        a.committed_per_delay > f.committed_per_delay,
+        "adaptive {:.3} cmds/delay did not beat per-slot {:.3}",
+        a.committed_per_delay,
+        f.committed_per_delay
+    );
+}
